@@ -1,0 +1,69 @@
+"""Ablation benchmarks: macro holes, TSV pitch, folding criteria."""
+
+import pathlib
+
+from repro.analysis.ablations import (ablate_folding_criteria,
+                                      ablate_macro_holes, sweep_tsv_pitch)
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def test_macro_hole_ablation(benchmark, process):
+    """Section 4.2: the supply/demand hole keeps cells off the macros."""
+    res = benchmark.pedantic(lambda: ablate_macro_holes(process),
+                             rounds=1, iterations=1)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "ablation_macro_holes.txt").write_text(
+        f"cells overlapping macros: with holes {res.overlap_cells_with_holes},"
+        f" without {res.overlap_cells_without_holes}\n"
+        f"hpwl: with holes {res.hpwl_with_holes:.0f} um, without "
+        f"{res.hpwl_without_holes:.0f} um\n")
+    assert res.overlap_cells_with_holes < \
+        res.overlap_cells_without_holes / 4
+
+
+def test_tsv_pitch_sweep(benchmark, process):
+    """Coarser TSVs inflate the folded footprint (the Fig. 7 mechanism)."""
+    points = benchmark.pedantic(lambda: sweep_tsv_pitch(process),
+                                rounds=1, iterations=1)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "ablation_tsv_pitch.txt").write_text("\n".join(
+        f"pitch {p.pitch_um:4.1f} um: footprint {p.footprint_um2:9.0f} "
+        f"um^2 power {p.power_uw:8.0f} uW ({p.n_vias} TSVs)"
+        for p in points) + "\n")
+    footprints = [p.footprint_um2 for p in points]
+    assert footprints == sorted(footprints)
+
+
+def test_folding_criteria_ablation(benchmark, process):
+    """Section 4.1: folding a non-qualifying block buys ~nothing."""
+    res = benchmark.pedantic(lambda: ablate_folding_criteria(process),
+                             rounds=1, iterations=1)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "ablation_folding_criteria.txt").write_text(
+        f"{res.qualifying_block}: {res.qualifying_gain:+.1%}\n"
+        f"{res.disqualified_block}: {res.disqualified_gain:+.1%}\n")
+    assert res.qualifying_gain < res.disqualified_gain - 0.03
+
+
+def test_estimate_vs_detailed_routing(benchmark, process):
+    """The trunk estimator tracks the capacity-aware router closely."""
+    from repro.core.flow import FlowConfig, run_block_flow
+
+    def run():
+        est = run_block_flow("l2t", FlowConfig(seed=2), process)
+        routed = run_block_flow(
+            "l2t", FlowConfig(seed=2, detailed_route=True), process)
+        return est, routed
+
+    est, routed = benchmark.pedantic(run, rounds=1, iterations=1)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    ratio = routed.wirelength_um / est.wirelength_um
+    (RESULTS_DIR / "ablation_routing_model.txt").write_text(
+        f"estimated WL {est.wirelength_um / 1e6:.3f} m, detailed "
+        f"{routed.wirelength_um / 1e6:.3f} m (x{ratio:.2f})\n"
+        f"congestion overflow "
+        f"{routed.congestion.overflow_fraction:.2%}, max utilization "
+        f"{routed.congestion.max_utilization:.2f}\n")
+    assert 0.9 < ratio < 1.7
+    assert routed.sta.wns_ps >= -20.0

@@ -1,0 +1,8 @@
+"""Benchmark: regenerate the paper's dvt -- Section 6.2 dual-Vth benefit vs RVT-only twins."""
+
+from benchmarks.conftest import run_and_check
+
+
+def test_dvt(benchmark, save_result, process):
+    """Section 6.2 dual-Vth benefit vs RVT-only twins."""
+    run_and_check(benchmark, save_result, process, "dvt")

@@ -1,0 +1,108 @@
+"""Extension benchmarks: the paper's future work, implemented.
+
+The paper's conclusion defers thermal analysis of the bonding styles and
+TSV parasitic coupling to future work; this repository implements both
+(:mod:`repro.thermal`, :mod:`repro.analysis.coupling`) plus the chip-
+level timing sign-off loop.  These benchmarks regenerate their results.
+"""
+
+import pathlib
+
+from repro.analysis.coupling import coupling_study
+from repro.core.chip_sta import build_signed_off_chip
+from repro.core.fullchip import ChipConfig, build_chip
+from repro.thermal import analyze_chip_thermal
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def test_thermal_tradeoff(benchmark, process):
+    """3D saves power but runs hotter; TSV farms cool the far tier."""
+    def run():
+        out = {}
+        for style in ("2d", "core_cache", "fold_f2b", "fold_f2f"):
+            chip = build_chip(ChipConfig(style=style, scale=0.7), process)
+            out[style] = (chip, analyze_chip_thermal(chip))
+        return out
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    lines = []
+    for style, (chip, thermal) in results.items():
+        lines.append(f"{style:11s}: {chip.power.total_uw / 1e3:7.1f} mW, "
+                     f"max {thermal.max_c:5.1f} C")
+    (RESULTS_DIR / "extension_thermal.txt").write_text(
+        "\n".join(lines) + "\n")
+    t2d = results["2d"][1].max_c
+    for style in ("core_cache", "fold_f2b", "fold_f2f"):
+        chip, thermal = results[style]
+        assert chip.power.total_uw < results["2d"][0].power.total_uw
+        assert thermal.max_c > t2d  # the stacking thermal penalty
+
+
+def test_tsv_coupling_penalty(benchmark, process):
+    """TSV-to-wire coupling costs power; tiny F2F vias barely couple."""
+    res = benchmark.pedantic(lambda: coupling_study("l2t", process),
+                             rounds=1, iterations=1)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "extension_coupling.txt").write_text(
+        "\n".join(f"{b}: {r.n_vias} vias, {r.coupling_per_via_ff:.2f} "
+                  f"fF/via, +{r.power_penalty:.2%} power"
+                  for b, r in res.items()) + "\n")
+    assert res["F2B"].power_penalty > res["F2F"].power_penalty
+
+
+def test_chip_signoff_convergence(benchmark, process):
+    """The Section 2.2 loop closes cross-block timing (with pipelining)."""
+    chip, sta = benchmark.pedantic(
+        lambda: build_signed_off_chip(
+            ChipConfig(style="core_cache", scale=0.7), process,
+            max_iterations=2),
+        rounds=1, iterations=1)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "extension_signoff.txt").write_text(
+        sta.report(6) + "\n")
+    assert sta.wns_ps >= -30.0
+    assert sta.block_wns_ps >= -30.0
+
+
+def test_frequency_trend(benchmark, process):
+    """Section 7: the 3D power benefit grows with clock frequency."""
+    from repro.analysis.frequency import (benefit_trend, format_sweep,
+                                          frequency_sweep)
+    from repro.core.folding import FoldSpec
+
+    points = benchmark.pedantic(
+        lambda: frequency_sweep(
+            "ccx", FoldSpec(mode="regions", die1_regions=("cpx",)),
+            process, freqs_ghz=(0.5, 0.7, 0.85)),
+        rounds=1, iterations=1)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "extension_frequency.txt").write_text(
+        format_sweep(points) + f"\ntrend {benefit_trend(points):+.1%}\n")
+    assert all(p.benefit < -0.05 for p in points)
+    assert benefit_trend(points) < 0.01  # benefit grows (or holds)
+
+
+def test_seed_stability(benchmark, process):
+    """Key claims hold their sign across generator seeds."""
+    from repro.analysis.stability import fold_stability
+    from repro.core.folding import FoldSpec
+
+    def run():
+        return {
+            "ccx power": fold_stability(
+                "ccx", FoldSpec(mode="regions", die1_regions=("cpx",)),
+                process, metric="power", seeds=(1, 2, 3)),
+            "l2t footprint": fold_stability(
+                "l2t", FoldSpec(mode="mincut"), process,
+                metric="footprint", seeds=(1, 2, 3), bonding="F2F"),
+        }
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "extension_stability.txt").write_text(
+        "\n".join(r.summary() for r in results.values()) + "\n")
+    for r in results.values():
+        assert r.sign_stable
+        assert r.mean < -0.05

@@ -1,0 +1,8 @@
+"""Benchmark: regenerate the paper's fig2 -- CCX folding - natural PCX/CPX fold vs TSV-heavy fold."""
+
+from benchmarks.conftest import run_and_check
+
+
+def test_fig2(benchmark, save_result, process):
+    """CCX folding - natural PCX/CPX fold vs TSV-heavy fold."""
+    run_and_check(benchmark, save_result, process, "fig2")

@@ -1,0 +1,8 @@
+"""Benchmark: regenerate the paper's fig3 -- SPC second-level (FUB) folding study."""
+
+from benchmarks.conftest import run_and_check
+
+
+def test_fig3(benchmark, save_result, process):
+    """SPC second-level (FUB) folding study."""
+    run_and_check(benchmark, save_result, process, "fig3")

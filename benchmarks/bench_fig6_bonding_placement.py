@@ -1,0 +1,8 @@
+"""Benchmark: regenerate the paper's fig6 -- bonding-style impact on folded-block placement."""
+
+from benchmarks.conftest import run_and_check
+
+
+def test_fig6(benchmark, save_result, process):
+    """bonding-style impact on folded-block placement."""
+    run_and_check(benchmark, save_result, process, "fig6")

@@ -1,0 +1,8 @@
+"""Benchmark: regenerate the paper's fig7 -- bonding-style power sweep over five partitions."""
+
+from benchmarks.conftest import run_and_check
+
+
+def test_fig7(benchmark, save_result, process):
+    """bonding-style power sweep over five partitions."""
+    run_and_check(benchmark, save_result, process, "fig7")

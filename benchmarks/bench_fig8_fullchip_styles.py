@@ -1,0 +1,8 @@
+"""Benchmark: regenerate the paper's fig8 -- the five full-chip design styles."""
+
+from benchmarks.conftest import run_and_check
+
+
+def test_fig8(benchmark, save_result, process):
+    """the five full-chip design styles."""
+    run_and_check(benchmark, save_result, process, "fig8")

@@ -1,0 +1,76 @@
+"""Kernel performance benchmarks.
+
+Unlike the paper-artifact benches (single-shot regeneration), these time
+the library's hot kernels with repeated rounds so performance
+regressions in the placer, router, STA or power engine show up in
+pytest-benchmark's statistics.
+"""
+
+import pytest
+
+from repro.designgen import block_type_by_name, generate_block
+from repro.place import PlacementConfig, fm_bipartition, place_block_2d
+from repro.power import analyze_power
+from repro.route import route_block, route_block_detailed
+from repro.timing import TimingConfig, run_sta
+
+
+@pytest.fixture(scope="module")
+def placed_l2t(process):
+    gb = generate_block(block_type_by_name("l2t"), process.library,
+                        seed=1)
+    outline = place_block_2d(gb.netlist, PlacementConfig(seed=1)).outline
+    routing = route_block(gb.netlist, process.metal_stack)
+    return gb, outline, routing
+
+
+def test_kernel_generate(benchmark, process):
+    """Netlist generation throughput (l2t, ~1k cells)."""
+    benchmark(generate_block, block_type_by_name("l2t"),
+              process.library, 1)
+
+
+def test_kernel_place(benchmark, process):
+    """Quadratic place + spread + legalize (l2t)."""
+    def run():
+        gb = generate_block(block_type_by_name("l2t"), process.library,
+                            seed=1)
+        place_block_2d(gb.netlist, PlacementConfig(seed=1))
+    benchmark.pedantic(run, rounds=3, iterations=1)
+
+
+def test_kernel_route_estimate(benchmark, process, placed_l2t):
+    """Trunk-tree routing estimation over ~1.1k nets."""
+    gb, _, _ = placed_l2t
+    benchmark(route_block, gb.netlist, process.metal_stack)
+
+
+def test_kernel_route_detailed(benchmark, process, placed_l2t):
+    """Capacity-tracked global routing over ~1.1k nets."""
+    gb, outline, _ = placed_l2t
+    benchmark.pedantic(
+        lambda: route_block_detailed(gb.netlist, process.metal_stack,
+                                     outline),
+        rounds=3, iterations=1)
+
+
+def test_kernel_sta(benchmark, process, placed_l2t):
+    """Forward/backward STA over the routed block."""
+    gb, _, routing = placed_l2t
+    benchmark(run_sta, gb.netlist, routing, process,
+              TimingConfig("cpu_clk"))
+
+
+def test_kernel_power(benchmark, process, placed_l2t):
+    """Power rollup over the routed block."""
+    gb, _, routing = placed_l2t
+    benchmark(analyze_power, gb.netlist, routing, process, "cpu_clk")
+
+
+def test_kernel_partition(benchmark, process):
+    """FM min-cut bipartitioning (l2t)."""
+    def run():
+        gb = generate_block(block_type_by_name("l2t"), process.library,
+                            seed=1)
+        return fm_bipartition(gb.netlist, seed=0)
+    benchmark.pedantic(run, rounds=3, iterations=1)

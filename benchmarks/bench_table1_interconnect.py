@@ -1,0 +1,8 @@
+"""Benchmark: regenerate the paper's table1 -- 3D interconnect settings (TSV vs F2F via, Katti model)."""
+
+from benchmarks.conftest import run_and_check
+
+
+def test_table1(benchmark, save_result, process):
+    """3D interconnect settings (TSV vs F2F via, Katti model)."""
+    run_and_check(benchmark, save_result, process, "table1")

@@ -1,0 +1,8 @@
+"""Benchmark: regenerate the paper's table2 -- 2D vs core/cache vs core/core stacking at 46 blocks (RVT)."""
+
+from benchmarks.conftest import run_and_check
+
+
+def test_table2(benchmark, save_result, process):
+    """2D vs core/cache vs core/core stacking at 46 blocks (RVT)."""
+    run_and_check(benchmark, save_result, process, "table2")

@@ -1,0 +1,8 @@
+"""Benchmark: regenerate the paper's table3 -- folding-candidate selection over all block types."""
+
+from benchmarks.conftest import run_and_check
+
+
+def test_table3(benchmark, save_result, process):
+    """folding-candidate selection over all block types."""
+    run_and_check(benchmark, save_result, process, "table3")

@@ -1,0 +1,8 @@
+"""Benchmark: regenerate the paper's table4 -- folding the memory-dominated L2 data bank."""
+
+from benchmarks.conftest import run_and_check
+
+
+def test_table4(benchmark, save_result, process):
+    """folding the memory-dominated L2 data bank."""
+    run_and_check(benchmark, save_result, process, "table4")

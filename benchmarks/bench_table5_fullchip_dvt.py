@@ -1,0 +1,8 @@
+"""Benchmark: regenerate the paper's table5 -- full-chip dual-Vth comparison (the paper's headline -20.3%)."""
+
+from benchmarks.conftest import run_and_check
+
+
+def test_table5(benchmark, save_result, process):
+    """full-chip dual-Vth comparison (the paper's headline -20.3%)."""
+    run_and_check(benchmark, save_result, process, "table5")

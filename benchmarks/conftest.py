@@ -1,0 +1,46 @@
+"""Benchmark fixtures: shared process node and result artifacts.
+
+Each benchmark regenerates one paper table/figure through the experiment
+registry, times it with pytest-benchmark, asserts the paper's shape
+claims, and writes the rendered table (plus the check list) into
+``benchmarks/results/<experiment>.txt`` for EXPERIMENTS.md.
+"""
+
+import pathlib
+
+import pytest
+
+from repro.analysis.experiments import run_experiment
+from repro.tech import make_process
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def process():
+    return make_process()
+
+
+@pytest.fixture(scope="session")
+def save_result():
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _save(result) -> None:
+        path = RESULTS_DIR / f"{result.experiment_id}.txt"
+        path.write_text(result.summary() + "\n")
+
+    return _save
+
+
+def run_and_check(benchmark, save_result, process, experiment_id,
+                  scale=1.0):
+    """Common benchmark body: run, save, assert the shape claims."""
+    result = benchmark.pedantic(
+        lambda: run_experiment(experiment_id, process=process, scale=scale),
+        rounds=1, iterations=1)
+    save_result(result)
+    failed = [c for c in result.checks if not c.passed]
+    assert not failed, "shape checks failed: " + "; ".join(
+        f"{c.name} (measured {c.measured}, paper {c.paper})"
+        for c in failed)
+    return result

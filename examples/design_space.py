@@ -1,0 +1,38 @@
+#!/usr/bin/env python3
+"""Sweep the study's design space and print the Pareto front.
+
+Evaluates every (design style, library) configuration the paper touches
+-- 2D vs the two stacking floorplans vs folding with either bonding
+style, RVT-only vs dual-Vth -- and reports power, footprint, temperature
+and the Pareto-optimal subset.
+
+Usage::
+
+    python examples/design_space.py [--scale 0.7]
+"""
+
+import argparse
+import time
+
+from repro.core.explore import explore_design_space
+from repro.tech import make_process
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", type=float, default=0.7)
+    args = parser.parse_args()
+
+    process = make_process()
+    t0 = time.time()
+    result = explore_design_space(process, scale=args.scale)
+    print(result.table())
+    print(f"\n{len(result.pareto)} Pareto-optimal configurations "
+          f"(evaluated {len(result.points)} in {time.time() - t0:.0f}s)")
+    best = result.best("power")
+    print(f"lowest power: {best.label} at {best.power_mw:.1f} mW "
+          f"({best.n_3d_connections} 3D connections)")
+
+
+if __name__ == "__main__":
+    main()

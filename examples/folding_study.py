@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""The paper's Section 4 workflow: pick folding candidates, fold them.
+
+1. Design every T2 block type in 2D and evaluate the three folding
+   criteria (total-power share, net-power share, long-wire count) --
+   the paper's Table 3.
+2. Fold each qualifying block with its natural partition and report the
+   per-block power benefit.
+
+Usage::
+
+    python examples/folding_study.py [--scale 1.0]
+"""
+
+import argparse
+from dataclasses import replace
+
+from repro.core import FlowConfig, FoldSpec, run_block_flow
+from repro.core.folding import folding_candidates
+from repro.core.secondlevel import second_level_spec
+from repro.designgen import t2_block_types
+from repro.tech import make_process
+
+FOLDS = {
+    "spc": second_level_spec(),
+    "ccx": FoldSpec(mode="regions", die1_regions=("cpx",)),
+    "l2d": FoldSpec(mode="regions", die1_regions=("subbank2", "subbank3")),
+    "l2t": FoldSpec(mode="mincut"),
+    "rtx": FoldSpec(mode="regions", die1_regions=("tx",)),
+}
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", type=float, default=1.0)
+    parser.add_argument("--bonding", default="F2F",
+                        choices=["F2B", "F2F"])
+    args = parser.parse_args()
+
+    process = make_process()
+    base = FlowConfig(scale=args.scale)
+
+    print("step 1: 2D designs + folding criteria (paper Table 3)")
+    designs = {}
+    counts = {}
+    for bt in t2_block_types():
+        designs[bt.name] = run_block_flow(bt.name, base, process)
+        counts[bt.name] = bt.count
+    rows = folding_candidates(designs, counts)
+    print(f"{'block':8s}{'power %':>9s}{'net %':>8s}{'long wires':>12s}"
+          f"{'remark':>16s}{'fold?':>7s}")
+    for r in rows:
+        print(f"{r.block:8s}{r.total_power_pct:9.1f}{r.net_power_pct:8.1f}"
+              f"{r.long_wires:12d}{r.remark:>16s}"
+              f"{'yes' if r.qualifies else 'no':>7s}")
+
+    print(f"\nstep 2: fold the qualifying blocks ({args.bonding})")
+    for name, fold in FOLDS.items():
+        folded = run_block_flow(
+            name, replace(base, fold=fold, bonding=args.bonding), process)
+        d2 = designs[name]
+        print(f"  {name:5s}: power {folded.power.total_uw / d2.power.total_uw - 1:+7.1%}"
+              f"  wirelength {folded.wirelength_um / d2.wirelength_um - 1:+7.1%}"
+              f"  footprint {folded.footprint_um2 / d2.footprint_um2 - 1:+7.1%}"
+              f"  ({folded.n_vias} vias)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,54 @@
+#!/usr/bin/env python3
+"""Build the full OpenSPARC-T2 model chip in all five design styles.
+
+Reproduces the paper's headline comparison (Fig. 8 + Tables 2/5): the
+2D baseline, the two stacking floorplans, and block folding with each
+bonding style -- optionally with the dual-Vth library.
+
+Usage::
+
+    python examples/fullchip_styles.py [--scale 0.7] [--dual-vth]
+"""
+
+import argparse
+import time
+
+from repro.analysis.report import design_metric_rows, format_table
+from repro.core.fullchip import ChipConfig, build_chip
+from repro.floorplan.t2_floorplans import STYLES
+from repro.tech import make_process
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", type=float, default=0.7,
+                        help="model scale (1.0 = full model, slower)")
+    parser.add_argument("--dual-vth", action="store_true",
+                        help="use the dual-Vth (RVT+HVT) library")
+    parser.add_argument("--styles", nargs="*", default=list(STYLES),
+                        choices=list(STYLES))
+    args = parser.parse_args()
+
+    process = make_process()
+    chips = {}
+    for style in args.styles:
+        t0 = time.time()
+        chips[style] = build_chip(
+            ChipConfig(style=style, scale=args.scale,
+                       dual_vth=args.dual_vth), process)
+        c = chips[style]
+        print(f"built {style:11s} in {time.time() - t0:5.1f}s: "
+              f"{c.footprint_um2 / 1e6:6.2f} mm^2/tier, "
+              f"{c.n_3d_connections:6d} 3D connections, "
+              f"{c.power.total_uw / 1e3:7.1f} mW")
+
+    print()
+    vth = "dual-Vth" if args.dual_vth else "RVT only"
+    print(format_table(
+        f"Full-chip comparison ({vth}, scale {args.scale})",
+        [s for s in args.styles],
+        design_metric_rows([chips[s] for s in args.styles], kind="chip")))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,55 @@
+#!/usr/bin/env python3
+"""Physical-integrity scorecard: thermal, IR drop, corners, and cost.
+
+Runs the analyses beyond the paper's scope -- its stated future work and
+the manufacturing side its introduction motivates -- over the design
+styles: steady-state temperature, power-grid droop, multi-corner timing
+of a representative block, and cost per good die.
+
+Usage::
+
+    python examples/physical_integrity.py [--scale 0.6]
+"""
+
+import argparse
+
+from repro.analysis.corners import analyze_corners, signoff_summary
+from repro.analysis.cost import cost_comparison, format_cost_table
+from repro.analysis.irdrop import analyze_chip_ir_drop
+from repro.core.flow import FlowConfig, run_block_flow
+from repro.core.fullchip import ChipConfig, build_chip
+from repro.tech import make_process
+from repro.thermal import analyze_chip_thermal
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", type=float, default=0.6)
+    parser.add_argument("--styles", nargs="*",
+                        default=["2d", "core_cache", "fold_f2f"])
+    args = parser.parse_args()
+    process = make_process()
+
+    print("== thermal and power-grid integrity ==")
+    print(f"{'style':12s}{'power mW':>10s}{'max temp C':>12s}"
+          f"{'max droop mV':>14s}")
+    footprints = {}
+    for style in args.styles:
+        chip = build_chip(ChipConfig(style=style, scale=args.scale),
+                          process)
+        thermal = analyze_chip_thermal(chip)
+        ir = analyze_chip_ir_drop(chip)
+        footprints[style] = chip.footprint_um2 / 1e6
+        print(f"{style:12s}{chip.power.total_uw / 1e3:10.1f}"
+              f"{thermal.max_c:12.1f}{ir.max_drop_v * 1e3:14.1f}")
+
+    print("\n== manufacturing cost (die-to-die bonding, KGD test) ==")
+    print(format_cost_table(cost_comparison(footprints)))
+
+    print("\n== multi-corner sign-off of the CCX block ==")
+    design = run_block_flow("ccx", FlowConfig(scale=args.scale), process)
+    print(signoff_summary(analyze_corners(design, process)))
+
+
+if __name__ == "__main__":
+    main()

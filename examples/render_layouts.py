@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Render the paper's layout figures as SVG files.
+
+Produces the visual artifacts of the study: the folded CCX with its via
+dots (Fig. 2b / 5b) and the five full-chip floorplan panels (Fig. 8a-e),
+written as standalone SVGs into ``layouts/``.
+
+Usage::
+
+    python examples/render_layouts.py [--out layouts]
+"""
+
+import argparse
+import pathlib
+
+from repro.analysis.layout_svg import render_block_svg, render_chip_svg
+from repro.core.folding import FoldSpec, make_partition
+from repro.designgen import block_type_by_name, generate_block
+from repro.floorplan import STYLES, t2_floorplan
+from repro.designgen import t2_instances
+from repro.place import PlacementConfig, fold_place_3d
+from repro.tech import make_process
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--out", default="layouts")
+    parser.add_argument("--seed", type=int, default=1)
+    args = parser.parse_args()
+    out = pathlib.Path(args.out)
+    out.mkdir(exist_ok=True)
+    process = make_process()
+
+    # folded CCX with its four vias (Fig. 2b)
+    gb = generate_block(block_type_by_name("ccx"), process.library,
+                        seed=args.seed)
+    part = make_partition(gb, FoldSpec(mode="regions",
+                                       die1_regions=("cpx",)))
+    res = fold_place_3d(gb.netlist, process, part, "F2F",
+                        PlacementConfig(seed=args.seed))
+    sites = {v.net_id: (v.x, v.y) for v in res.vias}
+    svg = render_block_svg(gb.netlist, res.outline, via_sites=sites)
+    (out / "ccx_folded.svg").write_text(svg)
+    print(f"wrote {out / 'ccx_folded.svg'} "
+          f"({res.outline.width:.0f} x {res.outline.height:.0f} um, "
+          f"{len(sites)} vias)")
+
+    # the five chip panels (Fig. 8a-e) from representative block dims
+    dims_by_type = {
+        "spc": (950, 950), "l2d": (620, 620), "l2t": (500, 500),
+        "l2b": (390, 390), "ccx": (700, 700), "rtx": (730, 730),
+        "mac": (420, 420), "tds": (460, 460), "rdp": (440, 440),
+        "ncu": (330, 330), "ccu": (210, 210), "tcu": (270, 270),
+        "sii": (300, 300), "sio": (300, 300), "dmu": (330, 330),
+        "mcu": (320, 320),
+    }
+    folded = {"spc", "ccx", "l2d", "l2t", "rtx"}
+    for style in STYLES:
+        dims = {}
+        for name, tname in t2_instances():
+            w, h = dims_by_type[tname]
+            if style.startswith("fold") and tname in folded:
+                w, h = w * 0.72, h * 0.72
+            dims[name] = (w, h)
+        fp = t2_floorplan(style, dims)
+        (out / f"chip_{style}.svg").write_text(render_chip_svg(fp))
+        print(f"wrote {out / f'chip_{style}.svg'} "
+              f"({fp.width / 1000:.1f} x {fp.height / 1000:.1f} mm)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,54 @@
+#!/usr/bin/env python3
+"""The power-vs-temperature tradeoff of 3D stacking (paper future work).
+
+The paper's conclusion lists thermal analysis of the bonding styles as
+future work.  This example runs it: build the chip in several design
+styles, feed the per-tier power maps into the compact thermal model, and
+print the tradeoff -- 3D saves power but concentrates it on half the
+footprint, and the F2B TSV farm doubles as a heat path for the far tier.
+
+Usage::
+
+    python examples/thermal_tradeoff.py [--scale 0.6]
+"""
+
+import argparse
+
+from repro.core.fullchip import ChipConfig, build_chip
+from repro.tech import make_process
+from repro.thermal import analyze_chip_thermal
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", type=float, default=0.6)
+    parser.add_argument("--styles", nargs="*",
+                        default=["2d", "core_cache", "fold_f2b",
+                                 "fold_f2f"])
+    args = parser.parse_args()
+
+    process = make_process()
+    print(f"{'style':12s}{'power mW':>10s}{'max C':>8s}"
+          f"{'near tier':>11s}{'far tier':>10s}{'3D vias':>9s}")
+    baseline = None
+    for style in args.styles:
+        chip = build_chip(ChipConfig(style=style, scale=args.scale),
+                          process)
+        thermal = analyze_chip_thermal(chip)
+        tiers = sorted(thermal.temperature_c)
+        near = thermal.tier_max(tiers[0])
+        far = thermal.tier_max(tiers[-1]) if len(tiers) > 1 else float(
+            "nan")
+        print(f"{style:12s}{chip.power.total_uw / 1e3:10.1f}"
+              f"{thermal.max_c:8.1f}{near:11.1f}{far:10.1f}"
+              f"{chip.n_3d_connections:9d}")
+        if baseline is None:
+            baseline = (chip.power.total_uw, thermal.max_c)
+        else:
+            dp = chip.power.total_uw / baseline[0] - 1
+            dt = thermal.max_c - baseline[1]
+            print(f"{'':12s}-> {dp:+.1%} power, {dt:+.1f} C vs 2D")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,158 @@
+"""Command-line interface: ``python -m repro``.
+
+Subcommands:
+
+* ``experiments``               -- list every paper table/figure runner;
+* ``run <id> [--scale S]``      -- regenerate one artifact and print it;
+* ``block <name> [options]``    -- design one T2 block (optionally folded);
+* ``chip <style> [options]``    -- build a full chip in one design style.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+
+def _cmd_experiments(_args) -> int:
+    from .analysis.experiments import EXPERIMENTS
+    for eid, (_, desc) in EXPERIMENTS.items():
+        print(f"{eid:8s} {desc}")
+    return 0
+
+
+def _cmd_run(args) -> int:
+    from .analysis.experiments import EXPERIMENTS, run_experiment
+    if args.id not in EXPERIMENTS:
+        print(f"unknown experiment {args.id!r}; see "
+              f"'python -m repro experiments'", file=sys.stderr)
+        return 2
+    t0 = time.time()
+    result = run_experiment(args.id, scale=args.scale)
+    print(result.summary())
+    print(f"\n({time.time() - t0:.1f}s, scale {args.scale})")
+    return 0 if result.all_passed else 1
+
+
+def _cmd_block(args) -> int:
+    from .analysis.report import design_metric_rows, format_table
+    from .core import FlowConfig, FoldSpec, run_block_flow
+    from .tech import make_process
+    fold = None
+    if args.fold:
+        fold = FoldSpec(mode=args.fold_mode)
+    config = FlowConfig(scale=args.scale, seed=args.seed, fold=fold,
+                        bonding=args.bonding, dual_vth=args.dual_vth)
+    design = run_block_flow(args.name, config, make_process())
+    print(format_table(f"block {args.name}", ["design"],
+                       design_metric_rows([design])))
+    print(f"\nworst slack: {design.sta.wns_ps:+.0f} ps")
+    return 0
+
+
+def _cmd_report(args) -> int:
+    from .analysis.report_card import chip_report_card
+    from .core.fullchip import ChipConfig, build_chip
+    from .tech import make_process
+    process = make_process()
+    chip = build_chip(ChipConfig(style=args.style, scale=args.scale,
+                                 dual_vth=args.dual_vth), process)
+    text = chip_report_card(chip, process,
+                            include_signoff=args.signoff)
+    if args.out:
+        with open(args.out, "w") as f:
+            f.write(text)
+        print(f"wrote {args.out}")
+    else:
+        print(text)
+    return 0
+
+
+def _cmd_signoff(args) -> int:
+    from .core.chip_sta import build_signed_off_chip
+    from .core.fullchip import ChipConfig
+    from .tech import make_process
+    chip, sta = build_signed_off_chip(
+        ChipConfig(style=args.style, scale=args.scale,
+                   dual_vth=args.dual_vth), make_process(),
+        max_iterations=args.iterations)
+    print(sta.report(args.paths))
+    print(f"\nchip power {chip.power.total_uw / 1e3:.1f} mW, "
+          f"{chip.n_3d_connections} 3D connections")
+    return 0 if sta.wns_ps >= -30.0 else 1
+
+
+def _cmd_chip(args) -> int:
+    from .analysis.report import design_metric_rows, format_table
+    from .core.fullchip import ChipConfig, build_chip
+    from .tech import make_process
+    chip = build_chip(ChipConfig(style=args.style, scale=args.scale,
+                                 dual_vth=args.dual_vth), make_process())
+    print(format_table(f"chip {args.style}", ["design"],
+                       design_metric_rows([chip], kind="chip")))
+    print(f"\nworst slack: {chip.wns_ps:+.0f} ps; "
+          f"inter-block wirelength {chip.interblock_wl_um / 1e6:.2f} m")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Reproduction of the DAC'14 3D-IC block folding and "
+                    "bonding styles study.")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("experiments",
+                   help="list the paper-artifact runners").set_defaults(
+        func=_cmd_experiments)
+
+    p_run = sub.add_parser("run", help="regenerate one table/figure")
+    p_run.add_argument("id")
+    p_run.add_argument("--scale", type=float, default=1.0)
+    p_run.set_defaults(func=_cmd_run)
+
+    p_block = sub.add_parser("block", help="design one T2 block")
+    p_block.add_argument("name")
+    p_block.add_argument("--fold", action="store_true")
+    p_block.add_argument("--fold-mode", default="mincut")
+    p_block.add_argument("--bonding", default="F2B",
+                         choices=["F2B", "F2F"])
+    p_block.add_argument("--dual-vth", action="store_true")
+    p_block.add_argument("--scale", type=float, default=1.0)
+    p_block.add_argument("--seed", type=int, default=1)
+    p_block.set_defaults(func=_cmd_block)
+
+    p_chip = sub.add_parser("chip", help="build a full chip")
+    p_chip.add_argument("style", choices=["2d", "core_cache", "core_core",
+                                          "fold_f2b", "fold_f2f"])
+    p_chip.add_argument("--dual-vth", action="store_true")
+    p_chip.add_argument("--scale", type=float, default=1.0)
+    p_chip.set_defaults(func=_cmd_chip)
+
+    p_so = sub.add_parser(
+        "signoff", help="run the chip-level timing sign-off loop")
+    p_so.add_argument("style", choices=["2d", "core_cache", "core_core",
+                                        "fold_f2b", "fold_f2f"])
+    p_so.add_argument("--dual-vth", action="store_true")
+    p_so.add_argument("--scale", type=float, default=0.7)
+    p_so.add_argument("--iterations", type=int, default=2)
+    p_so.add_argument("--paths", type=int, default=6)
+    p_so.set_defaults(func=_cmd_signoff)
+
+    p_rep = sub.add_parser("report",
+                           help="write a markdown design report card")
+    p_rep.add_argument("style", choices=["2d", "core_cache", "core_core",
+                                         "fold_f2b", "fold_f2f"])
+    p_rep.add_argument("--dual-vth", action="store_true")
+    p_rep.add_argument("--scale", type=float, default=0.7)
+    p_rep.add_argument("--signoff", action="store_true")
+    p_rep.add_argument("--out", default=None)
+    p_rep.set_defaults(func=_cmd_report)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,130 @@
+"""Ablation studies for the design choices DESIGN.md calls out.
+
+Three ablations probe the mechanisms behind the paper's methodology:
+
+* **macro hole model** (Section 4.2): zeroing both supply and demand
+  under hard macros vs. leaving supply in place -- without the hole,
+  standard cells land on top of memory macros;
+* **TSV geometry sweep**: the F2B penalty grows with TSV pitch, which is
+  why the paper's Fig. 7 gap widens with 3D connection count;
+* **folding criteria** (Section 4.1): folding a block that fails the
+  criteria (a small control block) buys almost nothing, unlike folding
+  a qualifying block.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional, Tuple
+
+from ..core.flow import FlowConfig, run_block_flow
+from ..core.folding import FoldSpec
+from ..designgen.generate import generate_block
+from ..designgen.t2 import block_type_by_name
+from ..place.placer2d import PlacementConfig, place_block_2d
+from ..tech.interconnect3d import make_tsv
+from ..tech.process import ProcessNode, make_process
+
+
+@dataclass
+class MacroHoleAblation:
+    """Outcome of the Section 4.2 supply/demand-hole ablation."""
+
+    overlap_cells_with_holes: int
+    overlap_cells_without_holes: int
+    hpwl_with_holes: float
+    hpwl_without_holes: float
+
+
+def ablate_macro_holes(process: Optional[ProcessNode] = None,
+                       block: str = "l2d", seed: int = 3,
+                       scale: float = 1.0) -> MacroHoleAblation:
+    """Place a macro-heavy block with and without macro holes."""
+    process = process or make_process()
+
+    def run(macro_holes: bool) -> Tuple[int, float]:
+        gb = generate_block(block_type_by_name(block), process.library,
+                            seed=seed, scale=scale)
+        cfg = PlacementConfig(seed=seed, macro_holes=macro_holes)
+        result = place_block_2d(gb.netlist, cfg)
+        rects = result.grid.obstructions if macro_holes else []
+        if not macro_holes:
+            # reconstruct the macro rectangles for the overlap count
+            from ..place.grid import Rect
+            rects = []
+            for m in gb.netlist.macros:
+                rects.append(Rect(m.x - m.width_um / 2,
+                                  m.y - m.height_um / 2,
+                                  m.x + m.width_um / 2,
+                                  m.y + m.height_um / 2))
+        overlaps = sum(
+            1 for c in gb.netlist.cells
+            if any(r.contains(c.x, c.y) for r in rects))
+        return overlaps, result.hpwl_um
+
+    with_holes = run(True)
+    without = run(False)
+    return MacroHoleAblation(
+        overlap_cells_with_holes=with_holes[0],
+        overlap_cells_without_holes=without[0],
+        hpwl_with_holes=with_holes[1],
+        hpwl_without_holes=without[1])
+
+
+@dataclass
+class TsvPitchPoint:
+    """One point of the TSV geometry sweep."""
+
+    pitch_um: float
+    footprint_um2: float
+    power_uw: float
+    n_vias: int
+
+
+def sweep_tsv_pitch(process: Optional[ProcessNode] = None,
+                    block: str = "l2t",
+                    pitches: Tuple[float, ...] = (4.0, 7.0, 10.0),
+                    scale: float = 1.0) -> List[TsvPitchPoint]:
+    """Fold one block in F2B with increasing TSV pitch."""
+    base = process or make_process()
+    out: List[TsvPitchPoint] = []
+    for pitch in pitches:
+        proc = replace(base, tsv=make_tsv(pitch_um=pitch))
+        d = run_block_flow(block, FlowConfig(
+            scale=scale, fold=FoldSpec(mode="mincut"), bonding="F2B"),
+            proc)
+        out.append(TsvPitchPoint(pitch_um=pitch,
+                                 footprint_um2=d.footprint_um2,
+                                 power_uw=d.power.total_uw,
+                                 n_vias=d.n_vias))
+    return out
+
+
+@dataclass
+class CriteriaAblation:
+    """Folding a qualifying vs a non-qualifying block."""
+
+    qualifying_block: str
+    qualifying_gain: float
+    disqualified_block: str
+    disqualified_gain: float
+
+
+def ablate_folding_criteria(process: Optional[ProcessNode] = None,
+                            scale: float = 1.0) -> CriteriaAblation:
+    """Compare the fold benefit of CCX (qualifies) vs L2B (does not)."""
+    process = process or make_process()
+
+    def gain(block: str, fold: FoldSpec) -> float:
+        d2 = run_block_flow(block, FlowConfig(scale=scale), process)
+        d3 = run_block_flow(block, FlowConfig(scale=scale, fold=fold,
+                                              bonding="F2B"), process)
+        return d3.power.total_uw / d2.power.total_uw - 1.0
+
+    return CriteriaAblation(
+        qualifying_block="ccx",
+        qualifying_gain=gain("ccx", FoldSpec(mode="regions",
+                                             die1_regions=("cpx",))),
+        disqualified_block="l2b",
+        disqualified_gain=gain("l2b", FoldSpec(mode="mincut")),
+    )

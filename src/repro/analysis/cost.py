@@ -1,0 +1,158 @@
+"""Die cost and yield model for the five design styles.
+
+The paper motivates 3D partly through cost ("the power of an IC has a
+significant impact on its reliability and manufacturing yield"); this
+module quantifies the manufacturing side with the standard negative-
+binomial yield model:
+
+* dies per wafer from the chip area (with edge loss);
+* die yield ``Y = (1 + A * D0 / alpha) ** -alpha``;
+* 2D cost = wafer cost / (dies per wafer * yield);
+* 3D cost = two (smaller, higher-yield) dies + bonding, under either
+  wafer-to-wafer bonding (cheap, but compound yield -- no die matching)
+  or die-to-die bonding with known-good-die testing (test cost per die,
+  multiplicative only in bond yield).
+
+Smaller stacked dies yield better, which partially offsets the bonding
+loss -- the crossover depends on chip size and defect density, and
+:func:`cost_comparison` shows exactly where the model puts it.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional
+
+#: silicon area is model scale; treat model mm^2 as real mm^2 for cost
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Manufacturing assumptions."""
+
+    wafer_diameter_mm: float = 300.0
+    wafer_cost: float = 4000.0
+    #: defects per cm^2
+    defect_density: float = 0.25
+    #: negative-binomial clustering parameter
+    alpha: float = 2.0
+    #: yield of one bonding operation
+    bond_yield: float = 0.985
+    #: known-good-die test cost, as a fraction of wafer cost per die
+    kgd_test_fraction: float = 0.02
+    #: extra wafer-level cost fraction for TSV processing
+    tsv_process_fraction: float = 0.06
+
+
+@dataclass
+class DieCost:
+    """Cost breakdown of one die or stack."""
+
+    style: str
+    area_mm2: float
+    dies_per_wafer: int
+    die_yield: float
+    cost_per_good_die: float
+    strategy: str = "monolithic"
+
+
+def dies_per_wafer(area_mm2: float, wafer_diameter_mm: float) -> int:
+    """Gross dies per wafer with the standard edge-loss correction."""
+    if area_mm2 <= 0:
+        raise ValueError("die area must be positive")
+    r = wafer_diameter_mm / 2.0
+    gross = (math.pi * r * r / area_mm2 -
+             math.pi * wafer_diameter_mm / math.sqrt(2.0 * area_mm2))
+    return max(0, int(gross))
+
+
+def die_yield(area_mm2: float, model: CostModel) -> float:
+    """Negative-binomial die yield."""
+    a_cm2 = area_mm2 / 100.0
+    return (1.0 + a_cm2 * model.defect_density / model.alpha) ** \
+        (-model.alpha)
+
+
+def cost_2d(area_mm2: float, model: Optional[CostModel] = None,
+            style: str = "2d") -> DieCost:
+    """Cost of a monolithic 2D die."""
+    model = model or CostModel()
+    dpw = dies_per_wafer(area_mm2, model.wafer_diameter_mm)
+    y = die_yield(area_mm2, model)
+    cost = model.wafer_cost / max(dpw * y, 1e-9)
+    return DieCost(style=style, area_mm2=area_mm2, dies_per_wafer=dpw,
+                   die_yield=y, cost_per_good_die=cost)
+
+
+def cost_3d(tier_area_mm2: float, model: Optional[CostModel] = None,
+            style: str = "3d", strategy: str = "w2w",
+            uses_tsv: bool = True) -> DieCost:
+    """Cost of a two-tier stack.
+
+    Args:
+        tier_area_mm2: footprint of one tier.
+        model: manufacturing assumptions.
+        style: label for reporting.
+        strategy: ``"w2w"`` (wafer-to-wafer: both dies' yields compound)
+            or ``"d2d"`` (die-to-die with known-good-die testing: only
+            the bond yield compounds, at a test cost per die).
+        uses_tsv: add the TSV process cost (F2B); F2F bonding skips the
+            through-silicon etch on one tier.
+
+    Returns:
+        The stack's cost breakdown.
+    """
+    model = model or CostModel()
+    wafer_cost = model.wafer_cost
+    if uses_tsv:
+        wafer_cost *= 1.0 + model.tsv_process_fraction
+    dpw = dies_per_wafer(tier_area_mm2, model.wafer_diameter_mm)
+    y = die_yield(tier_area_mm2, model)
+    die_cost = wafer_cost / max(dpw, 1)
+    if strategy == "w2w":
+        stack_yield = y * y * model.bond_yield
+        cost = 2.0 * die_cost / max(stack_yield, 1e-9)
+    elif strategy == "d2d":
+        test = model.kgd_test_fraction * die_cost
+        good_die_cost = (die_cost + test) / max(y, 1e-9)
+        cost = 2.0 * good_die_cost / max(model.bond_yield, 1e-9)
+        stack_yield = model.bond_yield
+    else:
+        raise ValueError(f"unknown bonding strategy {strategy!r}")
+    return DieCost(style=style, area_mm2=tier_area_mm2,
+                   dies_per_wafer=dpw, die_yield=stack_yield,
+                   cost_per_good_die=cost, strategy=strategy)
+
+
+def cost_comparison(footprints_mm2: Dict[str, float],
+                    model: Optional[CostModel] = None,
+                    strategy: str = "d2d") -> List[DieCost]:
+    """Cost every design style given its per-tier footprint.
+
+    ``footprints_mm2`` maps style names (``"2d"``, ``"core_cache"``,
+    ``"fold_f2f"``, ...) to one-tier footprints in mm^2; any style other
+    than ``"2d"`` is costed as a two-tier stack, F2F styles without the
+    TSV process adder.
+    """
+    model = model or CostModel()
+    out: List[DieCost] = []
+    for style, area in footprints_mm2.items():
+        if style == "2d":
+            out.append(cost_2d(area, model, style=style))
+        else:
+            out.append(cost_3d(area, model, style=style,
+                               strategy=strategy,
+                               uses_tsv=("f2f" not in style)))
+    return out
+
+
+def format_cost_table(costs: Iterable[DieCost]) -> str:
+    """Render the cost comparison."""
+    lines = [f"{'style':12s}{'tier mm^2':>10s}{'dies/wafer':>11s}"
+             f"{'yield':>8s}{'cost/good':>11s}"]
+    for c in costs:
+        lines.append(f"{c.style:12s}{c.area_mm2:10.1f}"
+                     f"{c.dies_per_wafer:11d}{c.die_yield:8.1%}"
+                     f"{c.cost_per_good_die:11.2f}")
+    return "\n".join(lines)

@@ -1,0 +1,86 @@
+"""TSV-to-wire coupling study (paper future work, Section 7).
+
+The paper defers "the impact of parasitics such as TSV-to-wire coupling
+capacitance on 3D power" to future work.  This study quantifies it on a
+folded block: every tier-crossing net's TSV couples to the wires routed
+past it, adding switching capacitance proportional to the local wiring
+it disturbs.  F2F vias are an order of magnitude smaller, so the same
+study run with F2F bonding shows a proportionally smaller penalty --
+one more reason the paper's conclusion favors F2F.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..core.flow import BlockDesign, FlowConfig, run_block_flow
+from ..core.folding import FoldSpec
+from ..tech.interconnect3d import tsv_wire_coupling_ff
+from ..tech.process import ProcessNode, make_process
+
+
+@dataclass
+class CouplingResult:
+    """Power impact of 3D-via-to-wire coupling on one folded design."""
+
+    bonding: str
+    n_vias: int
+    coupling_per_via_ff: float
+    base_power_uw: float
+    coupling_power_uw: float
+
+    @property
+    def power_penalty(self) -> float:
+        """Relative power increase caused by coupling."""
+        if self.base_power_uw == 0:
+            return 0.0
+        return self.coupling_power_uw / self.base_power_uw
+
+
+def coupling_power(design: BlockDesign, process: ProcessNode,
+                   neighbors_per_via: float = 4.0) -> CouplingResult:
+    """Estimate the switching power added by via-to-wire coupling.
+
+    Args:
+        design: a folded block design.
+        process: technology node.
+        neighbors_per_via: average number of victim wires routed within
+            coupling distance of each via.
+
+    Returns:
+        The coupling penalty summary.
+    """
+    if not design.is_folded:
+        raise ValueError("coupling study needs a folded design")
+    via = process.via_for(design.fold_result.bonding)
+    c_each = tsv_wire_coupling_ff(via)
+    domain = design.generated.block_type.logic.clock_domain
+    f_ghz = process.clock_freq_ghz[domain]
+    vdd2 = process.vdd ** 2
+    alpha = process.default_activity
+    # every coupled victim sees the extra capacitance when it switches
+    extra_uw = (design.n_vias * neighbors_per_via * c_each *
+                alpha * vdd2 * f_ghz)
+    return CouplingResult(
+        bonding=design.fold_result.bonding,
+        n_vias=design.n_vias,
+        coupling_per_via_ff=c_each,
+        base_power_uw=design.power.total_uw,
+        coupling_power_uw=extra_uw,
+    )
+
+
+def coupling_study(block: str = "l2t",
+                   process: Optional[ProcessNode] = None,
+                   scale: float = 1.0,
+                   fold: Optional[FoldSpec] = None) -> dict:
+    """Run the coupling comparison for both bonding styles."""
+    process = process or make_process()
+    fold = fold or FoldSpec(mode="interleave", interleave_period=12)
+    out = {}
+    for bonding in ("F2B", "F2F"):
+        design = run_block_flow(block, FlowConfig(
+            scale=scale, fold=fold, bonding=bonding), process)
+        out[bonding] = coupling_power(design, process)
+    return out

@@ -1,0 +1,103 @@
+"""JSON metric export for external analysis.
+
+Serializes block and chip designs' sign-off metrics (not the netlists --
+those have the Verilog/DEF writers) into plain dictionaries / JSON, so
+results can be archived, diffed between runs, or loaded into a notebook
+without importing this library.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Optional
+
+from ..core.flow import BlockDesign
+from ..core.fullchip import ChipDesign
+
+
+def power_to_dict(power) -> Dict[str, float]:
+    return {
+        "total_uw": power.total_uw,
+        "cell_uw": power.cell_uw,
+        "net_uw": power.net_uw,
+        "leakage_uw": power.leakage_uw,
+        "clock_uw": power.clock_uw,
+        "macro_uw": power.macro_uw,
+        "wire_uw": power.wire_uw,
+        "pin_uw": power.pin_uw,
+    }
+
+
+def block_to_dict(design: BlockDesign) -> Dict[str, Any]:
+    """All sign-off metrics of a block design, JSON-ready."""
+    cfg = design.config
+    out: Dict[str, Any] = {
+        "name": design.name,
+        "config": {
+            "scale": cfg.scale,
+            "seed": cfg.seed,
+            "folded": design.is_folded,
+            "fold_mode": cfg.fold.mode if cfg.fold else None,
+            "bonding": cfg.bonding if design.is_folded else None,
+            "dual_vth": cfg.dual_vth,
+            "io_budget_ps": cfg.io_budget_ps,
+        },
+        "footprint_um2": design.footprint_um2,
+        "wirelength_um": design.wirelength_um,
+        "n_cells": design.n_cells,
+        "n_buffers": design.n_buffers,
+        "n_vias": design.n_vias,
+        "tsv_area_um2": design.tsv_area_um2,
+        "long_wires": design.long_wires,
+        "hvt_fraction": design.hvt_fraction,
+        "wns_ps": design.sta.wns_ps,
+        "power": power_to_dict(design.power),
+        "clock_tree": {
+            "buffers": design.cts.n_buffers,
+            "sinks": design.cts.n_sinks,
+            "skew_ps": design.cts.skew_ps,
+            "wirelength_um": design.cts.wirelength_um,
+        },
+    }
+    if design.congestion is not None:
+        out["congestion"] = {
+            "overflow_fraction": design.congestion.overflow_fraction,
+            "max_utilization": design.congestion.max_utilization,
+            "mazed_segments": design.congestion.mazed_segments,
+        }
+    return out
+
+
+def chip_to_dict(chip: ChipDesign) -> Dict[str, Any]:
+    """All sign-off metrics of a full chip, JSON-ready."""
+    return {
+        "style": chip.style,
+        "dual_vth": chip.config.dual_vth,
+        "scale": chip.config.scale,
+        "footprint_um2": chip.footprint_um2,
+        "n_dies": chip.floorplan.n_dies,
+        "wirelength_um": chip.wirelength_um,
+        "interblock_wl_um": chip.interblock_wl_um,
+        "n_cells": chip.n_cells,
+        "n_buffers": chip.n_buffers,
+        "n_3d_connections": chip.n_3d_connections,
+        "hvt_fraction": chip.hvt_fraction,
+        "wns_ps": chip.wns_ps,
+        "power": power_to_dict(chip.power),
+        "blocks": {name: block_to_dict(design)
+                   for name, design in chip.block_designs.items()},
+    }
+
+
+def dump_json(obj, path: Optional[str] = None, indent: int = 2) -> str:
+    """Serialize a design dict (or design) to JSON text and optionally
+    write it to ``path``."""
+    if isinstance(obj, BlockDesign):
+        obj = block_to_dict(obj)
+    elif isinstance(obj, ChipDesign):
+        obj = chip_to_dict(obj)
+    text = json.dumps(obj, indent=indent, sort_keys=True)
+    if path is not None:
+        with open(path, "w") as f:
+            f.write(text)
+    return text

@@ -1,0 +1,99 @@
+"""Clock-frequency sweep: the paper's Section 7 claim.
+
+The conclusion predicts that "the 3D power benefit will improve even
+more with faster clock frequency": tighter periods leave the 2D design
+upsizing against its long wires while the 3D twin still has slack to
+spend, so the cell-size and HVT-usage gap between them widens.  This
+study runs a block pair (2D vs folded) across clock frequencies and
+measures the power gap trend.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace as dc_replace
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.flow import FlowConfig, run_block_flow
+from ..core.folding import FoldSpec
+from ..tech.process import CPU_CLOCK, IO_CLOCK, ProcessNode
+
+
+@dataclass
+class FrequencyPoint:
+    """One frequency's 2D-vs-3D comparison."""
+
+    freq_ghz: float
+    power_2d_uw: float
+    power_3d_uw: float
+    wns_2d_ps: float
+    wns_3d_ps: float
+
+    @property
+    def benefit(self) -> float:
+        """Relative 3D power saving (negative = 3D wins)."""
+        return self.power_3d_uw / max(self.power_2d_uw, 1e-12) - 1.0
+
+    @property
+    def both_close_timing(self) -> bool:
+        return self.wns_2d_ps >= -25.0 and self.wns_3d_ps >= -25.0
+
+
+def _process_at(base: ProcessNode, freq_ghz: float) -> ProcessNode:
+    clocks = dict(base.clock_freq_ghz)
+    clocks[CPU_CLOCK] = freq_ghz
+    clocks[IO_CLOCK] = freq_ghz / 2.0
+    return dc_replace(base, clock_freq_ghz=clocks)
+
+
+def frequency_sweep(block: str, fold: FoldSpec, base: ProcessNode,
+                    freqs_ghz: Sequence[float] = (0.5, 0.7, 0.85),
+                    config: Optional[FlowConfig] = None,
+                    bonding: str = "F2F") -> List[FrequencyPoint]:
+    """2D vs folded power across clock frequencies.
+
+    Args:
+        block: block type to study.
+        fold: the fold partition.
+        base: technology node (clocks overridden per point).
+        freqs_ghz: CPU-clock frequencies to sweep.
+        config: base flow config.
+        bonding: bonding style for the folded design.
+
+    Returns:
+        One point per frequency, in sweep order.
+    """
+    config = config or FlowConfig()
+    points: List[FrequencyPoint] = []
+    for f in freqs_ghz:
+        process = _process_at(base, f)
+        flat = run_block_flow(block, config, process)
+        folded = run_block_flow(
+            block, dc_replace(config, fold=fold, bonding=bonding),
+            process)
+        points.append(FrequencyPoint(
+            freq_ghz=f,
+            power_2d_uw=flat.power.total_uw,
+            power_3d_uw=folded.power.total_uw,
+            wns_2d_ps=flat.sta.wns_ps,
+            wns_3d_ps=folded.sta.wns_ps))
+    return points
+
+
+def benefit_trend(points: Sequence[FrequencyPoint]) -> float:
+    """Change of the 3D benefit from the slowest to the fastest point
+    where both designs still close timing (negative = benefit grew)."""
+    valid = [p for p in points if p.both_close_timing]
+    if len(valid) < 2:
+        valid = list(points)
+    return valid[-1].benefit - valid[0].benefit
+
+
+def format_sweep(points: Sequence[FrequencyPoint]) -> str:
+    """Render the sweep as a fixed-width table."""
+    lines = [f"{'GHz':>5s}{'2D mW':>9s}{'3D mW':>9s}{'benefit':>9s}"
+             f"{'2D wns':>8s}{'3D wns':>8s}"]
+    for p in points:
+        lines.append(f"{p.freq_ghz:5.2f}{p.power_2d_uw / 1e3:9.2f}"
+                     f"{p.power_3d_uw / 1e3:9.2f}{p.benefit:9.1%}"
+                     f"{p.wns_2d_ps:8.0f}{p.wns_3d_ps:8.0f}")
+    return "\n".join(lines)

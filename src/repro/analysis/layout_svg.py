@@ -1,0 +1,110 @@
+"""SVG layout rendering -- the model's GDSII screenshots.
+
+Draws block placements, chip floorplans and 3D via positions as
+standalone SVG documents, the visual equivalent of the paper's layout
+figures (Fig. 2/5/6/8).  No plotting dependency: the writer emits SVG
+primitives directly.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from ..netlist.core import Netlist
+from ..place.grid import Rect
+
+#: tier fill colors (bottom, top) and accents
+DIE_FILL = ("#cfe3f7", "#f7dfc9")
+MACRO_FILL = ("#7aa6d6", "#d6a57a")
+VIA_FILL = "#d4b106"
+BLOCK_STROKE = "#3a3a3a"
+
+
+def _header(width: float, height: float, scale: float) -> List[str]:
+    return [
+        f'<svg xmlns="http://www.w3.org/2000/svg" '
+        f'width="{width * scale:.0f}" height="{height * scale:.0f}" '
+        f'viewBox="0 0 {width:.1f} {height:.1f}">',
+        f'<rect x="0" y="0" width="{width:.1f}" height="{height:.1f}" '
+        f'fill="#ffffff" stroke="#000000" stroke-width="{width / 400:.2f}"/>',
+    ]
+
+
+def _rect(r: Rect, fill: str, opacity: float = 1.0,
+          stroke: str = BLOCK_STROKE, width: float = 0.5,
+          title: Optional[str] = None) -> str:
+    t = f"<title>{title}</title>" if title else ""
+    return (f'<rect x="{r.x0:.1f}" y="{r.y0:.1f}" '
+            f'width="{r.width:.1f}" height="{r.height:.1f}" '
+            f'fill="{fill}" fill-opacity="{opacity:.2f}" '
+            f'stroke="{stroke}" stroke-width="{width:.2f}">{t}</rect>')
+
+
+def render_block_svg(netlist: Netlist, outline: Rect,
+                     via_sites: Optional[Dict[int, Tuple[float, float]]]
+                     = None, scale: float = 0.8,
+                     max_cells: int = 4000) -> str:
+    """Render a placed block: cells by tier, macros, 3D via dots.
+
+    The two tiers are drawn overlaid with distinct colors, exactly like
+    the paper's folded-block layout shots (Fig. 5b).
+    """
+    parts = _header(outline.width, outline.height, scale)
+    for inst in list(netlist.macros):
+        r = Rect(inst.x - inst.width_um / 2, inst.y - inst.height_um / 2,
+                 inst.x + inst.width_um / 2, inst.y + inst.height_um / 2)
+        parts.append(_rect(r, MACRO_FILL[inst.die % 2], opacity=0.85,
+                           title=inst.name))
+    cells = netlist.cells
+    step = max(1, len(cells) // max_cells)
+    for inst in cells[::step]:
+        w, h = inst.width_um, inst.height_um
+        r = Rect(inst.x - w / 2, inst.y - h / 2, inst.x + w / 2,
+                 inst.y + h / 2)
+        parts.append(_rect(r, DIE_FILL[inst.die % 2], opacity=0.7,
+                           stroke="none", width=0.0))
+    for x, y in (via_sites or {}).values():
+        parts.append(f'<circle cx="{x:.1f}" cy="{y:.1f}" '
+                     f'r="{outline.width / 200:.1f}" fill="{VIA_FILL}"/>')
+    parts.append("</svg>")
+    return "\n".join(parts)
+
+
+def render_chip_svg(floorplan, scale: float = 0.2,
+                    label_blocks: bool = True,
+                    tsv_plan=None) -> str:
+    """Render a chip floorplan like the paper's Fig. 8 panels.
+
+    Blocks are colored by tier; folded (both-tier) blocks get a hatched
+    double fill; labels carry the instance names.
+    """
+    from ..floorplan.t2_floorplans import BOTH_DIES
+    parts = _header(floorplan.width, floorplan.height, scale)
+    for name, r in sorted(floorplan.positions.items()):
+        die = floorplan.die_of[name]
+        if die == BOTH_DIES:
+            parts.append(_rect(r, DIE_FILL[0], opacity=0.9, title=name))
+            inner = Rect(r.x0 + r.width * 0.12, r.y0 + r.height * 0.12,
+                         r.x1 - r.width * 0.12, r.y1 - r.height * 0.12)
+            parts.append(_rect(inner, DIE_FILL[1], opacity=0.9,
+                               title=f"{name} (both tiers)"))
+        else:
+            parts.append(_rect(r, DIE_FILL[die % 2], opacity=0.9,
+                               title=name))
+        if label_blocks:
+            cx, cy = 0.5 * (r.x0 + r.x1), 0.5 * (r.y0 + r.y1)
+            size = max(8.0, min(r.width, r.height) * 0.22)
+            parts.append(
+                f'<text x="{cx:.1f}" y="{cy:.1f}" font-size="{size:.0f}" '
+                f'text-anchor="middle" dominant-baseline="middle" '
+                f'fill="#222222">{name}</text>')
+    if tsv_plan is not None:
+        # occupied whitespace TSV arrays, like the paper's cyan dots
+        radius = max(floorplan.width, floorplan.height) / 400.0
+        for site in tsv_plan.sites:
+            if site.used > 0:
+                parts.append(
+                    f'<circle cx="{site.x:.1f}" cy="{site.y:.1f}" '
+                    f'r="{radius:.1f}" fill="{VIA_FILL}"/>')
+    parts.append("</svg>")
+    return "\n".join(parts)

@@ -1,0 +1,112 @@
+"""Report formatting: paper-style comparison tables.
+
+Renders the metric tables the benchmarks print -- fixed-width text, one
+column per design, with percentage deltas against a baseline column in
+parentheses, matching the presentation of the paper's Tables 2/4/5.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+Number = Union[int, float]
+
+
+@dataclass
+class MetricRow:
+    """One table row: a label plus a value per design column."""
+
+    label: str
+    values: List[Number]
+    fmt: str = "{:.2f}"
+    #: show deltas vs the baseline column (index 0)
+    show_delta: bool = True
+    #: scale factor applied before formatting (e.g. 1e-3 for uW -> mW)
+    unit_scale: float = 1.0
+
+
+def format_table(title: str, columns: Sequence[str],
+                 rows: Sequence[MetricRow], baseline: int = 0,
+                 col_width: int = 22) -> str:
+    """Render a comparison table as fixed-width text.
+
+    Args:
+        title: table heading.
+        columns: design names (first is the baseline).
+        rows: metric rows.
+        baseline: index of the baseline column for deltas.
+        col_width: width of each design column.
+
+    Returns:
+        The formatted multi-line string.
+    """
+    label_w = max([len(r.label) for r in rows] + [len(title), 14]) + 2
+    out = [title, "=" * (label_w + col_width * len(columns))]
+    header = " " * label_w + "".join(c.rjust(col_width) for c in columns)
+    out.append(header)
+    out.append("-" * (label_w + col_width * len(columns)))
+    for row in rows:
+        cells = []
+        base = row.values[baseline] if row.values else 0
+        for i, v in enumerate(row.values):
+            text = row.fmt.format(v * row.unit_scale)
+            if row.show_delta and i != baseline and base not in (0, None):
+                delta = v / base - 1.0
+                text += f" ({delta:+.1%})"
+            cells.append(text.rjust(col_width))
+        out.append(row.label.ljust(label_w) + "".join(cells))
+    return "\n".join(out)
+
+
+def design_metric_rows(designs: Sequence, kind: str = "block"
+                       ) -> List[MetricRow]:
+    """Standard rows for block or chip design comparisons.
+
+    Args:
+        designs: ``BlockDesign`` or ``ChipDesign`` objects.
+        kind: ``"block"`` or ``"chip"`` (chip adds 3D connection counts).
+
+    Returns:
+        Rows in the paper's Table 2/5 order.
+    """
+    rows = [
+        MetricRow("footprint (mm^2)",
+                  [d.footprint_um2 for d in designs], unit_scale=1e-6,
+                  fmt="{:.3f}"),
+        MetricRow("wirelength (m)",
+                  [d.wirelength_um for d in designs], unit_scale=1e-6,
+                  fmt="{:.3f}"),
+        MetricRow("# cells", [d.n_cells for d in designs], fmt="{:.0f}"),
+        MetricRow("# buffers", [d.n_buffers for d in designs], fmt="{:.0f}"),
+    ]
+    if kind == "chip":
+        rows.append(MetricRow("# TSV/F2F via",
+                              [d.n_3d_connections for d in designs],
+                              fmt="{:.0f}", show_delta=False))
+    elif any(getattr(d, "n_vias", 0) for d in designs):
+        rows.append(MetricRow("# TSV/F2F via",
+                              [d.n_vias for d in designs], fmt="{:.0f}",
+                              show_delta=False))
+    hvt = [getattr(d, "hvt_fraction", 0.0) for d in designs]
+    if any(h > 0 for h in hvt):
+        rows.append(MetricRow("HVT cells (%)", [h * 100 for h in hvt],
+                              fmt="{:.1f}", show_delta=False))
+    rows += [
+        MetricRow("total power (mW)",
+                  [d.power.total_uw for d in designs], unit_scale=1e-3),
+        MetricRow("cell power (mW)",
+                  [d.power.cell_uw for d in designs], unit_scale=1e-3),
+        MetricRow("net power (mW)",
+                  [d.power.net_uw for d in designs], unit_scale=1e-3),
+        MetricRow("leakage power (mW)",
+                  [d.power.leakage_uw for d in designs], unit_scale=1e-3),
+    ]
+    return rows
+
+
+def relative(a: Number, b: Number) -> float:
+    """Relative change of ``a`` vs baseline ``b`` (negative = smaller)."""
+    if b == 0:
+        return 0.0
+    return a / b - 1.0

@@ -1,0 +1,109 @@
+"""Markdown design report cards.
+
+One call renders everything the library knows about a finished chip into
+a single markdown document -- the design-review artifact an engineering
+team would circulate: headline metrics, the cell/net/leakage power
+split, per-block-type contributions, thermal and IR-drop integrity,
+manufacturing cost, and the chip-level timing sign-off.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..core.fullchip import ChipDesign
+from ..tech.process import ProcessNode
+
+
+def chip_report_card(chip: ChipDesign, process: ProcessNode,
+                     include_integrity: bool = True,
+                     include_signoff: bool = False) -> str:
+    """Render the full design report for a built chip.
+
+    Args:
+        chip: the chip design.
+        process: technology node.
+        include_integrity: add thermal / IR-drop / cost sections.
+        include_signoff: run and add the chip-level timing sign-off
+            (builds cross-block paths; adds a few seconds).
+
+    Returns:
+        A markdown document.
+    """
+    cfg = chip.config
+    lines: List[str] = []
+    vth = "dual-Vth" if cfg.dual_vth else "RVT only"
+    lines.append(f"# Design report: `{cfg.style}` ({vth}, "
+                 f"scale {cfg.scale})")
+    lines.append("")
+    lines.append("## Headline metrics")
+    lines.append("")
+    lines.append("| metric | value |")
+    lines.append("|---|---|")
+    lines.append(f"| footprint per tier | "
+                 f"{chip.footprint_um2 / 1e6:.2f} mm² |")
+    lines.append(f"| tiers | {chip.floorplan.n_dies} |")
+    lines.append(f"| standard cells | {chip.n_cells:,} |")
+    lines.append(f"| buffers | {chip.n_buffers:,} |")
+    lines.append(f"| 3D connections | {chip.n_3d_connections:,} |")
+    lines.append(f"| wirelength | {chip.wirelength_um / 1e6:.2f} m |")
+    lines.append(f"| inter-block wirelength | "
+                 f"{chip.interblock_wl_um / 1e6:.2f} m |")
+    if chip.hvt_fraction > 0:
+        lines.append(f"| HVT cell share | {chip.hvt_fraction:.1%} |")
+    lines.append(f"| block-internal WNS | {chip.wns_ps:+.0f} ps |")
+    lines.append("")
+    lines.append("## Power")
+    lines.append("")
+    p = chip.power
+    lines.append("| component | mW | share |")
+    lines.append("|---|---|---|")
+    total = max(p.total_uw, 1e-9)
+    for label, v in (("cell", p.cell_uw), ("net (wire+pin)", p.net_uw),
+                     ("leakage", p.leakage_uw)):
+        lines.append(f"| {label} | {v / 1e3:.1f} | {v / total:.1%} |")
+    lines.append(f"| **total** | **{p.total_uw / 1e3:.1f}** | 100% |")
+    lines.append("")
+    lines.append(f"(clock contributes {p.clock_uw / 1e3:.1f} mW, macros "
+                 f"{p.macro_uw / 1e3:.1f} mW)")
+    lines.append("")
+    lines.append("## Per block type")
+    lines.append("")
+    lines.append("| block | instances | power mW | footprint mm² | "
+                 "vias |")
+    lines.append("|---|---|---|---|---|")
+    from ..designgen.t2 import t2_block_types
+    for bt in t2_block_types():
+        d = chip.block_designs[bt.name]
+        lines.append(f"| {bt.name} | {bt.count} | "
+                     f"{d.power.total_uw * bt.count / 1e3:.1f} | "
+                     f"{d.footprint_um2 / 1e6:.3f} | {d.n_vias} |")
+    if include_integrity:
+        lines.append("")
+        lines.append("## Physical integrity")
+        lines.append("")
+        from ..thermal.model import analyze_chip_thermal
+        from .cost import cost_comparison, format_cost_table
+        from .irdrop import analyze_chip_ir_drop
+        thermal = analyze_chip_thermal(chip)
+        ir = analyze_chip_ir_drop(chip)
+        lines.append(f"* max steady-state temperature: "
+                     f"**{thermal.max_c:.1f} °C**")
+        lines.append(f"* max supply droop: "
+                     f"**{ir.max_drop_v * 1e3:.1f} mV**")
+        costs = cost_comparison(
+            {cfg.style: chip.footprint_um2 / 1e6})
+        lines.append(f"* cost per good die (d2d bonding): "
+                     f"**{costs[0].cost_per_good_die:.2f}** "
+                     f"(yield {costs[0].die_yield:.1%})")
+    if include_signoff:
+        lines.append("")
+        lines.append("## Chip-level timing sign-off")
+        lines.append("")
+        from ..core.chip_sta import run_chip_sta
+        sta = run_chip_sta(chip, process)
+        lines.append("```")
+        lines.append(sta.report(5))
+        lines.append("```")
+    lines.append("")
+    return "\n".join(lines)

@@ -1,0 +1,75 @@
+"""Block-design caching for sweeps.
+
+Design-space sweeps rebuild the same (block type, flow config) pairs
+over and over -- unfolded control blocks recur identically across chip
+styles, RVT blocks across bonding variants.  ``FlowConfig`` is a frozen
+dataclass (fold specs included), so (block, config) is a proper cache
+key; a finished :class:`~repro.core.flow.BlockDesign` is immutable *by
+convention* after the flow (the aggregation layers only read it), so
+cache hits can share the object.
+
+Pass one :class:`DesignCache` through
+:func:`~repro.core.fullchip.build_chip` calls (or the design-space
+explorer) to deduplicate the work.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from ..tech.process import ProcessNode
+from .flow import BlockDesign, FlowConfig, run_block_flow
+
+Key = Tuple[str, FlowConfig]
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss counters."""
+
+    hits: int = 0
+    misses: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class DesignCache:
+    """Memoizes finished block designs by (block, flow config)."""
+
+    def __init__(self, max_entries: int = 256) -> None:
+        self._store: Dict[Key, BlockDesign] = {}
+        self.max_entries = max_entries
+        self.stats = CacheStats()
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+    def get_or_run(self, block: str, config: FlowConfig,
+                   process: ProcessNode) -> BlockDesign:
+        """Return the cached design or run the flow and cache it.
+
+        The cached object is shared: treat it as read-only.  Flows that
+        intend to mutate the netlist afterwards (ECO sessions) should
+        call :func:`run_block_flow` directly.
+        """
+        key = (block, config)
+        hit = self._store.get(key)
+        if hit is not None:
+            self.stats.hits += 1
+            return hit
+        self.stats.misses += 1
+        design = run_block_flow(block, config, process)
+        if len(self._store) >= self.max_entries:
+            # simple FIFO eviction; sweeps rarely exceed the default cap
+            oldest = next(iter(self._store))
+            del self._store[oldest]
+        self._store[key] = design
+        return design
+
+    def clear(self) -> None:
+        self._store.clear()
+        self.stats = CacheStats()

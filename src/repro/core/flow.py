@@ -1,0 +1,244 @@
+"""The RTL-to-layout block design flow (paper Section 2.2).
+
+One entry point, :func:`run_block_flow`, takes a T2 block through the
+whole model pipeline:
+
+    generate (synthesis stand-in)
+      -> 2D placement  OR  fold partition + two-tier placement
+      -> 3D via placement (TSV legalization or the Section 5.1 F2F flow)
+      -> routing estimation + parasitics
+      -> CTS
+      -> staged timing/power optimization (buffers, sizing, dual-Vth)
+      -> sign-off STA + power analysis
+
+and returns a :class:`BlockDesign` with every metric the paper tabulates:
+footprint, wirelength, cell/buffer counts, 3D via counts, long-wire
+statistics, HVT usage and the cell/net/leakage power split.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, Optional, Tuple
+
+from ..cts.tree import CTSResult
+from ..designgen.generate import GeneratedBlock, generate_block
+from ..designgen.t2 import BlockType, block_type_by_name
+from ..netlist.core import Netlist
+from ..opt.flow import OptimizeConfig, OptimizeResult, optimize_block
+from ..place.grid import Rect
+from ..place.placer2d import PlacementConfig, place_block_2d
+from ..place.placer3d import Fold3DResult, fold_place_3d
+from ..power.analysis import PowerReport, analyze_power
+from ..route.estimate import RoutingResult, route_block
+from ..route.route3d import place_f2f_vias
+from ..tech.process import ProcessNode
+from ..timing.sta import STAResult, TimingConfig
+from .folding import FoldSpec, make_partition
+
+
+@dataclass(frozen=True)
+class FlowConfig:
+    """Configuration of one block design run.
+
+    Attributes:
+        scale: model-scale multiplier for the generator.
+        seed: generation/placement seed.
+        fold: folding specification; ``None`` keeps the block 2D.
+        bonding: ``"F2B"`` or ``"F2F"`` -- only meaningful when folded.
+        dual_vth: enable RVT->HVT swapping in the power stage.
+        io_budget_ps: external delay at the block's ports (from the
+            chip-level context; larger = tighter internal timing).
+        utilization: placement utilization target.
+        opt_rounds: staged-optimization iterations.
+        max_metal: routing-layer cap override (defaults per block type).
+    """
+
+    scale: float = 1.0
+    seed: int = 1
+    fold: Optional[FoldSpec] = None
+    bonding: str = "F2B"
+    dual_vth: bool = False
+    io_budget_ps: float = 0.0
+    utilization: float = 0.70
+    opt_rounds: int = 2
+    max_metal: Optional[int] = None
+    #: after optimization, run the capacity-tracked global router and
+    #: re-time against the measured (not estimated) wirelengths
+    detailed_route: bool = False
+
+
+@dataclass
+class BlockDesign:
+    """A finished block design and its sign-off metrics."""
+
+    name: str
+    config: FlowConfig
+    netlist: Netlist
+    outline: Rect
+    footprint_um2: float
+    wirelength_um: float
+    n_cells: int
+    n_buffers: int
+    n_vias: int
+    tsv_area_um2: float
+    long_wires: int
+    hvt_fraction: float
+    power: PowerReport
+    sta: STAResult
+    cts: CTSResult
+    routing: RoutingResult
+    fold_result: Optional[Fold3DResult] = None
+    generated: Optional[GeneratedBlock] = None
+    #: congestion report when the flow ran the detailed router
+    congestion: Optional[object] = None
+
+    @property
+    def is_folded(self) -> bool:
+        return self.fold_result is not None
+
+    @property
+    def dims(self) -> Tuple[float, float]:
+        return self.outline.width, self.outline.height
+
+
+def _routing_layers(block_type: BlockType, config: FlowConfig) -> int:
+    """Metal layers available to the block (Section 2.2 / 6.1 rules).
+
+    Unfolded blocks and F2B-folded bottom tiers stop at M7 (M8/M9 stay
+    free for over-the-block routing); the SPC always gets all nine; an
+    F2F-folded block uses all nine on both tiers, since the F2F via sits
+    on top of M9.
+    """
+    if config.max_metal is not None:
+        return config.max_metal
+    if block_type.max_metal >= 9:
+        return 9
+    if config.fold is not None and config.bonding.upper() == "F2F":
+        return 9
+    return block_type.max_metal
+
+
+def run_block_flow(block: str, config: FlowConfig,
+                   process: ProcessNode) -> BlockDesign:
+    """Run the full design flow on one block type.
+
+    Args:
+        block: T2 block type name (``"spc"``, ``"ccx"``, ...).
+        config: flow configuration.
+        process: technology node.
+
+    Returns:
+        The finished :class:`BlockDesign`.
+    """
+    block_type = block_type_by_name(block)
+    gb = generate_block(block_type, process.library, seed=config.seed,
+                        scale=config.scale)
+    return run_flow_on(gb, config, process)
+
+
+def run_flow_on(gb: GeneratedBlock, config: FlowConfig,
+                process: ProcessNode) -> BlockDesign:
+    """Run the flow on an already-generated block (reusable netlists)."""
+    netlist = gb.netlist
+    block_type = gb.block_type
+    max_metal = _routing_layers(block_type, config)
+    pc = PlacementConfig(utilization=config.utilization, seed=config.seed)
+
+    fold_result: Optional[Fold3DResult] = None
+    via_sites: Dict[int, Tuple[float, float]] = {}
+    via = None
+    extra_clock_vias = 0
+
+    if config.fold is None:
+        placement = place_block_2d(netlist, pc)
+        outline = placement.outline
+        tsv_area = 0.0
+        n_vias = 0
+    else:
+        assignment = make_partition(gb, config.fold)
+        region_of = None
+        if config.fold.mode in ("fub_assign", "fub_fold"):
+            # FUBs are place-and-route regions of their own (Section 4.5)
+            region_of = {
+                inst.id: gb.region_of_cluster(inst.cluster)
+                for inst in netlist.instances.values()
+            }
+        fold_result = fold_place_3d(netlist, process, assignment,
+                                    config.bonding, pc,
+                                    region_of=region_of)
+        outline = fold_result.outline
+        tsv_area = fold_result.tsv_area_um2
+        via = process.via_for(config.bonding)
+        if config.bonding.upper() == "F2F":
+            # the paper's Section 5.1 flow refines via sites by 3D routing
+            plan = place_f2f_vias(netlist, outline, process)
+            via_sites = dict(plan.sites)
+        else:
+            via_sites = {v.net_id: (v.x, v.y) for v in fold_result.vias}
+        n_vias = fold_result.n_vias
+
+    def route_fn(nl: Netlist) -> RoutingResult:
+        return route_block(nl, process.metal_stack, max_metal=max_metal,
+                           via=via, via_sites=via_sites,
+                           long_wire_um=process.long_wire_um)
+
+    timing = TimingConfig(clock_domain=block_type.logic.clock_domain,
+                          default_io_delay_ps=config.io_budget_ps)
+    opt = optimize_block(netlist, process, timing, route_fn,
+                         OptimizeConfig(rounds=config.opt_rounds,
+                                        dual_vth=config.dual_vth))
+
+    congestion = None
+    if config.detailed_route:
+        from ..opt.sizing import fix_timing
+        from ..route.block_router import route_block_detailed
+        from ..timing.sta import run_sta
+
+        def detail_route() -> tuple:
+            return route_block_detailed(
+                netlist, process.metal_stack, outline,
+                max_metal=max_metal, via=via, via_sites=via_sites,
+                long_wire_um=process.long_wire_um)
+
+        # post-route repair: measured detours can break paths the
+        # estimate-driven optimization believed were met
+        detailed, congestion = detail_route()
+        sta = run_sta(netlist, detailed, process, timing)
+        for _ in range(3):
+            if sta.wns_ps >= -1.0:
+                break
+            if not fix_timing(netlist, detailed, sta, process.library):
+                break
+            detailed, congestion = detail_route()
+            sta = run_sta(netlist, detailed, process, timing)
+        opt.routing = detailed
+        opt.sta = sta
+
+    power = analyze_power(netlist, opt.routing, process,
+                          block_type.logic.clock_domain, cts=opt.cts)
+    from ..opt.dualvth import hvt_fraction
+
+    n_vias += opt.cts.via_crossings
+    return BlockDesign(
+        name=block_type.name,
+        config=config,
+        netlist=netlist,
+        outline=outline,
+        footprint_um2=outline.area,
+        wirelength_um=opt.routing.total_wirelength_um +
+        opt.cts.wirelength_um,
+        n_cells=netlist.num_cells,
+        n_buffers=netlist.num_buffers + opt.cts.n_buffers,
+        n_vias=n_vias,
+        tsv_area_um2=tsv_area,
+        long_wires=opt.routing.long_wire_count,
+        hvt_fraction=hvt_fraction(netlist),
+        power=power,
+        sta=opt.sta,
+        cts=opt.cts,
+        routing=opt.routing,
+        fold_result=fold_result,
+        generated=gb,
+        congestion=congestion,
+    )

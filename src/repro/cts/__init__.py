@@ -1,0 +1,5 @@
+"""Clock tree synthesis."""
+
+from .tree import CTSResult, clock_sinks, synthesize_clock_tree
+
+__all__ = ["CTSResult", "clock_sinks", "synthesize_clock_tree"]

@@ -1,0 +1,16 @@
+"""Synthetic OpenSPARC T2 design generation."""
+
+from .generate import GeneratedBlock, generate_block
+from .rent import RentFit, RentPoint, measure_rent_exponent
+from .logic import LogicSpec, generate_logic
+from .t2 import (SPC_FOLDED_FUBS, SPC_FUBS, BlockType, Bundle, FubSpec,
+                 block_type_by_name, scaled_logic, t2_block_types,
+                 t2_bundles, t2_instances)
+
+__all__ = [
+    "GeneratedBlock", "generate_block", "RentFit", "RentPoint",
+    "measure_rent_exponent", "LogicSpec", "generate_logic",
+    "SPC_FOLDED_FUBS", "SPC_FUBS", "BlockType", "Bundle", "FubSpec",
+    "block_type_by_name", "scaled_logic", "t2_block_types", "t2_bundles",
+    "t2_instances",
+]

@@ -1,0 +1,156 @@
+"""Block netlist generation: turning T2 block types into gate netlists.
+
+This is the model's stand-in for logic synthesis: every block type yields
+a mapped, flat gate-level netlist (deterministic in the seed), annotated
+with *region* metadata -- named cluster ranges used later for user-defined
+fold partitions (the CCX's PCX/CPX halves, the SPC's FUBs, the L2 data
+bank's sub-banks).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..netlist.core import Netlist, OUTPUT, PinRef
+from ..tech.cells import CellLibrary
+from .logic import LogicSpec, generate_logic
+from .t2 import BlockType, scaled_logic
+
+
+@dataclass
+class GeneratedBlock:
+    """A generated block netlist plus its structural metadata.
+
+    Attributes:
+        block_type: the spec this block was generated from.
+        netlist: the gate-level netlist.
+        regions: region name -> half-open cluster range ``[lo, hi)``.
+        n_clusters: total locality clusters in the netlist.
+    """
+
+    block_type: BlockType
+    netlist: Netlist
+    regions: Dict[str, Tuple[int, int]]
+    n_clusters: int
+
+    def region_of_cluster(self, cluster: int) -> Optional[str]:
+        """The region containing a cluster tag (None if unregioned)."""
+        for name, (lo, hi) in self.regions.items():
+            if lo <= cluster < hi:
+                return name
+        return None
+
+    def clusters_of_regions(self, names: Tuple[str, ...]) -> set:
+        """Union of cluster tags covered by the named regions."""
+        out = set()
+        for name in names:
+            lo, hi = self.regions[name]
+            out.update(range(lo, hi))
+        return out
+
+
+def _cluster_span(netlist: Netlist, lo: int) -> int:
+    """Number of clusters at or above ``lo`` present in the netlist."""
+    tags = [i.cluster for i in netlist.instances.values() if i.cluster >= lo]
+    return (max(tags) - lo + 1) if tags else 0
+
+
+def _partition_ranges(base: int, span: int,
+                      fractions: List[Tuple[str, float]]) -> Dict[str, Tuple[int, int]]:
+    """Split ``[base, base+span)`` into contiguous named ranges."""
+    total = sum(f for _, f in fractions)
+    ranges: Dict[str, Tuple[int, int]] = {}
+    cursor = base
+    for i, (name, frac) in enumerate(fractions):
+        if i == len(fractions) - 1:
+            hi = base + span
+        else:
+            hi = cursor + max(1, int(round(span * frac / total)))
+        ranges[name] = (cursor, min(hi, base + span))
+        cursor = ranges[name][1]
+    return ranges
+
+
+def generate_block(block_type: BlockType, library: CellLibrary,
+                   seed: int, scale: float = 1.0) -> GeneratedBlock:
+    """Generate the netlist for one block type.
+
+    Blocks with ``cross_region_nets`` (the CCX) are generated as two
+    independent modules sharing a netlist, bridged only by a handful of
+    test signals -- reproducing the PCX/CPX structure whose natural fold
+    needs just four TSVs (paper Section 4.3).  All other blocks are one
+    logic module whose regions are contiguous cluster ranges.
+
+    Args:
+        block_type: which block to generate.
+        library: standard-cell library.
+        seed: RNG seed; generation is fully deterministic given it.
+        scale: model-scale multiplier applied to cell/port/macro counts.
+
+    Returns:
+        The generated block with region metadata.
+    """
+    rng = np.random.default_rng(seed)
+    spec = scaled_logic(block_type.logic, scale)
+    nl = Netlist(block_type.name)
+    regions: Dict[str, Tuple[int, int]] = {}
+
+    if block_type.cross_region_nets > 0 and block_type.regions:
+        # Independent modules (PCX / CPX) plus a few bridge signals.
+        base = 0
+        module_sources: Dict[str, List[int]] = {}
+        for name, frac in block_type.regions:
+            sub = LogicSpec(
+                n_cells=max(20, int(round(spec.n_cells * frac))),
+                n_inputs=max(4, int(round(spec.n_inputs * frac))),
+                n_outputs=max(4, int(round(spec.n_outputs * frac))),
+                flop_fraction=spec.flop_fraction,
+                logic_depth=spec.logic_depth,
+                locality=spec.locality,
+                broadcast_fraction=spec.broadcast_fraction,
+                broadcast_pick=spec.broadcast_pick,
+                cluster_size=spec.cluster_size,
+                clock_domain=spec.clock_domain,
+                macros=[],
+            )
+            generate_logic(block_type.name, sub, library, rng, netlist=nl,
+                           cluster_base=base, port_prefix=f"{name}_")
+            span = _cluster_span(nl, base)
+            regions[name] = (base, base + span)
+            module_sources[name] = [
+                i.id for i in nl.instances.values()
+                if regions[name][0] <= i.cluster < regions[name][1]
+                and i.is_sequential
+            ]
+            base += span
+        # Bridge test signals between the first two regions.
+        names = [n for n, _ in block_type.regions]
+        a, b = names[0], names[1]
+        inv = library.master("INV_X1")
+        for t in range(block_type.cross_region_nets):
+            src_pool = module_sources[a if t % 2 == 0 else b]
+            dst_region = regions[b if t % 2 == 0 else a]
+            src = src_pool[int(rng.integers(0, len(src_pool)))]
+            sink_cluster = int(rng.integers(dst_region[0], dst_region[1]))
+            sink = nl.add_instance(f"test_sink_{t}", inv,
+                                   cluster=sink_cluster)
+            nl.add_net(f"test_bridge_{t}", PinRef(inst=src, pin=2),
+                       [PinRef(inst=sink.id, pin=0)],
+                       clock_domain=spec.clock_domain)
+            port = nl.add_port(f"test_out_{t}", OUTPUT)
+            nl.add_net(f"test_obs_{t}", PinRef(inst=sink.id),
+                       [PinRef(port=port.name)],
+                       clock_domain=spec.clock_domain)
+    else:
+        generate_logic(block_type.name, spec, library, rng, netlist=nl)
+        span = _cluster_span(nl, 0)
+        if block_type.regions:
+            regions = _partition_ranges(0, span, list(block_type.regions))
+
+    n_clusters = max((i.cluster for i in nl.instances.values()),
+                     default=0) + 1
+    return GeneratedBlock(block_type=block_type, netlist=nl,
+                          regions=regions, n_clusters=n_clusters)

@@ -1,0 +1,317 @@
+"""OpenSPARC T2 design model: block types, multiplicities, connectivity.
+
+The paper floorplans 46 blocks of the OpenSPARC T2 (8 cores, 8 L2 data
+banks, 8 L2 tags, 8 L2 miss buffers, the CCX crossbar, the NIU cluster and
+assorted control units; five SerDes blocks, the eFuse and the misc-IO unit
+are dropped, and the PLL is idealized).  This module encodes that block
+list together with the structural parameters the folding study depends on:
+
+* which blocks run on the CPU clock (500 MHz) vs. the I/O clock (250 MHz);
+* which blocks are memory-macro dominated (L2 data bank);
+* the CCX's PCX/CPX split with only clock/test signals between the halves;
+* the 14 functional unit blocks (FUBs) inside each SPARC core, used by
+  second-level folding;
+* inter-block wire bundles (the chip-level netlist).
+
+Cell counts are *model scale*: the real T2 places ~7.4M cells, which pure
+Python cannot push through placement; counts here are roughly 1/400 of
+silicon, and every reproduced claim is a ratio between designs generated
+at identical scale (see DESIGN.md Section 5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Tuple
+
+from ..tech.macros import sram_macro
+from ..tech.process import CPU_CLOCK, IO_CLOCK
+from .logic import LogicSpec
+
+
+@dataclass(frozen=True)
+class FubSpec:
+    """A functional unit block inside the SPARC core."""
+
+    name: str
+    fraction: float  # share of the core's cells
+
+
+#: The 14 FUBs of one SPARC core (paper Fig. 3).  The six FUBs the paper
+#: folds in its second-level folding are exu0, exu1, fgu, lsu, tlu and
+#: ifu_ftu -- the large, wire-heavy datapaths.
+SPC_FUBS: Tuple[FubSpec, ...] = (
+    FubSpec("fgu", 0.18),
+    FubSpec("lsu", 0.16),
+    FubSpec("tlu", 0.12),
+    FubSpec("ifu_ftu", 0.10),
+    FubSpec("exu0", 0.07),
+    FubSpec("exu1", 0.07),
+    FubSpec("ifu_cmu", 0.05),
+    FubSpec("ifu_ibu", 0.05),
+    FubSpec("mmu", 0.05),
+    FubSpec("dec", 0.04),
+    FubSpec("pku", 0.04),
+    FubSpec("spu", 0.03),
+    FubSpec("gkt", 0.02),
+    FubSpec("pmu", 0.02),
+)
+
+#: FUBs folded by the paper's second-level folding (Fig. 3, black text).
+SPC_FOLDED_FUBS: Tuple[str, ...] = ("exu0", "exu1", "fgu", "lsu", "tlu",
+                                    "ifu_ftu")
+
+
+@dataclass(frozen=True)
+class BlockType:
+    """One T2 block type (possibly instantiated several times).
+
+    Attributes:
+        name: type name, e.g. ``"spc"``.
+        count: number of chip-level instances.
+        logic: generation parameters at model scale 1.0.
+        max_metal: highest metal layer the block may route on.  Most
+            blocks stop at M7 so M8/M9 remain for over-the-block routing;
+            the SPC needs all nine layers (paper Section 2.2).
+        is_core: True for the SPARC core.
+        regions: named cluster sub-ranges as fractions of the cluster
+            space, e.g. PCX/CPX in the CCX or the FUBs in the SPC.  Used
+            for user-defined fold partitions.
+        cross_region_nets: extra nets wired *across* the region boundary
+            (the CCX has only clock plus a few test signals between PCX
+            and CPX, which is why its natural fold needs just 4 TSVs).
+    """
+
+    name: str
+    count: int
+    logic: LogicSpec
+    max_metal: int = 7
+    is_core: bool = False
+    regions: Tuple[Tuple[str, float], ...] = ()
+    cross_region_nets: int = 0
+
+
+def _spc() -> BlockType:
+    return BlockType(
+        name="spc", count=8, is_core=True, max_metal=9,
+        logic=LogicSpec(
+            n_cells=2600, n_inputs=220, n_outputs=220,
+            flop_fraction=0.24, logic_depth=10, locality=0.88,
+            broadcast_pick=0.035, mid_fraction=0.20, mid_radius=8,
+            clock_domain=CPU_CLOCK,
+            macros=[(sram_macro(1), 4)],
+        ),
+        regions=tuple((f.name, f.fraction) for f in SPC_FUBS),
+    )
+
+
+def _l2d() -> BlockType:
+    # The L2 data bank: 512 KB in silicon (32 x 16 KB macros); at model
+    # scale, 8 x 16 KB macros dominating the block's power exactly as in
+    # paper Section 4.4 ("memory macro dominated ... net power only ~29%").
+    return BlockType(
+        name="l2d", count=8,
+        logic=LogicSpec(
+            n_cells=420, n_inputs=160, n_outputs=160,
+            flop_fraction=0.18, logic_depth=8, locality=0.88,
+            broadcast_pick=0.03, clock_domain=CPU_CLOCK,
+            macros=[(sram_macro(16), 8)],
+        ),
+        regions=tuple((f"subbank{i}", 0.25) for i in range(4)),
+    )
+
+
+def _l2t() -> BlockType:
+    return BlockType(
+        name="l2t", count=8,
+        logic=LogicSpec(
+            n_cells=650, n_inputs=140, n_outputs=140,
+            flop_fraction=0.22, logic_depth=9, locality=0.82,
+            broadcast_pick=0.04, clock_domain=CPU_CLOCK,
+            macros=[(sram_macro(4), 4)],
+        ),
+        regions=(("even", 0.5), ("odd", 0.5)),
+    )
+
+
+def _l2b() -> BlockType:
+    return BlockType(
+        name="l2b", count=8,
+        logic=LogicSpec(
+            n_cells=380, n_inputs=80, n_outputs=80,
+            flop_fraction=0.22, logic_depth=8, locality=0.85,
+            broadcast_pick=0.04, clock_domain=CPU_CLOCK,
+            macros=[(sram_macro(2), 2)],
+        ),
+    )
+
+
+def _ccx() -> BlockType:
+    # Cache crossbar = PCX (48% of area / pins) + CPX with no signal
+    # connections between them except clock and a few test signals.
+    return BlockType(
+        name="ccx", count=1,
+        logic=LogicSpec(
+            n_cells=1500, n_inputs=300, n_outputs=300,
+            flop_fraction=0.18, logic_depth=7, locality=0.58,
+            broadcast_pick=0.07, clock_domain=CPU_CLOCK,
+        ),
+        regions=(("pcx", 0.48), ("cpx", 0.52)),
+        cross_region_nets=3,  # test signals; +1 clock crossing = 4 TSVs
+    )
+
+
+def _niu_and_control() -> List[BlockType]:
+    blocks = [
+        # RTX: the big NIU datapath block the paper folds (I/O clock, many
+        # long wires -- Table 3 row 2).
+        BlockType(
+            name="rtx", count=1,
+            logic=LogicSpec(
+                n_cells=1500, n_inputs=160, n_outputs=160,
+                flop_fraction=0.22, logic_depth=10, locality=0.74,
+                broadcast_pick=0.05, clock_domain=IO_CLOCK,
+                macros=[(sram_macro(4), 2)],
+            ),
+            regions=(("rx", 0.5), ("tx", 0.5)),
+        ),
+        BlockType(
+            name="mac", count=1,
+            logic=LogicSpec(
+                n_cells=520, n_inputs=90, n_outputs=90,
+                flop_fraction=0.22, logic_depth=9, locality=0.80,
+                broadcast_pick=0.05, clock_domain=IO_CLOCK,
+                macros=[(sram_macro(2), 1)],
+            ),
+        ),
+        BlockType(
+            name="tds", count=1,
+            logic=LogicSpec(
+                n_cells=620, n_inputs=90, n_outputs=90,
+                flop_fraction=0.22, logic_depth=9, locality=0.80,
+                broadcast_pick=0.05, clock_domain=IO_CLOCK,
+                macros=[(sram_macro(4), 1)],
+            ),
+        ),
+        BlockType(
+            name="rdp", count=1,
+            logic=LogicSpec(
+                n_cells=700, n_inputs=90, n_outputs=90,
+                flop_fraction=0.22, logic_depth=9, locality=0.80,
+                broadcast_pick=0.05, clock_domain=IO_CLOCK,
+            ),
+        ),
+    ]
+    control = [
+        ("ncu", 300, 60), ("ccu", 120, 20), ("tcu", 200, 30),
+        ("sii", 260, 50), ("sio", 260, 50), ("dmu", 320, 50),
+    ]
+    for name, cells, ports in control:
+        blocks.append(BlockType(
+            name=name, count=1,
+            logic=LogicSpec(
+                n_cells=cells, n_inputs=ports, n_outputs=ports,
+                flop_fraction=0.24, logic_depth=8, locality=0.85,
+                broadcast_pick=0.04, clock_domain=CPU_CLOCK,
+            ),
+        ))
+    blocks.append(BlockType(
+        name="mcu", count=3,
+        logic=LogicSpec(
+            n_cells=280, n_inputs=60, n_outputs=60,
+            flop_fraction=0.22, logic_depth=8, locality=0.85,
+            broadcast_pick=0.04, clock_domain=CPU_CLOCK,
+            macros=[(sram_macro(1), 1)],
+        ),
+    ))
+    return blocks
+
+
+def t2_block_types() -> List[BlockType]:
+    """All T2 block types, totalling 46 chip instances."""
+    return [_spc(), _l2d(), _l2t(), _l2b(), _ccx()] + _niu_and_control()
+
+
+@dataclass(frozen=True)
+class Bundle:
+    """A chip-level wire bundle between two block instances."""
+
+    a: str
+    b: str
+    n_wires: int
+    clock_domain: str = CPU_CLOCK
+
+
+def t2_instances() -> List[Tuple[str, str]]:
+    """(instance name, block type name) for all 46 floorplanned blocks."""
+    out: List[Tuple[str, str]] = []
+    for bt in t2_block_types():
+        if bt.count == 1:
+            out.append((bt.name, bt.name))
+        else:
+            out.extend((f"{bt.name}{i}", bt.name) for i in range(bt.count))
+    return out
+
+
+def t2_bundles() -> List[Bundle]:
+    """The chip-level connectivity of the T2 (model scale wire counts).
+
+    The paper notes ~300 wires between the CCX and each SPC or L2 bank;
+    at model scale bundles carry proportionally fewer wires.  The NIU
+    blocks (rtx/mac/tds/rdp) are almost self-contained, which is why the
+    paper places them together at the chip edge and why folding rtx only
+    affects the NIU.
+    """
+    bundles: List[Bundle] = []
+    for i in range(8):
+        bundles.append(Bundle(f"spc{i}", "ccx", 120))
+        bundles.append(Bundle(f"l2d{i}", "ccx", 120))
+        bundles.append(Bundle(f"l2t{i}", f"l2d{i}", 80))
+        bundles.append(Bundle(f"l2b{i}", f"l2d{i}", 40))
+        bundles.append(Bundle(f"l2d{i}", f"mcu{i // 3}", 50))
+        bundles.append(Bundle(f"spc{i}", "ncu", 16))
+        bundles.append(Bundle(f"spc{i}", "tcu", 6))
+    # NIU cluster (I/O clock domain).
+    bundles += [
+        Bundle("rtx", "mac", 80, IO_CLOCK),
+        Bundle("rtx", "tds", 60, IO_CLOCK),
+        Bundle("rtx", "rdp", 60, IO_CLOCK),
+        Bundle("tds", "sio", 40, IO_CLOCK),
+        Bundle("rdp", "sio", 40, IO_CLOCK),
+    ]
+    # Control / system interface.
+    bundles += [
+        Bundle("ncu", "ccx", 24),
+        Bundle("ncu", "dmu", 30),
+        Bundle("sii", "sio", 40),
+        Bundle("sii", "dmu", 40),
+        Bundle("dmu", "rtx", 24, IO_CLOCK),
+        Bundle("ccu", "tcu", 8),
+        Bundle("ncu", "ccu", 8),
+        Bundle("mcu0", "sii", 20),
+        Bundle("mcu1", "sii", 20),
+        Bundle("mcu2", "sii", 20),
+    ]
+    return bundles
+
+
+def scaled_logic(spec: LogicSpec, scale: float) -> LogicSpec:
+    """Scale a logic spec's cell, port and macro counts by ``scale``."""
+    if scale <= 0:
+        raise ValueError("scale must be positive")
+    macros = [(m, max(1, int(round(c * scale)))) for m, c in spec.macros]
+    return replace(
+        spec,
+        n_cells=max(20, int(round(spec.n_cells * scale))),
+        n_inputs=max(4, int(round(spec.n_inputs * scale))),
+        n_outputs=max(4, int(round(spec.n_outputs * scale))),
+        macros=macros,
+    )
+
+
+def block_type_by_name(name: str) -> BlockType:
+    """Look up a block type; raises ``KeyError`` for unknown names."""
+    for bt in t2_block_types():
+        if bt.name == name:
+            return bt
+    raise KeyError(name)

@@ -1,0 +1,15 @@
+"""Floorplanning: sequence-pair annealer and the T2 reference layouts."""
+
+from .seqpair import (AnnealConfig, FloorplanResult, FPBlock,
+                      anneal_floorplan, pack)
+from .t2_floorplans import (BOTH_DIES, FOLDED_TYPES, STYLES, ChipFloorplan,
+                            t2_floorplan)
+from .tsv_planning import (TsvAssignment, TsvPlan, TsvSite,
+                           plan_tsv_arrays, whitespace_sites)
+
+__all__ = [
+    "AnnealConfig", "FloorplanResult", "FPBlock", "anneal_floorplan",
+    "pack", "BOTH_DIES", "FOLDED_TYPES", "STYLES", "ChipFloorplan",
+    "t2_floorplan", "TsvAssignment", "TsvPlan", "TsvSite",
+    "plan_tsv_arrays", "whitespace_sites",
+]

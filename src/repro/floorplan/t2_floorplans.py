@@ -1,0 +1,212 @@
+"""Reference T2 floorplans for the five design styles of paper Fig. 8.
+
+The T2's eight cores and eight L2 bank/tag/buffer groups "need to be
+arranged in a specific order and a regular fashion", so the paper uses
+hand-crafted floorplans rather than fully automatic ones (its 3D
+floorplanner is used for TSV planning, not block shuffling).  This module
+encodes those five layouts as row structures and packs them with a shelf
+packer:
+
+* ``2d``          -- Fig. 8a: SPC rows top/bottom, CCX + control center,
+                     cache banks between, NIU at the bottom edge;
+* ``core_cache``  -- Fig. 8b: all cores (+ CCX, control, NIU) on one
+                     tier, all L2 blocks on the other;
+* ``core_core``   -- Fig. 8c: four cores and their cache banks per tier;
+* ``fold_f2b``    -- Fig. 8d: SPC/CCX/L2D/L2T/RTX folded (each occupies
+                     both tiers), TSV bonding; SPCs pushed to the top and
+                     bottom chip edges because they route on M8/M9 and
+                     would otherwise block over-the-block routing;
+* ``fold_f2f``    -- Fig. 8e: same folding with F2F bonding; folded
+                     blocks block routing on both tiers (Section 6.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..place.grid import Rect
+
+#: blocks folded in the paper's full-chip folded designs (Section 6.1)
+FOLDED_TYPES = ("spc", "ccx", "l2d", "l2t", "rtx")
+
+STYLES = ("2d", "core_cache", "core_core", "fold_f2b", "fold_f2f")
+
+#: die marker for folded blocks that occupy both tiers
+BOTH_DIES = -1
+
+
+@dataclass
+class ChipFloorplan:
+    """A packed chip floorplan.
+
+    Attributes:
+        style: one of :data:`STYLES`.
+        positions: instance -> bounding rect.
+        die_of: instance -> 0 / 1 / :data:`BOTH_DIES`.
+        width / height: chip dimensions (um).
+        n_dies: 1 for 2D, 2 otherwise.
+    """
+
+    style: str
+    positions: Dict[str, Rect]
+    die_of: Dict[str, int]
+    width: float
+    height: float
+    n_dies: int
+
+    @property
+    def area_um2(self) -> float:
+        """Footprint of one tier."""
+        return self.width * self.height
+
+    def center_of(self, name: str) -> Tuple[float, float]:
+        r = self.positions[name]
+        return 0.5 * (r.x0 + r.x1), 0.5 * (r.y0 + r.y1)
+
+    def crosses_dies(self, a: str, b: str) -> bool:
+        """True if an a<->b bundle must cross the tier boundary."""
+        da, db = self.die_of[a], self.die_of[b]
+        if da == BOTH_DIES or db == BOTH_DIES:
+            return False  # folded blocks expose pins on both tiers
+        return da != db
+
+
+Row = List[str]
+
+
+def _pack_rows(rows: Sequence[Row], dims: Dict[str, Tuple[float, float]],
+               gap: float = 5.0) -> Tuple[Dict[str, Rect], float, float]:
+    """Shelf-pack rows bottom-to-top, each row centered horizontally."""
+    widths = []
+    for row in rows:
+        w = sum(dims[b][0] for b in row) + gap * (len(row) + 1)
+        widths.append(w)
+    chip_w = max(widths) if widths else 0.0
+    positions: Dict[str, Rect] = {}
+    y = gap
+    for row, row_w in zip(rows, widths):
+        row_h = max((dims[b][1] for b in row), default=0.0)
+        x = (chip_w - row_w) / 2.0 + gap
+        for b in row:
+            w, h = dims[b]
+            positions[b] = Rect(x, y, x + w, y + h)
+            x += w + gap
+        y += row_h + gap
+    return positions, chip_w, y
+
+
+def _group(prefix: str, idx: Sequence[int]) -> Row:
+    return [f"{prefix}{i}" for i in idx]
+
+
+def t2_floorplan(style: str, dims: Dict[str, Tuple[float, float]],
+                 gap: float = 5.0) -> ChipFloorplan:
+    """Build the reference floorplan for one design style.
+
+    Args:
+        style: one of :data:`STYLES`.
+        dims: instance -> (width, height), from the block designs (folded
+            blocks already carry their halved footprint).
+        gap: inter-block channel (um).
+
+    Returns:
+        The packed chip floorplan with die assignments.
+    """
+    if style not in STYLES:
+        raise ValueError(f"unknown style {style!r}; expected one of {STYLES}")
+
+    if style == "2d":
+        rows = [
+            ["rtx", "mac", "tds", "rdp"],
+            _group("l2d", range(0, 4)),
+            _group("l2t", range(0, 4)) + _group("l2b", range(0, 4)),
+            _group("spc", range(0, 4)),
+            ["ncu", "ccu", "tcu", "ccx", "sii", "sio", "dmu",
+             "mcu0", "mcu1", "mcu2"],
+            _group("spc", range(4, 8)),
+            _group("l2t", range(4, 8)) + _group("l2b", range(4, 8)),
+            _group("l2d", range(4, 8)),
+        ]
+        positions, w, h = _pack_rows(rows, dims, gap)
+        die_of = {b: 0 for b in positions}
+        return ChipFloorplan(style, positions, die_of, w, h, n_dies=1)
+
+    if style == "core_cache":
+        rows0 = [
+            ["rtx", "mac", "tds", "rdp"],
+            _group("spc", range(0, 4)),
+            ["ncu", "ccu", "tcu", "ccx", "sii", "sio", "dmu"],
+            _group("spc", range(4, 8)),
+        ]
+        rows1 = [
+            _group("l2d", range(0, 4)),
+            _group("l2t", range(0, 4)) + _group("l2b", range(0, 4)),
+            ["mcu0", "mcu1", "mcu2"],
+            _group("l2t", range(4, 8)) + _group("l2b", range(4, 8)),
+            _group("l2d", range(4, 8)),
+        ]
+        return _pack_two_dies(style, rows0, rows1, dims, gap)
+
+    if style == "core_core":
+        # rows are packed bottom-up; the CCX row of the bottom tier is
+        # vertically aligned with the far tier's cores and banks so the
+        # SPC<->CCX and L2D<->CCX bundles cross through short TSV paths
+        rows0 = [
+            ["rtx", "mac", "tds", "rdp"],
+            _group("spc", range(0, 4)),
+            ["ncu", "ccx", "sii", "mcu0"],
+            _group("l2d", range(0, 4)),
+            _group("l2t", range(0, 4)) + _group("l2b", range(0, 4)),
+        ]
+        rows1 = [
+            ["ccu", "tcu", "sio", "dmu", "mcu1", "mcu2"],
+            _group("spc", range(4, 8)),
+            _group("l2d", range(4, 8)),
+            _group("l2t", range(4, 8)) + _group("l2b", range(4, 8)),
+        ]
+        return _pack_two_dies(style, rows0, rows1, dims, gap)
+
+    # folded styles: folded blocks occupy both tiers at one location;
+    # unfolded blocks are packed in projection and assigned a tier.
+    rows = [
+        ["rtx", "mac", "tds", "rdp"],
+        _group("spc", range(0, 4)),
+        _group("l2d", range(0, 4)) + _group("l2b", range(0, 2)),
+        ["ncu", "ccu", "tcu", "ccx", "sii", "sio", "dmu"],
+        _group("l2t", range(0, 8)),
+        _group("l2d", range(4, 8)) + _group("l2b", range(2, 4)),
+        _group("spc", range(4, 8)),
+        _group("l2b", range(4, 8)) + ["mcu0", "mcu1", "mcu2"],
+    ]
+    positions, w, h = _pack_rows(rows, dims, gap)
+    # unfolded blocks keep their cluster's tier: the NIU satellites join
+    # the folded rtx's bottom tier, control units balance the top tier,
+    # and each miss buffer sits with its (folded) data bank
+    fixed_die = {"mac": 0, "tds": 0, "rdp": 0, "sio": 0, "sii": 0,
+                 "dmu": 0, "ncu": 1, "ccu": 1, "tcu": 1,
+                 "mcu0": 1, "mcu1": 1, "mcu2": 1}
+    die_of: Dict[str, int] = {}
+    for name in positions:
+        base = name.rstrip("0123456789")
+        if base in FOLDED_TYPES:
+            die_of[name] = BOTH_DIES
+        elif base == "l2b":
+            die_of[name] = int(name[3:]) % 2
+        else:
+            die_of[name] = fixed_die.get(name, 0)
+    return ChipFloorplan(style, positions, die_of, w, h, n_dies=2)
+
+
+def _pack_two_dies(style: str, rows0: Sequence[Row], rows1: Sequence[Row],
+                   dims: Dict[str, Tuple[float, float]],
+                   gap: float) -> ChipFloorplan:
+    pos0, w0, h0 = _pack_rows(rows0, dims, gap)
+    pos1, w1, h1 = _pack_rows(rows1, dims, gap)
+    w, h = max(w0, w1), max(h0, h1)
+    positions = {}
+    positions.update(pos0)
+    positions.update(pos1)
+    die_of = {b: 0 for b in pos0}
+    die_of.update({b: 1 for b in pos1})
+    return ChipFloorplan(style, positions, die_of, w, h, n_dies=2)

@@ -1,0 +1,12 @@
+"""Netlist data model: instances, nets, ports, statistics, exporters."""
+
+from .core import (INPUT, OUTPUT, Instance, Master, Net, Netlist, PinRef,
+                   Port)
+from .io import write_def, write_verilog
+from .stats import NetlistStats, collect_stats
+
+__all__ = [
+    "INPUT", "OUTPUT", "Instance", "Master", "Net", "Netlist", "PinRef",
+    "Port", "NetlistStats", "collect_stats", "write_def",
+    "write_verilog",
+]

@@ -1,0 +1,150 @@
+"""Netlist exporters: structural Verilog and DEF.
+
+The model's netlists and placements can be dumped in the two standard
+interchange formats so downstream tools (or curious users) can inspect
+them: a structural Verilog module for the logical view and a DEF file
+for the physical view.  Pin naming follows the usual conventions --
+inputs ``A``/``B``/``C`` by index, output ``Y``, flop pins ``D``/``CK``/
+``Q``, macro pins ``Q<i>``/``D<i>``/``CK``.
+
+For the 2-tier merged view used by the F2F via placement flow, see
+:func:`repro.route.route3d.export_merged_view` instead.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..place.grid import Rect
+from .core import INPUT, Netlist, PinRef
+
+_INPUT_PIN_NAMES = ("A", "B", "C", "D4", "D5")
+
+
+def _pin_name(netlist: Netlist, ref: PinRef) -> Tuple[str, str]:
+    """(instance name, pin name) for an endpoint (instances only)."""
+    inst = netlist.instances[ref.inst]
+    if inst.is_macro:
+        n_out = max(1, inst.master.n_io // 3)
+        if ref.pin == inst.master.n_io:
+            return inst.name, "CK"
+        if ref.pin >= 1000:
+            return inst.name, f"D{ref.pin - 1000}"
+        return inst.name, f"Q{ref.pin}"
+    if inst.is_sequential:
+        return inst.name, {0: "D", 1: "CK"}.get(ref.pin, f"P{ref.pin}")
+    return inst.name, _INPUT_PIN_NAMES[min(ref.pin,
+                                           len(_INPUT_PIN_NAMES) - 1)]
+
+
+def _sanitize(name: str) -> str:
+    out = name.replace("[", "_").replace("]", "_").replace(".", "_")
+    return out if out and not out[0].isdigit() else f"n_{out}"
+
+
+def write_verilog(netlist: Netlist) -> str:
+    """Emit the netlist as a structural Verilog module."""
+    ports = sorted(netlist.ports.values(), key=lambda p: p.name)
+    lines: List[str] = []
+    port_names = ", ".join(_sanitize(p.name) for p in ports)
+    lines.append(f"module {_sanitize(netlist.name)} ({port_names});")
+    for p in ports:
+        kind = "input" if p.direction == INPUT else "output"
+        lines.append(f"  {kind} {_sanitize(p.name)};")
+    # net declarations (ports double as nets of the same name)
+    # connection map: (inst, pin) -> net name
+    pin_net: Dict[Tuple[int, int], str] = {}
+    out_net: Dict[int, Dict[int, str]] = {}
+    aliases: List[str] = []
+    for net in sorted(netlist.nets.values(), key=lambda n: n.id):
+        if net.driver.is_port:
+            net_name = _sanitize(net.driver.port)
+            port_sinks = [s for s in net.sinks if s.is_port]
+        else:
+            port_sinks = [s for s in net.sinks if s.is_port]
+            net_name = _sanitize(port_sinks[0].port) if port_sinks else \
+                _sanitize(net.name)
+            if port_sinks:
+                port_sinks = port_sinks[1:]
+            else:
+                lines.append(f"  wire {net_name};")
+        # a net reaching several ports needs continuous assignments for
+        # the ports beyond the one that named the net
+        for extra in port_sinks:
+            aliases.append(f"  assign {_sanitize(extra.port)} = "
+                           f"{net_name};")
+        if not net.driver.is_port:
+            out_net.setdefault(net.driver.inst, {})[
+                net.driver.pin] = net_name
+        for s in net.sinks:
+            if not s.is_port:
+                pin_net[(s.inst, s.pin)] = net_name
+    lines.extend(aliases)
+    lines.append("")
+    for inst in sorted(netlist.instances.values(), key=lambda i: i.id):
+        conns: List[str] = []
+        for pin, net_name in sorted(out_net.get(inst.id, {}).items()):
+            if inst.is_macro:
+                _, pname = _pin_name(netlist, PinRef(inst=inst.id,
+                                                     pin=pin))
+            elif inst.is_sequential and pin > 0:
+                pname = f"Q{pin}"
+            else:
+                pname = "Q" if inst.is_sequential else "Y"
+            conns.append(f".{pname}({net_name})")
+        for (iid, pin), net_name in sorted(pin_net.items()):
+            if iid != inst.id:
+                continue
+            _, pname = _pin_name(netlist, PinRef(inst=iid, pin=pin))
+            conns.append(f".{pname}({net_name})")
+        lines.append(f"  {inst.master.name} {_sanitize(inst.name)} "
+                     f"({', '.join(conns)});")
+    lines.append("endmodule")
+    return "\n".join(lines)
+
+
+def write_def(netlist: Netlist, outline: Rect,
+              units_per_um: int = 1000) -> str:
+    """Emit the placed netlist as a DEF file."""
+    def dbu(v: float) -> int:
+        return int(round(v * units_per_um))
+
+    lines: List[str] = []
+    lines.append("VERSION 5.8 ;")
+    lines.append(f"DESIGN {_sanitize(netlist.name)} ;")
+    lines.append(f"UNITS DISTANCE MICRONS {units_per_um} ;")
+    lines.append(f"DIEAREA ( {dbu(outline.x0)} {dbu(outline.y0)} ) "
+                 f"( {dbu(outline.x1)} {dbu(outline.y1)} ) ;")
+    insts = sorted(netlist.instances.values(), key=lambda i: i.id)
+    lines.append(f"COMPONENTS {len(insts)} ;")
+    for inst in insts:
+        status = "FIXED" if inst.fixed else "PLACED"
+        lines.append(f"  - {_sanitize(inst.name)} {inst.master.name}"
+                     f" + {status} ( {dbu(inst.x)} {dbu(inst.y)} ) N ;")
+    lines.append("END COMPONENTS")
+    ports = sorted(netlist.ports.values(), key=lambda p: p.name)
+    lines.append(f"PINS {len(ports)} ;")
+    for p in ports:
+        direction = "INPUT" if p.direction == INPUT else "OUTPUT"
+        lines.append(f"  - {_sanitize(p.name)} + NET {_sanitize(p.name)}"
+                     f" + DIRECTION {direction}"
+                     f" + PLACED ( {dbu(p.x)} {dbu(p.y)} ) N ;")
+    lines.append("END PINS")
+    nets = sorted(netlist.nets.values(), key=lambda n: n.id)
+    lines.append(f"NETS {len(nets)} ;")
+    for net in nets:
+        parts = []
+        for ref in net.endpoints():
+            if ref.is_port:
+                parts.append(f"( PIN {_sanitize(ref.port)} )")
+            else:
+                iname, pname = _pin_name(netlist, ref)
+                if (not netlist.instances[ref.inst].is_macro
+                        and ref is net.driver):
+                    pname = "Q" if netlist.instances[
+                        ref.inst].is_sequential else "Y"
+                parts.append(f"( {_sanitize(iname)} {pname} )")
+        lines.append(f"  - {_sanitize(net.name)} {' '.join(parts)} ;")
+    lines.append("END NETS")
+    lines.append("END DESIGN")
+    return "\n".join(lines)

@@ -1,0 +1,69 @@
+"""Netlist statistics used by reports and folding-criteria analysis."""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Dict
+
+from .core import Netlist
+
+
+@dataclass
+class NetlistStats:
+    """Summary counters for one netlist."""
+
+    name: str
+    num_cells: int
+    num_macros: int
+    num_buffers: int
+    num_flops: int
+    num_nets: int
+    num_ports: int
+    cell_area_um2: float
+    macro_area_um2: float
+    avg_net_degree: float
+    function_histogram: Dict[str, int]
+    vth_histogram: Dict[str, int]
+
+    @property
+    def total_area_um2(self) -> float:
+        return self.cell_area_um2 + self.macro_area_um2
+
+    @property
+    def hvt_fraction(self) -> float:
+        """Fraction of standard cells that are high-Vth."""
+        total = sum(self.vth_histogram.values())
+        if total == 0:
+            return 0.0
+        return self.vth_histogram.get("HVT", 0) / total
+
+
+def collect_stats(netlist: Netlist) -> NetlistStats:
+    """Compute :class:`NetlistStats` for a netlist."""
+    functions: Counter = Counter()
+    vth: Counter = Counter()
+    flops = 0
+    for inst in netlist.instances.values():
+        if inst.is_macro:
+            continue
+        functions[inst.master.function] += 1
+        vth[inst.master.vth] += 1
+        if inst.is_sequential:
+            flops += 1
+    degrees = [n.degree for n in netlist.nets.values()]
+    avg_degree = sum(degrees) / len(degrees) if degrees else 0.0
+    return NetlistStats(
+        name=netlist.name,
+        num_cells=netlist.num_cells,
+        num_macros=len(netlist.macros),
+        num_buffers=netlist.num_buffers,
+        num_flops=flops,
+        num_nets=len(netlist.nets),
+        num_ports=len(netlist.ports),
+        cell_area_um2=netlist.total_cell_area(),
+        macro_area_um2=netlist.total_macro_area(),
+        avg_net_degree=avg_degree,
+        function_histogram=dict(functions),
+        vth_histogram=dict(vth),
+    )

@@ -1,0 +1,153 @@
+"""Structural Verilog reader.
+
+Parses the gate-level subset :func:`repro.netlist.io.write_verilog`
+emits -- module header, input/output/wire declarations, and named-port
+instantiations -- back into a :class:`~repro.netlist.core.Netlist`, so
+netlists survive a round trip through the interchange format and
+externally produced structural netlists (using this library's masters)
+can be imported.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Optional, Tuple
+
+from ..tech.cells import CellLibrary
+from ..tech.macros import MacroMaster, sram_macro
+from .core import INPUT, OUTPUT, Netlist, PinRef
+
+_MODULE_RE = re.compile(r"module\s+(\w+)\s*\((.*?)\)\s*;", re.S)
+_DECL_RE = re.compile(r"^\s*(input|output|wire)\s+([\w,\s]+);", re.M)
+_INST_RE = re.compile(r"^\s*(\w+)\s+(\w+)\s*\((.*?)\)\s*;", re.M | re.S)
+_CONN_RE = re.compile(r"\.(\w+)\s*\(\s*(\w+)\s*\)")
+_ASSIGN_RE = re.compile(r"^\s*assign\s+(\w+)\s*=\s*(\w+)\s*;", re.M)
+
+#: input pin name -> pin index, mirroring the writer's conventions
+_PIN_INDEX = {"A": 0, "B": 1, "C": 2, "D": 0, "CK": 1}
+
+
+class VerilogParseError(ValueError):
+    """Raised when the text is not parseable structural Verilog."""
+
+
+def _macro_pin_index(master: MacroMaster, pin: str) -> Tuple[int, bool]:
+    """(pin index, is_output) for a macro pin name (Q<i>/D<i>/CK)."""
+    if pin == "CK":
+        return master.n_io, False
+    if pin.startswith("Q"):
+        return int(pin[1:]), True
+    if pin.startswith("D"):
+        return 1000 + int(pin[1:]), False
+    raise VerilogParseError(f"unknown macro pin {pin!r}")
+
+
+def read_verilog(text: str, library: CellLibrary,
+                 macro_masters: Optional[Dict[str, MacroMaster]] = None
+                 ) -> Netlist:
+    """Parse structural Verilog into a netlist.
+
+    Args:
+        text: the Verilog source (one module).
+        library: resolves cell master names.
+        macro_masters: resolves macro master names (``SRAM_*KB`` masters
+            are resolved automatically when omitted).
+
+    Returns:
+        The reconstructed netlist.
+
+    Raises:
+        VerilogParseError: on missing module, unknown masters, or nets
+            with no or multiple drivers.
+    """
+    m = _MODULE_RE.search(text)
+    if not m:
+        raise VerilogParseError("no module header found")
+    nl = Netlist(m.group(1))
+    body = text[m.end():]
+
+    directions: Dict[str, str] = {}
+    wires: List[str] = []
+    for kind, names in _DECL_RE.findall(body):
+        for name in (n.strip() for n in names.split(",")):
+            if not name:
+                continue
+            if kind == "wire":
+                wires.append(name)
+            else:
+                directions[name] = INPUT if kind == "input" else OUTPUT
+    for name, direction in directions.items():
+        is_clock = name.endswith("clk")
+        nl.add_port(name, direction,
+                    false_path=("spare" in name))
+
+    macro_masters = dict(macro_masters or {})
+
+    def resolve_macro(name: str) -> Optional[MacroMaster]:
+        if name in macro_masters:
+            return macro_masters[name]
+        sram = re.fullmatch(r"SRAM_([\d.]+)KB", name)
+        if sram:
+            master = sram_macro(float(sram.group(1)))
+            macro_masters[name] = master
+            return master
+        return None
+
+    # net name -> (driver ref, [sink refs])
+    nets: Dict[str, Tuple[Optional[PinRef], List[PinRef]]] = {}
+
+    def net_entry(name: str):
+        if name not in nets:
+            driver = PinRef(port=name) if directions.get(name) == INPUT \
+                else None
+            nets[name] = [driver, []]
+        return nets[name]
+
+    # continuous assignments alias extra output ports onto a net
+    aliases = _ASSIGN_RE.findall(body)
+
+    for master_name, inst_name, conns in _INST_RE.findall(body):
+        if master_name in ("input", "output", "wire", "module",
+                           "assign"):
+            continue
+        macro = resolve_macro(master_name)
+        if macro is not None:
+            inst = nl.add_instance(inst_name, macro)
+            for pin, net_name in _CONN_RE.findall(conns):
+                idx, is_out = _macro_pin_index(macro, pin)
+                entry = net_entry(net_name)
+                if is_out:
+                    entry[0] = PinRef(inst=inst.id, pin=idx)
+                else:
+                    entry[1].append(PinRef(inst=inst.id, pin=idx))
+            continue
+        if master_name not in library:
+            raise VerilogParseError(f"unknown master {master_name!r}")
+        inst = nl.add_instance(inst_name, library.master(master_name))
+        for pin, net_name in _CONN_RE.findall(conns):
+            entry = net_entry(net_name)
+            if pin in ("Y", "Q"):
+                entry[0] = PinRef(inst=inst.id)
+            elif pin.startswith("Q"):
+                entry[0] = PinRef(inst=inst.id, pin=int(pin[1:]))
+            elif pin in _PIN_INDEX:
+                entry[1].append(PinRef(inst=inst.id,
+                                       pin=_PIN_INDEX[pin]))
+            else:
+                raise VerilogParseError(
+                    f"unknown pin {pin!r} on {master_name}")
+
+    for target, source in aliases:
+        entry = net_entry(source)
+        entry[1].append(PinRef(port=target))
+
+    for name, (driver, sinks) in nets.items():
+        if directions.get(name) == OUTPUT:
+            sinks = sinks + [PinRef(port=name)]
+        if driver is None:
+            raise VerilogParseError(f"net {name!r} has no driver")
+        if not sinks:
+            continue  # dangling declared wire
+        is_clock = name.endswith("clk") and (driver.is_port or False)
+        nl.add_net(name, driver, sinks, is_clock=is_clock)
+    return nl

@@ -1,0 +1,80 @@
+"""Dual-Vth assignment (RVT -> HVT swapping).
+
+Implements the paper's Section 6.2 technique: high-Vth cells are ~30%
+slower but leak ~50% less and burn ~5% less internal power, so every
+cell whose slack absorbs the slowdown is swapped.  Because 3D designs
+carry more positive slack (shorter wires), they absorb more swaps -- the
+paper measures 87.8% HVT cells in 2D vs. 94.0% in the folded 3D design,
+and that ordering emerges here from the same mechanism.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..netlist.core import Netlist
+from ..route.estimate import RoutingResult
+from ..tech.cells import VTH_HVT, VTH_RVT, CellLibrary
+from ..timing.sta import STAResult
+from .sizing import _driven_load
+
+
+@dataclass
+class DualVthConfig:
+    """Knobs for Vth assignment."""
+
+    #: keep at least this much slack after a swap (ps)
+    margin_ps: float = 10.0
+    #: see SizingConfig.path_sharing_factor
+    path_sharing_factor: float = 1.5
+    max_moves_per_pass: int = 100000
+
+
+def assign_hvt(netlist: Netlist, routing: RoutingResult, sta: STAResult,
+               library: CellLibrary,
+               config: Optional[DualVthConfig] = None) -> int:
+    """Swap RVT cells to HVT where slack permits; returns move count."""
+    config = config or DualVthConfig()
+    moves = 0
+    candidates = sorted(
+        (iid for iid, s in sta.slack.items() if iid in netlist.instances),
+        key=lambda i: -sta.slack[i])
+    for iid in candidates:
+        if moves >= config.max_moves_per_pass:
+            break
+        inst = netlist.instances[iid]
+        if inst.is_macro or inst.master.vth != VTH_RVT:
+            continue
+        hvt = library.variant(inst.master, vth=VTH_HVT)
+        load = _driven_load(netlist, routing, iid)
+        delta = hvt.delay_ps(load) - inst.master.delay_ps(load)
+        charged = max(delta, 0.0) * config.path_sharing_factor
+        if sta.slack_of(iid) - charged >= config.margin_ps:
+            netlist.replace_master(iid, hvt)
+            moves += 1
+    return moves
+
+
+def restore_rvt_on_violations(netlist: Netlist, sta: STAResult,
+                              library: CellLibrary) -> int:
+    """Swap violating HVT cells back to RVT (timing recovery)."""
+    moves = 0
+    for iid, s in sta.slack.items():
+        if s >= 0 or iid not in netlist.instances:
+            continue
+        inst = netlist.instances[iid]
+        if inst.is_macro or inst.master.vth != VTH_HVT:
+            continue
+        netlist.replace_master(iid, library.variant(inst.master,
+                                                    vth=VTH_RVT))
+        moves += 1
+    return moves
+
+
+def hvt_fraction(netlist: Netlist) -> float:
+    """Fraction of standard cells currently HVT."""
+    cells = netlist.cells
+    if not cells:
+        return 0.0
+    return sum(1 for c in cells if c.master.vth == VTH_HVT) / len(cells)

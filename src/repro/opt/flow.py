@@ -1,0 +1,127 @@
+"""Staged block optimization loop.
+
+Reproduces the paper's Section 2.2 iteration: with the block placed and
+its I/O timing budgets set, run pre-CTS / post-CTS / post-route style
+optimization rounds -- buffer insertion and upsizing for timing, then
+downsizing (and optionally HVT swapping) for power -- re-routing and
+re-timing between transforms so every decision is verified against fresh
+parasitics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from ..cts.tree import CTSResult, synthesize_clock_tree
+from ..netlist.core import Netlist
+from ..route.estimate import RoutingResult
+from ..tech.process import ProcessNode
+from ..timing.sta import STAResult, TimingConfig, run_sta
+from .buffering import BufferingConfig, insert_buffers
+from .dualvth import DualVthConfig, assign_hvt, restore_rvt_on_violations
+from .sizing import SizingConfig, fix_timing, recover_power
+
+RouteFn = Callable[[Netlist], RoutingResult]
+
+
+@dataclass
+class OptimizeConfig:
+    """Configuration of the staged optimization loop."""
+
+    rounds: int = 2
+    dual_vth: bool = False
+    buffering: BufferingConfig = field(default_factory=BufferingConfig)
+    sizing: SizingConfig = field(default_factory=SizingConfig)
+    dualvth: DualVthConfig = field(default_factory=DualVthConfig)
+
+
+@dataclass
+class OptimizeResult:
+    """Final state after optimization."""
+
+    routing: RoutingResult
+    sta: STAResult
+    cts: CTSResult
+    buffers_added: int
+    upsized: int
+    downsized: int
+    hvt_swaps: int
+
+
+def optimize_block(netlist: Netlist, process: ProcessNode,
+                   timing: TimingConfig, route_fn: RouteFn,
+                   config: Optional[OptimizeConfig] = None) -> OptimizeResult:
+    """Run the staged timing/power optimization on a placed block.
+
+    Args:
+        netlist: placed block netlist (mutated in place).
+        process: technology.
+        timing: clock domain and I/O budgets.
+        route_fn: re-routes the netlist (knows layers and 3D via sites).
+        config: loop configuration.
+
+    Returns:
+        The converged routing, timing and clock tree plus move counters.
+    """
+    config = config or OptimizeConfig()
+    lib = process.library
+    routing = route_fn(netlist)
+
+    buffers_added = 0
+    upsized = 0
+    downsized = 0
+    hvt_swaps = 0
+
+    def timing_stage(max_iter: int) -> None:
+        """Repeaters + upsizing to convergence (or iteration cap)."""
+        nonlocal routing, buffers_added, upsized
+        for _ in range(max_iter):
+            sta = run_sta(netlist, routing, process, timing)
+            added = insert_buffers(netlist, routing, lib, config.buffering)
+            if added:
+                buffers_added += added
+                routing = route_fn(netlist)
+                sta = run_sta(netlist, routing, process, timing)
+            ups = fix_timing(netlist, routing, sta, lib, config.sizing)
+            if ups:
+                upsized += ups
+                routing = route_fn(netlist)
+            if not (added or ups):
+                break
+
+    for _ in range(max(1, config.rounds)):
+        timing_stage(max_iter=3)
+
+        # --- power stage: HVT swapping first (leakage is the big lever,
+        # and slack not yet consumed by downsizing absorbs the most
+        # swaps), then chunked downsizing with fresh STA per chunk ------
+        if config.dual_vth:
+            for _chunk in range(3):
+                sta = run_sta(netlist, routing, process, timing)
+                swaps = assign_hvt(netlist, routing, sta, lib,
+                                   config.dualvth)
+                if not swaps:
+                    break
+                hvt_swaps += swaps
+                routing = route_fn(netlist)
+            sta = run_sta(netlist, routing, process, timing)
+            hvt_swaps -= restore_rvt_on_violations(netlist, sta, lib)
+
+        for _chunk in range(4):
+            sta = run_sta(netlist, routing, process, timing)
+            downs = recover_power(netlist, routing, sta, lib, config.sizing)
+            if not downs:
+                break
+            downsized += downs
+            routing = route_fn(netlist)
+
+    # final timing recovery so a power move never ships a violation the
+    # sizing engine could have fixed
+    timing_stage(max_iter=2)
+
+    sta = run_sta(netlist, routing, process, timing)
+    cts = synthesize_clock_tree(netlist, process)
+    return OptimizeResult(routing=routing, sta=sta, cts=cts,
+                          buffers_added=buffers_added, upsized=upsized,
+                          downsized=downsized, hvt_swaps=hvt_swaps)

@@ -1,0 +1,118 @@
+"""Slack-driven gate sizing.
+
+The engine behind the paper's central observation (Section 3.2): "the 3D
+design utilizes more smaller cells than the 2D thanks to better timing
+... with the positive slack, cells can be downsized in the 3D design if
+this change still meets the timing constraint during power optimization
+stages."
+
+Two passes over the STA result:
+
+* :func:`fix_timing` upsizes drivers on negative-slack paths (timing
+  optimization, run first);
+* :func:`recover_power` downsizes cells whose slack exceeds a guard
+  margin, accepting a move only if the locally-estimated delay increase
+  keeps the path met.  Smaller cells also present less input capacitance
+  upstream, so the estimate is conservative.
+
+Both passes are followed by a re-route + re-STA in the optimization loop
+so estimation errors cannot accumulate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from ..netlist.core import Netlist
+from ..route.estimate import RoutingResult
+from ..tech.cells import CellLibrary
+from ..timing.sta import STAResult
+
+
+@dataclass
+class SizingConfig:
+    """Knobs for the sizing passes."""
+
+    #: keep at least this much slack after a downsize (ps)
+    downsize_margin_ps: float = 25.0
+    #: upsize while slack is below this (ps)
+    upsize_target_ps: float = 0.0
+    #: multiple cells of one path downsize in a single pass and their
+    #: delay penalties accumulate; each move is charged this many times
+    #: its local delta so the shared path stays met (verified by the
+    #: fresh STA between chunks)
+    path_sharing_factor: float = 2.5
+    max_moves_per_pass: int = 100000
+
+
+def _driven_load(netlist: Netlist, routing: RoutingResult,
+                 inst_id: int) -> float:
+    total = 0.0
+    for net in netlist.nets_of(inst_id):
+        if net.is_clock or net.driver.is_port or net.driver.inst != inst_id:
+            continue
+        if net.driver.pin != 0:
+            continue  # auxiliary output pins carry their own load
+        routed = routing.nets.get(net.id)
+        if routed is not None:
+            total += routed.total_cap_ff
+    return total
+
+
+def fix_timing(netlist: Netlist, routing: RoutingResult, sta: STAResult,
+               library: CellLibrary,
+               config: Optional[SizingConfig] = None) -> int:
+    """Upsize cells on violating paths; returns the number of moves."""
+    config = config or SizingConfig()
+    moves = 0
+    # worst first so the most critical drivers strengthen earliest
+    violators = sorted(
+        (iid for iid, s in sta.slack.items()
+         if s < config.upsize_target_ps and iid in netlist.instances),
+        key=lambda i: sta.slack[i])
+    for iid in violators:
+        if moves >= config.max_moves_per_pass:
+            break
+        inst = netlist.instances[iid]
+        if inst.is_macro:
+            continue
+        bigger = library.upsize(inst.master)
+        if bigger is None:
+            continue
+        netlist.replace_master(iid, bigger)
+        moves += 1
+    return moves
+
+
+def recover_power(netlist: Netlist, routing: RoutingResult, sta: STAResult,
+                  library: CellLibrary,
+                  config: Optional[SizingConfig] = None) -> int:
+    """Downsize comfortably-met cells; returns the number of moves.
+
+    A move is accepted when the local delay increase (drive resistance
+    and intrinsic delay deltas at the current load) fits inside the
+    cell's slack minus the guard margin.
+    """
+    config = config or SizingConfig()
+    moves = 0
+    candidates = sorted(
+        (iid for iid, s in sta.slack.items()
+         if s > config.downsize_margin_ps and iid in netlist.instances),
+        key=lambda i: -sta.slack[i])
+    for iid in candidates:
+        if moves >= config.max_moves_per_pass:
+            break
+        inst = netlist.instances[iid]
+        if inst.is_macro:
+            continue
+        smaller = library.downsize(inst.master)
+        if smaller is None:
+            continue
+        load = _driven_load(netlist, routing, iid)
+        delta = (smaller.delay_ps(load) - inst.master.delay_ps(load))
+        charged = max(delta, 0.0) * config.path_sharing_factor
+        if sta.slack[iid] - charged >= config.downsize_margin_ps:
+            netlist.replace_master(iid, smaller)
+            moves += 1
+    return moves

@@ -1,0 +1,214 @@
+"""Fiduccia-Mattheyses bipartitioning for die assignment.
+
+Block folding partitions one block's instances across the two tiers.  The
+paper uses either *natural* partitions (PCX/CPX in the CCX, sub-banks in
+the L2 data bank, FUB groups in the SPC) or min-cut partitions balancing
+die area; this module provides the min-cut engine plus helpers to seed it
+from region metadata, with per-instance locking for pre-assigned objects
+(e.g. macros pinned to a tier).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Set
+
+import numpy as np
+
+from ..netlist.core import Netlist
+
+
+@dataclass
+class PartitionResult:
+    """Outcome of bipartitioning: instance id -> die (0/1)."""
+
+    assignment: Dict[int, int]
+    cut_nets: int
+    area: Dict[int, float]
+
+    @property
+    def balance(self) -> float:
+        """Larger-side area fraction (0.5 = perfect balance)."""
+        total = self.area[0] + self.area[1]
+        if total == 0:
+            return 0.5
+        return max(self.area[0], self.area[1]) / total
+
+
+def count_cut(netlist: Netlist, assignment: Dict[int, int]) -> int:
+    """Number of non-clock nets with instances on both dies."""
+    cut = 0
+    for net in netlist.nets.values():
+        if net.is_clock:
+            continue
+        sides = {assignment[r.inst] for r in net.endpoints()
+                 if not r.is_port and r.inst in assignment}
+        if len(sides) > 1:
+            cut += 1
+    return cut
+
+
+def _areas(netlist: Netlist, assignment: Dict[int, int]) -> Dict[int, float]:
+    area = {0: 0.0, 1: 0.0}
+    for iid, side in assignment.items():
+        area[side] += netlist.instances[iid].area_um2
+    return area
+
+
+def fm_bipartition(netlist: Netlist,
+                   initial: Optional[Dict[int, int]] = None,
+                   locked: Optional[Set[int]] = None,
+                   balance_tol: float = 0.10,
+                   max_passes: int = 6,
+                   seed: int = 0) -> PartitionResult:
+    """Min-cut bipartition with area balance.
+
+    Args:
+        netlist: the block netlist (ports are ignored for cut counting).
+        initial: optional starting assignment; unlisted instances are
+            assigned round-robin by locality cluster, which is already a
+            decent split for hierarchically local netlists.
+        locked: instance ids that must keep their initial side.
+        balance_tol: each side must hold within ``0.5 +/- tol`` of area.
+        max_passes: FM pass limit.
+        seed: tie-break randomness.
+
+    Returns:
+        The refined partition.
+    """
+    rng = np.random.default_rng(seed)
+    insts = list(netlist.instances.values())
+    assignment: Dict[int, int] = {}
+    if initial:
+        assignment.update(initial)
+    # default: split the cluster space in half (locality-preserving)
+    clusters = sorted({i.cluster for i in insts})
+    half = set(clusters[: len(clusters) // 2])
+    for inst in insts:
+        if inst.id not in assignment:
+            assignment[inst.id] = 0 if inst.cluster in half else 1
+    locked = set(locked or ())
+
+    total_area = sum(i.area_um2 for i in insts)
+    lo = total_area * (0.5 - balance_tol)
+    hi = total_area * (0.5 + balance_tol)
+
+    # net -> movable instance ids (dedup); instance -> net ids
+    net_members: Dict[int, List[int]] = {}
+    inst_nets: Dict[int, List[int]] = defaultdict(list)
+    for net in netlist.nets.values():
+        if net.is_clock:
+            continue
+        members = sorted({r.inst for r in net.endpoints() if not r.is_port})
+        if len(members) < 2:
+            continue
+        net_members[net.id] = members
+        for m in members:
+            inst_nets[m].append(net.id)
+
+    def side_counts(net_id: int) -> List[int]:
+        counts = [0, 0]
+        for m in net_members[net_id]:
+            counts[assignment[m]] += 1
+        return counts
+
+    area = _areas(netlist, assignment)
+
+    for _ in range(max_passes):
+        counts = {nid: side_counts(nid) for nid in net_members}
+        gains: Dict[int, int] = {}
+        for inst in insts:
+            if inst.id in locked:
+                continue
+            g = 0
+            s = assignment[inst.id]
+            for nid in inst_nets[inst.id]:
+                c = counts[nid]
+                if c[s] == 1 and c[1 - s] > 0:
+                    g += 1  # moving uncuts the net
+                elif c[1 - s] == 0:
+                    g -= 1  # moving cuts the net
+            gains[inst.id] = g
+
+        moved: List[int] = []
+        gain_trace: List[int] = []
+        locked_pass: Set[int] = set(locked)
+        cum = 0
+        order_jitter = {iid: rng.random() for iid in gains}
+
+        for _step in range(len(gains)):
+            best_id, best_gain = None, None
+            for iid, g in gains.items():
+                if iid in locked_pass:
+                    continue
+                s = assignment[iid]
+                a = netlist.instances[iid].area_um2
+                if not (lo <= area[s] - a and area[1 - s] + a <= hi):
+                    continue
+                key = (g, order_jitter[iid])
+                if best_gain is None or key > best_gain:
+                    best_gain, best_id = key, iid
+            if best_id is None:
+                break
+            g = gains[best_id]
+            s = assignment[best_id]
+            a = netlist.instances[best_id].area_um2
+            assignment[best_id] = 1 - s
+            area[s] -= a
+            area[1 - s] += a
+            locked_pass.add(best_id)
+            cum += g
+            moved.append(best_id)
+            gain_trace.append(cum)
+            # update gains of neighbors
+            touched = set()
+            for nid in inst_nets[best_id]:
+                c = counts[nid]
+                c[s] -= 1
+                c[1 - s] += 1
+                touched.update(net_members[nid])
+            for t in touched:
+                if t in locked_pass or t in locked or t not in gains:
+                    continue
+                g2 = 0
+                st = assignment[t]
+                for nid in inst_nets[t]:
+                    c = counts[nid]
+                    if c[st] == 1 and c[1 - st] > 0:
+                        g2 += 1
+                    elif c[1 - st] == 0:
+                        g2 -= 1
+                gains[t] = g2
+            if len(moved) > 2 * len(gains):  # pragma: no cover - safety
+                break
+
+        if not gain_trace or max(gain_trace) <= 0:
+            # revert the whole pass
+            for iid in moved:
+                s = assignment[iid]
+                a = netlist.instances[iid].area_um2
+                assignment[iid] = 1 - s
+                area[s] -= a
+                area[1 - s] += a
+            break
+        # keep the best prefix
+        best_k = int(np.argmax(gain_trace)) + 1
+        for iid in moved[best_k:]:
+            s = assignment[iid]
+            a = netlist.instances[iid].area_um2
+            assignment[iid] = 1 - s
+            area[s] -= a
+            area[1 - s] += a
+
+    return PartitionResult(assignment=assignment,
+                           cut_nets=count_cut(netlist, assignment),
+                           area=_areas(netlist, assignment))
+
+
+def partition_by_clusters(netlist: Netlist, die1_clusters: Iterable[int]
+                          ) -> Dict[int, int]:
+    """Assignment placing instances of the given clusters on die 1."""
+    die1 = set(die1_clusters)
+    return {i.id: (1 if i.cluster in die1 else 0)
+            for i in netlist.instances.values()}

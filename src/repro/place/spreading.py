@@ -1,0 +1,135 @@
+"""Whitespace-aware cell spreading by recursive bisection.
+
+Takes the overlapping quadratic solution and redistributes cells so that
+no region demands more area than it supplies, while preserving the
+relative cell order (which carries the wirelength optimization).  The
+region supply comes from the :class:`~repro.place.grid.DensityGrid`, so
+macro holes are respected automatically -- cells flow around memory
+macros instead of piling against them.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from .grid import DensityGrid, Rect
+
+
+def _supply_in(grid: DensityGrid, rect: Rect) -> float:
+    """Placeable area inside ``rect`` (fractional bin coverage)."""
+    total = 0.0
+    i0 = max(0, int((rect.x0 - grid.region.x0) / grid.bin_w))
+    i1 = min(grid.nx - 1, int((rect.x1 - grid.region.x0) / grid.bin_w - 1e-9))
+    j0 = max(0, int((rect.y0 - grid.region.y0) / grid.bin_h))
+    j1 = min(grid.ny - 1, int((rect.y1 - grid.region.y0) / grid.bin_h - 1e-9))
+    bin_area = grid.bin_w * grid.bin_h
+    for i in range(i0, i1 + 1):
+        bx0 = grid.region.x0 + i * grid.bin_w
+        for j in range(j0, j1 + 1):
+            by0 = grid.region.y0 + j * grid.bin_h
+            cover = Rect(max(bx0, rect.x0), max(by0, rect.y0),
+                         min(bx0 + grid.bin_w, rect.x1),
+                         min(by0 + grid.bin_h, rect.y1)).area
+            if cover > 0:
+                total += grid.supply[i, j] * (cover / bin_area)
+    return total
+
+
+def spread(grid: DensityGrid, xs: np.ndarray, ys: np.ndarray,
+           areas: np.ndarray, rng: np.random.Generator,
+           leaf_cells: int = 6) -> Tuple[np.ndarray, np.ndarray]:
+    """Spread cells into the grid's free area.
+
+    Args:
+        grid: density grid with macro holes already carved out.
+        xs, ys: global-placement coordinates (not modified).
+        areas: cell areas.
+        rng: randomness for intra-leaf jitter.
+        leaf_cells: stop recursing below this many cells per region.
+
+    Returns:
+        New (x, y) arrays with approximately legal density.
+    """
+    n = len(xs)
+    out_x = xs.copy()
+    out_y = ys.copy()
+    if n == 0:
+        return out_x, out_y
+
+    def place_leaf(idx: np.ndarray, rect: Rect) -> None:
+        k = len(idx)
+        if k == 0:
+            return
+        # lay cells on a small sub-grid inside the leaf, preserving the
+        # x-then-y order of the global placement
+        cols = max(1, int(np.ceil(np.sqrt(k * max(rect.width, 1e-6) /
+                                          max(rect.height, 1e-6)))))
+        rows_n = int(np.ceil(k / cols))
+        order = idx[np.lexsort((ys[idx], xs[idx]))]
+        for slot, cell in enumerate(order):
+            ci, rj = slot % cols, slot // cols
+            px = rect.x0 + (ci + 0.5) * rect.width / cols
+            py = rect.y0 + (rj + 0.5) * rect.height / max(rows_n, 1)
+            if grid.in_obstruction(px, py):
+                px, py = _nearest_free(grid, px, py)
+            out_x[cell] = px
+            out_y[cell] = py
+
+    def recurse(idx: np.ndarray, rect: Rect, depth: int) -> None:
+        if len(idx) <= leaf_cells or depth > 40:
+            place_leaf(idx, rect)
+            return
+        horizontal = rect.width >= rect.height
+        if horizontal:
+            mid_lo, mid_hi = rect.x0, rect.x1
+            coords = xs[idx]
+        else:
+            mid_lo, mid_hi = rect.y0, rect.y1
+            coords = ys[idx]
+        mid = 0.5 * (mid_lo + mid_hi)
+        if horizontal:
+            r1 = Rect(rect.x0, rect.y0, mid, rect.y1)
+            r2 = Rect(mid, rect.y0, rect.x1, rect.y1)
+        else:
+            r1 = Rect(rect.x0, rect.y0, rect.x1, mid)
+            r2 = Rect(rect.x0, mid, rect.x1, rect.y1)
+        s1 = _supply_in(grid, r1)
+        s2 = _supply_in(grid, r2)
+        total_supply = s1 + s2
+        if total_supply <= 0:
+            place_leaf(idx, rect)
+            return
+        # split the cell list so area ratio tracks supply ratio
+        order = idx[np.argsort(coords, kind="stable")]
+        cum = np.cumsum(areas[order])
+        target = cum[-1] * (s1 / total_supply)
+        split = int(np.searchsorted(cum, target))
+        split = max(0, min(len(order), split))
+        recurse(order[:split], r1, depth + 1)
+        recurse(order[split:], r2, depth + 1)
+
+    recurse(np.arange(n), grid.region, 0)
+    return out_x, out_y
+
+
+def _nearest_free(grid: DensityGrid, x: float, y: float) -> Tuple[float, float]:
+    """Closest bin center with positive supply (spiral search)."""
+    i, j = grid.bin_of(x, y)
+    if grid.supply[i, j] > 0:
+        return x, y
+    for radius in range(1, max(grid.nx, grid.ny)):
+        best = None
+        for di in range(-radius, radius + 1):
+            for dj in (-radius, radius):
+                for ii, jj in ((i + di, j + dj), (i + dj, j + di)):
+                    if 0 <= ii < grid.nx and 0 <= jj < grid.ny and \
+                            grid.supply[ii, jj] > 0:
+                        cx, cy = grid.bin_center(ii, jj)
+                        d = (cx - x) ** 2 + (cy - y) ** 2
+                        if best is None or d < best[0]:
+                            best = (d, cx, cy)
+        if best is not None:
+            return best[1], best[2]
+    return x, y

@@ -1,0 +1,7 @@
+"""Power analysis and activity propagation."""
+
+from .activity import apply_activity, propagate_activity
+from .analysis import MACRO_ACTIVITY, PowerReport, analyze_power
+
+__all__ = ["MACRO_ACTIVITY", "PowerReport", "analyze_power",
+           "apply_activity", "propagate_activity"]

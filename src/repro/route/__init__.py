@@ -1,0 +1,20 @@
+"""Routing estimation: Steiner trees, parasitics, F2F vias, global routing."""
+
+from .block_router import (BlockRouter, CongestionReport,
+                           route_block_detailed,
+                           route_block_with_router)
+from .estimate import (INTERMEDIATE_LIMIT_UM, LOCAL_LIMIT_UM, RoutedNet,
+                       RoutingResult, SinkPath, layer_class, route_block,
+                       route_net)
+from .global_router import GlobalRouter, RoutedPath
+from .route3d import F2FViaPlan, export_merged_view, place_f2f_vias
+from .steiner import TrunkTree, hpwl_length, steiner_length, trunk_tree
+
+__all__ = [
+    "BlockRouter", "CongestionReport", "route_block_detailed",
+    "route_block_with_router",
+    "INTERMEDIATE_LIMIT_UM", "LOCAL_LIMIT_UM", "RoutedNet", "RoutingResult",
+    "SinkPath", "layer_class", "route_block", "route_net", "GlobalRouter",
+    "RoutedPath", "F2FViaPlan", "export_merged_view", "place_f2f_vias",
+    "TrunkTree", "hpwl_length", "steiner_length", "trunk_tree",
+]

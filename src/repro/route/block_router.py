@@ -1,0 +1,312 @@
+"""Block-level global routing on a real track grid.
+
+The estimation layer (:mod:`repro.route.estimate`) prices every net with
+a trunk Steiner tree; this module actually *routes* them: nets are
+decomposed into two-pin segments (MST order), each segment tries its two
+L-shaped patterns against per-gcell track capacities on its layer class,
+and congested segments fall back to a BFS maze route.  The result is a
+:class:`~repro.route.estimate.RoutingResult` with measured (not
+estimated) lengths plus a congestion report -- and an ablation hook to
+quantify how much the cheap estimator misses.
+
+Layer classes mirror the estimator: local (M2-3), intermediate (M4-6)
+and global (M7+), each with its own capacity from the stack's pitches.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from ..netlist.core import Net, Netlist
+from ..place.grid import Rect
+from ..tech.interconnect3d import Via3D
+from ..tech.layers import MetalStack
+from .estimate import (INTERMEDIATE_LIMIT_UM, LOCAL_LIMIT_UM, RoutedNet,
+                       RoutingResult, SinkPath, layer_class)
+from .steiner import trunk_tree
+
+#: layer classes: (name, lo layer, hi layer)
+LAYER_CLASSES = (("local", 2, 3), ("mid", 4, 6), ("global", 7, 9))
+
+
+def _class_for(length: float, max_metal: int) -> int:
+    if length < LOCAL_LIMIT_UM:
+        return 0
+    if length < INTERMEDIATE_LIMIT_UM or max_metal < 7:
+        return 1
+    return 2
+
+
+@dataclass
+class CongestionReport:
+    """Usage statistics after routing one block."""
+
+    overflow_gcells: int
+    total_gcells: int
+    max_utilization: float
+    detoured_segments: int
+    mazed_segments: int
+    total_segments: int
+
+    @property
+    def overflow_fraction(self) -> float:
+        return self.overflow_gcells / max(self.total_gcells, 1)
+
+
+class BlockRouter:
+    """Capacity-tracked pattern + maze router over a block outline."""
+
+    def __init__(self, outline: Rect, stack: MetalStack,
+                 max_metal: int = 7, gcell_um: float = 24.0) -> None:
+        self.outline = outline
+        self.stack = stack
+        self.max_metal = max_metal
+        self.g = max(gcell_um, 4.0)
+        self.nx = max(2, int(math.ceil(outline.width / self.g)))
+        self.ny = max(2, int(math.ceil(outline.height / self.g)))
+        # per class: tracks crossing one gcell boundary
+        self.capacity: List[float] = []
+        for _name, lo, hi in LAYER_CLASSES:
+            hi = min(hi, max_metal)
+            if lo > max_metal:
+                self.capacity.append(0.0)
+                continue
+            layers = [l for l in stack if lo <= l.index <= hi]
+            tracks = sum(self.g / l.pitch_um for l in layers) / 2.0
+            self.capacity.append(tracks)
+        self.usage = [np.zeros((self.nx, self.ny)) for _ in LAYER_CLASSES]
+        self._detoured = 0
+        self._mazed = 0
+        self._segments = 0
+
+    # -- geometry helpers ---------------------------------------------------
+
+    def gcell(self, x: float, y: float) -> Tuple[int, int]:
+        i = int(np.clip((x - self.outline.x0) / self.g, 0, self.nx - 1))
+        j = int(np.clip((y - self.outline.y0) / self.g, 0, self.ny - 1))
+        return i, j
+
+    def _cells_of_l(self, a: Tuple[int, int], b: Tuple[int, int],
+                    corner_first_x: bool) -> List[Tuple[int, int]]:
+        """G-cells of one L-shaped route from a to b."""
+        (ax, ay), (bx, by) = a, b
+        cells: List[Tuple[int, int]] = []
+        if corner_first_x:
+            xs = range(min(ax, bx), max(ax, bx) + 1)
+            cells.extend((i, ay) for i in xs)
+            ys = range(min(ay, by), max(ay, by) + 1)
+            cells.extend((bx, j) for j in ys)
+        else:
+            ys = range(min(ay, by), max(ay, by) + 1)
+            cells.extend((ax, j) for j in ys)
+            xs = range(min(ax, bx), max(ax, bx) + 1)
+            cells.extend((i, by) for i in xs)
+        return cells
+
+    def _cost(self, cells: Sequence[Tuple[int, int]], cls: int) -> float:
+        cap = max(self.capacity[cls], 1e-6)
+        usage = self.usage[cls]
+        cost = 0.0
+        for i, j in cells:
+            u = usage[i, j] / cap
+            cost += 1.0 + (4.0 * (u - 0.85) if u > 0.85 else 0.0) + \
+                (25.0 * (u - 1.0) if u > 1.0 else 0.0)
+        return cost
+
+    def _commit(self, cells: Sequence[Tuple[int, int]], cls: int) -> None:
+        usage = self.usage[cls]
+        for i, j in cells:
+            usage[i, j] += 1.0
+
+    def _maze(self, a: Tuple[int, int], b: Tuple[int, int],
+              cls: int) -> Optional[List[Tuple[int, int]]]:
+        """Dijkstra over gcells with congestion costs."""
+        cap = max(self.capacity[cls], 1e-6)
+        usage = self.usage[cls]
+        dist = {a: 0.0}
+        prev: Dict[Tuple[int, int], Tuple[int, int]] = {}
+        heap = [(0.0, a)]
+        seen: Set[Tuple[int, int]] = set()
+        while heap:
+            d, node = heapq.heappop(heap)
+            if node in seen:
+                continue
+            seen.add(node)
+            if node == b:
+                break
+            i, j = node
+            for ni, nj in ((i + 1, j), (i - 1, j), (i, j + 1),
+                           (i, j - 1)):
+                if not (0 <= ni < self.nx and 0 <= nj < self.ny):
+                    continue
+                u = usage[ni, nj] / cap
+                step = 1.0 + (6.0 * (u - 0.85) if u > 0.85 else 0.0) + \
+                    (40.0 * (u - 1.0) if u > 1.0 else 0.0)
+                nd = d + step
+                if nd < dist.get((ni, nj), math.inf):
+                    dist[(ni, nj)] = nd
+                    prev[(ni, nj)] = node
+                    heapq.heappush(heap, (nd, (ni, nj)))
+        if b not in dist:
+            return None
+        path = [b]
+        while path[-1] != a:
+            path.append(prev[path[-1]])
+        path.reverse()
+        return path
+
+    # -- segment routing ------------------------------------------------------
+
+    def route_segment(self, p0: Tuple[float, float],
+                      p1: Tuple[float, float],
+                      cls: int) -> float:
+        """Route one two-pin segment; returns its routed length (um)."""
+        self._segments += 1
+        a = self.gcell(*p0)
+        b = self.gcell(*p1)
+        manhattan = abs(p0[0] - p1[0]) + abs(p0[1] - p1[1])
+        if a == b:
+            return manhattan
+        l1 = self._cells_of_l(a, b, corner_first_x=True)
+        l2 = self._cells_of_l(a, b, corner_first_x=False)
+        c1, c2 = self._cost(l1, cls), self._cost(l2, cls)
+        best_cells, best_cost = (l1, c1) if c1 <= c2 else (l2, c2)
+        straight_cells = len(best_cells)
+        # maze only when the pattern route is badly congested
+        if best_cost > 1.8 * straight_cells:
+            mazed = self._maze(a, b, cls)
+            if mazed is not None and \
+                    self._cost(mazed, cls) < best_cost:
+                best_cells = mazed
+                self._mazed += 1
+        self._commit(best_cells, cls)
+        routed = max(manhattan, (len(best_cells) - 1) * self.g)
+        if routed > manhattan * 1.05 + self.g:
+            self._detoured += 1
+        return routed
+
+    def congestion(self) -> CongestionReport:
+        """Aggregate usage statistics."""
+        overflow = 0
+        max_util = 0.0
+        for cls, usage in enumerate(self.usage):
+            cap = max(self.capacity[cls], 1e-6)
+            util = usage / cap
+            overflow += int((util > 1.0).sum())
+            max_util = max(max_util, float(util.max()))
+        return CongestionReport(
+            overflow_gcells=overflow,
+            total_gcells=self.nx * self.ny * len(LAYER_CLASSES),
+            max_utilization=max_util,
+            detoured_segments=self._detoured,
+            mazed_segments=self._mazed,
+            total_segments=self._segments)
+
+
+def _mst_edges(pins: List[Tuple[float, float]]
+               ) -> List[Tuple[int, int]]:
+    """Prim's MST over the pin set (Manhattan metric)."""
+    n = len(pins)
+    if n < 2:
+        return []
+    in_tree = [False] * n
+    best = [math.inf] * n
+    parent = [0] * n
+    best[0] = 0.0
+    edges: List[Tuple[int, int]] = []
+    for _ in range(n):
+        u = min((i for i in range(n) if not in_tree[i]),
+                key=lambda i: best[i])
+        in_tree[u] = True
+        if u != 0:
+            edges.append((parent[u], u))
+        for v in range(n):
+            if in_tree[v]:
+                continue
+            d = abs(pins[u][0] - pins[v][0]) + \
+                abs(pins[u][1] - pins[v][1])
+            if d < best[v]:
+                best[v] = d
+                parent[v] = u
+    return edges
+
+
+def route_block_detailed(netlist: Netlist, stack: MetalStack,
+                         outline: Rect, max_metal: int = 7,
+                         via: Optional[Via3D] = None,
+                         via_sites: Optional[Dict[int, Tuple[float,
+                                                             float]]] = None,
+                         long_wire_um: float = 120.0,
+                         gcell_um: float = 24.0
+                         ) -> Tuple[RoutingResult, CongestionReport]:
+    """Globally route every non-clock net against track capacities.
+
+    Returns a :class:`RoutingResult` compatible with the timing/power
+    engines (per-sink paths scale the trunk estimate by the measured
+    detour of the whole net) plus the congestion report.
+    """
+    result, congestion, _router = route_block_with_router(
+        netlist, stack, outline, max_metal=max_metal, via=via,
+        via_sites=via_sites, long_wire_um=long_wire_um,
+        gcell_um=gcell_um)
+    return result, congestion
+
+
+def route_block_with_router(netlist: Netlist, stack: MetalStack,
+                            outline: Rect, max_metal: int = 7,
+                            via: Optional[Via3D] = None,
+                            via_sites: Optional[Dict[int, Tuple[
+                                float, float]]] = None,
+                            long_wire_um: float = 120.0,
+                            gcell_um: float = 24.0
+                            ) -> Tuple[RoutingResult, CongestionReport,
+                                       "BlockRouter"]:
+    """:func:`route_block_detailed` that also hands back the router,
+    whose usage maps drive the SI derating (:mod:`repro.timing.si`)."""
+    router = BlockRouter(outline, stack, max_metal=max_metal,
+                         gcell_um=gcell_um)
+    via_sites = via_sites or {}
+    result = RoutingResult()
+
+    # big nets first: they claim tracks before the small fry fill in
+    nets = sorted((n for n in netlist.nets.values() if not n.is_clock),
+                  key=lambda n: -n.degree)
+    for net in nets:
+        pins: List[Tuple[float, float]] = []
+        drv = netlist.endpoint_position(net.driver)
+        pins.append((drv[0], drv[1]))
+        for s in net.sinks:
+            p = netlist.endpoint_position(s)
+            pins.append((p[0], p[1]))
+        site = via_sites.get(net.id)
+        if site is not None:
+            pins.append(site)
+        tree = trunk_tree(pins)
+        est_len = max(tree.length_um, 1e-6)
+        cls = _class_for(est_len, max_metal)
+        routed_len = 0.0
+        for i, j in _mst_edges(pins):
+            routed_len += router.route_segment(pins[i], pins[j], cls)
+        detour = max(1.0, routed_len / est_len)
+        r, c = layer_class(routed_len, stack, max_metal)
+        sinks = []
+        for s in net.sinks:
+            p = netlist.endpoint_position(s)
+            plen = tree.path_length((drv[0], drv[1]),
+                                    (p[0], p[1])) * detour
+            through = (site is not None and p[2] != drv[2])
+            sinks.append(SinkPath(ref=s, path_len_um=plen,
+                                  through_via=through,
+                                  pin_cap_ff=netlist.endpoint_cap_ff(s)))
+        result.nets[net.id] = RoutedNet(
+            net_id=net.id, length_um=routed_len, r_per_um=r, c_per_um=c,
+            wire_cap_ff=c * routed_len,
+            via=via if site is not None else None, sinks=sinks,
+            is_long=routed_len > long_wire_um)
+    return result, router.congestion(), router

@@ -1,0 +1,197 @@
+"""Per-net routing and parasitic estimation.
+
+Converts placed nets into electrical models for timing and power:
+
+* wirelength from the trunk Steiner tree (per tier for 3D nets, joined
+  by a TSV / F2F via at its legalized site);
+* a routing-layer class by length -- short nets on thin local metal,
+  long nets promoted to the thick upper layers a block may use (most T2
+  blocks stop at M7; the SPC gets M8/M9, paper Section 2.2);
+* lumped wire capacitance plus per-sink Elmore path estimates, including
+  the via's RC for sinks on the far tier.
+
+This is the model's stand-in for detailed routing + RC extraction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..netlist.core import Net, Netlist, PinRef
+from ..tech.interconnect3d import Via3D
+from ..tech.layers import MetalStack
+from .steiner import trunk_tree
+
+#: length thresholds (um) separating local / intermediate / global layers
+LOCAL_LIMIT_UM = 40.0
+INTERMEDIATE_LIMIT_UM = 160.0
+
+
+@dataclass
+class SinkPath:
+    """Electrical path from the driver to one sink."""
+
+    ref: PinRef
+    path_len_um: float
+    through_via: bool
+    pin_cap_ff: float
+
+
+@dataclass
+class RoutedNet:
+    """Parasitic summary of one routed net."""
+
+    net_id: int
+    length_um: float
+    r_per_um: float
+    c_per_um: float
+    wire_cap_ff: float
+    via: Optional[Via3D]
+    sinks: List[SinkPath]
+    is_long: bool
+
+    @property
+    def total_cap_ff(self) -> float:
+        """Load seen by the driver: wire + pins (+ via)."""
+        cap = self.wire_cap_ff + sum(s.pin_cap_ff for s in self.sinks)
+        if self.via is not None:
+            cap += self.via.capacitance_ff
+        return cap
+
+    def sink_wire_delay_ps(self, sink: SinkPath) -> float:
+        """Elmore delay of the wire (and via) to one sink."""
+        length = sink.path_len_um
+        r = self.r_per_um * length
+        delay = r * (self.c_per_um * length / 2.0 + sink.pin_cap_ff)
+        if sink.through_via and self.via is not None:
+            delay += self.via.delay_ps(sink.pin_cap_ff)
+        return delay
+
+
+def layer_class(length_um: float, stack: MetalStack,
+                max_metal: int) -> Tuple[float, float]:
+    """(r_per_um, c_per_um) for the layer range a net of this length uses."""
+    if length_um < LOCAL_LIMIT_UM:
+        return stack.effective_rc(2, min(3, max_metal))
+    if length_um < INTERMEDIATE_LIMIT_UM:
+        return stack.effective_rc(4, min(6, max_metal))
+    return stack.effective_rc(min(7, max_metal), max_metal)
+
+
+def route_net(netlist: Netlist, net: Net, stack: MetalStack,
+              max_metal: int = 7,
+              via: Optional[Via3D] = None,
+              via_xy: Optional[Tuple[float, float]] = None,
+              long_wire_um: float = 120.0,
+              detour_factor: float = 1.0) -> RoutedNet:
+    """Route one net and estimate its parasitics.
+
+    For tier-crossing nets, supply both ``via`` (the 3D interconnect
+    element) and ``via_xy`` (its legalized location); the net is then
+    routed as two per-tier trees joined at the via.
+
+    Args:
+        netlist: the placed netlist.
+        net: the net to route.
+        stack: metal stack for layer parasitics.
+        max_metal: highest layer the block may use.
+        via: 3D via element for crossing nets.
+        via_xy: legalized via location.
+        long_wire_um: the paper's long-wire threshold (100x cell height).
+        detour_factor: multiplies tree length (congestion detours).
+
+    Returns:
+        The routed-net parasitic summary.
+    """
+    driver_pos = netlist.endpoint_position(net.driver)
+    sink_info = [(ref, netlist.endpoint_position(ref),
+                  netlist.endpoint_cap_ff(ref)) for ref in net.sinks]
+
+    crossing = via is not None and via_xy is not None
+    if not crossing:
+        pins = [(driver_pos[0], driver_pos[1])] + \
+            [(p[0], p[1]) for _, p, _ in sink_info]
+        tree = trunk_tree(pins)
+        length = tree.length_um * detour_factor
+        r, c = layer_class(length, stack, max_metal)
+        sinks = [
+            SinkPath(ref=ref,
+                     path_len_um=tree.path_length(
+                         (driver_pos[0], driver_pos[1]),
+                         (p[0], p[1])) * detour_factor,
+                     through_via=False, pin_cap_ff=cap)
+            for ref, p, cap in sink_info
+        ]
+        return RoutedNet(net_id=net.id, length_um=length, r_per_um=r,
+                         c_per_um=c, wire_cap_ff=c * length, via=None,
+                         sinks=sinks, is_long=length > long_wire_um)
+
+    # tier-crossing net: per-tier trees joined at the via
+    drv_die = driver_pos[2]
+    near = [(driver_pos[0], driver_pos[1]), via_xy]
+    far = [via_xy]
+    for _, p, _ in sink_info:
+        (near if p[2] == drv_die else far).append((p[0], p[1]))
+    near_tree = trunk_tree(near)
+    far_tree = trunk_tree(far)
+    length = (near_tree.length_um + far_tree.length_um) * detour_factor
+    r, c = layer_class(length, stack, max_metal)
+    drv_to_via = near_tree.path_length(
+        (driver_pos[0], driver_pos[1]), via_xy) * detour_factor
+    sinks = []
+    for ref, p, cap in sink_info:
+        if p[2] == drv_die:
+            plen = near_tree.path_length((driver_pos[0], driver_pos[1]),
+                                         (p[0], p[1])) * detour_factor
+            through = False
+        else:
+            plen = drv_to_via + far_tree.path_length(
+                via_xy, (p[0], p[1])) * detour_factor
+            through = True
+        sinks.append(SinkPath(ref=ref, path_len_um=plen,
+                              through_via=through, pin_cap_ff=cap))
+    return RoutedNet(net_id=net.id, length_um=length, r_per_um=r,
+                     c_per_um=c, wire_cap_ff=c * length, via=via,
+                     sinks=sinks, is_long=length > long_wire_um)
+
+
+@dataclass
+class RoutingResult:
+    """All routed nets of a block plus aggregate statistics."""
+
+    nets: Dict[int, RoutedNet] = field(default_factory=dict)
+
+    @property
+    def total_wirelength_um(self) -> float:
+        return sum(r.length_um for r in self.nets.values())
+
+    @property
+    def long_wire_count(self) -> int:
+        return sum(1 for r in self.nets.values() if r.is_long)
+
+    def of(self, net_id: int) -> RoutedNet:
+        return self.nets[net_id]
+
+
+def route_block(netlist: Netlist, stack: MetalStack, max_metal: int = 7,
+                via: Optional[Via3D] = None,
+                via_sites: Optional[Dict[int, Tuple[float, float]]] = None,
+                long_wire_um: float = 120.0,
+                detour_factor: float = 1.0) -> RoutingResult:
+    """Route every non-clock net of a block.
+
+    ``via_sites`` maps crossing net ids to legalized via locations (from
+    the 3D placer or the F2F via placer).
+    """
+    result = RoutingResult()
+    via_sites = via_sites or {}
+    for net in netlist.nets.values():
+        if net.is_clock:
+            continue
+        xy = via_sites.get(net.id)
+        result.nets[net.id] = route_net(
+            netlist, net, stack, max_metal=max_metal,
+            via=via if xy is not None else None, via_xy=xy,
+            long_wire_um=long_wire_um, detour_factor=detour_factor)
+    return result

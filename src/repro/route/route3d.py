@@ -1,0 +1,153 @@
+"""F2F via placement by 3D-net routing (paper Section 5.1).
+
+The paper's key CAD contribution for face-to-face bonding: since F2F vias
+can sit *anywhere* (over cells and macros alike), 3D placement algorithms
+built for TSVs are the wrong tool.  Instead the paper:
+
+1. runs the 3D placer with an *ideal* 3D interconnect (zero size);
+2. merges both dies into one "2D-like" design view -- cells, macros and
+   metal layers of both dies renamed apart (``M1_die_top`` ...), with the
+   F2F bond modeled as the via between the two M9 layers;
+3. routes only the 3D nets in this merged view (2D nets are tied off so
+   they cannot influence the result);
+4. reads each 3D net's top-metal crossing point back as its F2F via.
+
+This module reproduces that flow.  Step 3's router is the trunk Steiner
+model over the merged pin set; the crossing point is the tree tap closest
+to the far tier's pins, followed by fine-pitch conflict legalization.
+The merged-view exporter (:func:`export_merged_view`) emits the 2D-like
+netlist text the paper feeds to a commercial router, which documents the
+flow and is exercised by the tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..netlist.core import Net, Netlist
+from ..place.grid import Rect
+from ..place.placer3d import _ViaLegalizer, crossing_nets
+from ..tech.process import ProcessNode
+from .steiner import trunk_tree
+
+
+@dataclass
+class F2FViaPlan:
+    """Result of the F2F via placement flow."""
+
+    sites: Dict[int, Tuple[float, float]]
+    #: total displacement introduced by conflict legalization (um)
+    total_displacement_um: float
+
+    @property
+    def n_vias(self) -> int:
+        return len(self.sites)
+
+
+def _crossing_point(netlist: Netlist, net: Net) -> Tuple[float, float]:
+    """Where the merged-view route of a 3D net crosses the bond plane.
+
+    Routing the merged pin set with a trunk tree, the natural crossing
+    point is the trunk tap of the far-tier pin closest to the driver-tier
+    centroid: every far-tier sink is reached through it.
+    """
+    driver_pos = netlist.endpoint_position(net.driver)
+    drv_die = driver_pos[2]
+    merged = [(driver_pos[0], driver_pos[1])]
+    far: List[Tuple[float, float]] = []
+    for ref in net.sinks:
+        x, y, die = netlist.endpoint_position(ref)
+        merged.append((x, y))
+        if die != drv_die:
+            far.append((x, y))
+    if not far:
+        # driver is alone on its tier only via ports; fall back to centroid
+        cx = sum(p[0] for p in merged) / len(merged)
+        cy = sum(p[1] for p in merged) / len(merged)
+        return cx, cy
+    tree = trunk_tree(merged)
+    fx = sum(p[0] for p in far) / len(far)
+    fy = sum(p[1] for p in far) / len(far)
+    near = [p for p in merged if p not in far] or [merged[0]]
+    nx = sum(p[0] for p in near) / len(near)
+    ny = sum(p[1] for p in near) / len(near)
+    best = min(far, key=lambda p: abs(p[0] - driver_pos[0]) +
+               abs(p[1] - driver_pos[1]))
+    # two crossing candidates the router would consider: the trunk tap of
+    # the closest far pin, and the midpoint between the per-tier loads
+    candidates = [tree.tap_point(best),
+                  (0.5 * (nx + fx), 0.5 * (ny + fy))]
+
+    def added_length(pt) -> float:
+        return (abs(pt[0] - nx) + abs(pt[1] - ny) +
+                abs(pt[0] - fx) + abs(pt[1] - fy))
+
+    return min(candidates, key=added_length)
+
+
+def place_f2f_vias(netlist: Netlist, outline: Rect,
+                   process: ProcessNode) -> F2FViaPlan:
+    """Run the Section 5.1 flow: route 3D nets, extract F2F via sites.
+
+    Instances must already be placed with tier assignments (the ideal-
+    interconnect 3D placement).  Returns one via site per crossing net,
+    legalized on the F2F via pitch with no keepouts -- F2F vias are free
+    to sit over macros, which is precisely their advantage (Fig. 6b).
+    """
+    via = process.f2f_via
+    legalizer = _ViaLegalizer(outline, via.pitch_um, keepouts=[])
+    sites: Dict[int, Tuple[float, float]] = {}
+    total_disp = 0.0
+    for net in sorted(crossing_nets(netlist), key=lambda n: n.id):
+        ix, iy = _crossing_point(netlist, net)
+        ix, iy = outline.clamp(ix, iy)
+        x, y = legalizer.snap(ix, iy)
+        sites[net.id] = (x, y)
+        total_disp += abs(x - ix) + abs(y - iy)
+    return F2FViaPlan(sites=sites, total_displacement_um=total_disp)
+
+
+def export_merged_view(netlist: Netlist, outline: Rect,
+                       die_names: Tuple[str, str] = ("die_top", "die_bot"),
+                       max_nets: Optional[int] = None) -> str:
+    """Emit the 2D-like merged design view of the paper's Fig. 4b.
+
+    Cells and layers of the two tiers are renamed apart so a 2D tool sees
+    one flat design; 2D nets are tied to ground so only 3D nets influence
+    routing.  The text uses a compact DEF-like syntax.
+    """
+    lines: List[str] = []
+    lines.append(f"DESIGN {netlist.name}_3dview ;")
+    lines.append(f"DIEAREA ( {outline.x0:.2f} {outline.y0:.2f} ) "
+                 f"( {outline.x1:.2f} {outline.y1:.2f} ) ;")
+    lines.append("LAYERS " + " ".join(
+        f"M{i}_{d}" for d in die_names for i in range(1, 10)) + " F2F ;")
+    lines.append("COMPONENTS")
+    for inst in sorted(netlist.instances.values(), key=lambda i: i.id):
+        die = die_names[inst.die]
+        master = inst.master.name
+        lines.append(f"  {inst.name} {master}_{die} "
+                     f"( {inst.x:.2f} {inst.y:.2f} ) ;")
+    lines.append("END COMPONENTS")
+    lines.append("NETS")
+    count = 0
+    for net in sorted(netlist.nets.values(), key=lambda n: n.id):
+        if net.is_clock:
+            continue
+        dies = {netlist.endpoint_position(ref)[2]
+                for ref in net.endpoints()}
+        if len(dies) > 1:
+            pins = " ".join(
+                f"( {ref.port or netlist.instances[ref.inst].name} )"
+                for ref in net.endpoints())
+            lines.append(f"  {net.name} 3DNET {pins} ;")
+        else:
+            lines.append(f"  {net.name} TIED_TO_GROUND ;")
+        count += 1
+        if max_nets is not None and count >= max_nets:
+            lines.append("  ... ;")
+            break
+    lines.append("END NETS")
+    lines.append("END DESIGN")
+    return "\n".join(lines)

@@ -1,0 +1,87 @@
+"""Rectilinear Steiner tree approximation (trunk model).
+
+Detailed routing is far beyond what the study needs; what matters is a
+wirelength and per-sink path-length estimate that responds correctly to
+placement.  The trunk (spine) model -- a horizontal trunk at the median y
+spanning the pins' x-range, with vertical stubs to every pin -- is a
+classic RSMT approximation that is exact for 2-pin nets, within a few
+percent of RSMT for low-degree nets, and cheap enough to run on every net
+after every optimization pass.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+
+@dataclass
+class TrunkTree:
+    """A trunk Steiner topology over a pin set.
+
+    Attributes:
+        trunk_y: y coordinate of the horizontal trunk.
+        x_min / x_max: trunk extent.
+        pins: the (x, y) pin positions.
+        length_um: total tree wirelength.
+    """
+
+    trunk_y: float
+    x_min: float
+    x_max: float
+    pins: List[Tuple[float, float]]
+    length_um: float
+
+    def path_length(self, a: Tuple[float, float],
+                    b: Tuple[float, float]) -> float:
+        """Tree path length between two pins (via their trunk taps)."""
+        return (abs(a[1] - self.trunk_y) + abs(b[1] - self.trunk_y) +
+                abs(a[0] - b[0]))
+
+    def tap_point(self, pin: Tuple[float, float]) -> Tuple[float, float]:
+        """Where a pin's stub meets the trunk."""
+        x = min(max(pin[0], self.x_min), self.x_max)
+        return x, self.trunk_y
+
+
+def _median(values: Sequence[float]) -> float:
+    s = sorted(values)
+    n = len(s)
+    mid = n // 2
+    if n % 2:
+        return s[mid]
+    return 0.5 * (s[mid - 1] + s[mid])
+
+
+def trunk_tree(pins: Sequence[Tuple[float, float]]) -> TrunkTree:
+    """Build the trunk Steiner tree over ``pins``.
+
+    Degenerate pin sets (zero or one pin) yield zero-length trees.
+    """
+    pts = list(pins)
+    if not pts:
+        return TrunkTree(0.0, 0.0, 0.0, [], 0.0)
+    if len(pts) == 1:
+        x, y = pts[0]
+        return TrunkTree(y, x, x, pts, 0.0)
+    xs = [p[0] for p in pts]
+    ys = [p[1] for p in pts]
+    ty = _median(ys)
+    x_min, x_max = min(xs), max(xs)
+    length = (x_max - x_min) + sum(abs(y - ty) for y in ys)
+    return TrunkTree(ty, x_min, x_max, pts, length)
+
+
+def steiner_length(pins: Sequence[Tuple[float, float]]) -> float:
+    """Trunk-tree wirelength of a pin set (um)."""
+    return trunk_tree(pins).length_um
+
+
+def hpwl_length(pins: Sequence[Tuple[float, float]]) -> float:
+    """Half-perimeter wirelength of a pin set (um)."""
+    pts = list(pins)
+    if len(pts) < 2:
+        return 0.0
+    xs = [p[0] for p in pts]
+    ys = [p[1] for p in pts]
+    return (max(xs) - min(xs)) + (max(ys) - min(ys))

@@ -1,0 +1,24 @@
+"""Technology models: metal stack, cell library, macros, 3D interconnect."""
+
+from .cells import (BASE_CELL_HEIGHT_UM, CELL_HEIGHT_UM, COMBINATIONAL_MIX,
+                    DRIVE_STRENGTHS, GEOMETRY_SCALE, POWER_SCALE,
+                    VTH_FLAVORS, VTH_HVT, VTH_RVT, CellLibrary, CellMaster,
+                    make_28nm_library)
+from .corners import CORNERS, Corner, corner_library, corner_process
+from .export import write_lef, write_liberty
+from .interconnect3d import (Via3D, katti_tsv_capacitance,
+                             katti_tsv_resistance, make_f2f_via, make_tsv,
+                             tsv_wire_coupling_ff)
+from .layers import MetalLayer, MetalStack, make_28nm_stack
+from .macros import MacroMaster, default_macro_menu, sram_macro
+from .process import CPU_CLOCK, IO_CLOCK, ProcessNode, make_process
+
+__all__ = [
+    "CELL_HEIGHT_UM", "COMBINATIONAL_MIX", "DRIVE_STRENGTHS", "VTH_FLAVORS",
+    "VTH_HVT", "VTH_RVT", "CellLibrary", "CellMaster", "make_28nm_library",
+    "Via3D", "katti_tsv_capacitance", "katti_tsv_resistance", "make_f2f_via",
+    "make_tsv", "tsv_wire_coupling_ff", "write_lef", "write_liberty",
+    "CORNERS", "Corner", "corner_library", "corner_process", "MetalLayer", "MetalStack", "make_28nm_stack", "MacroMaster",
+    "default_macro_menu", "sram_macro", "CPU_CLOCK", "IO_CLOCK",
+    "ProcessNode", "make_process",
+]

@@ -1,0 +1,237 @@
+"""Standard-cell library model (28 nm class, RVT + HVT).
+
+The paper synthesizes every block with a Synopsys 28 nm cell library and
+optimizes power by *gate sizing* (picking smaller drive strengths when a
+path has positive slack) and by *dual-Vth assignment* (swapping regular-Vth
+cells for high-Vth cells that are ~30% slower but leak ~50% less and burn
+~5% less internal power -- paper Section 6.2).  This module provides the
+cell master data those optimizations act on.
+
+A cell master is characterized, per the usual liberty abstractions, by:
+
+* ``area_um2``           -- placement area,
+* ``input_cap_ff``       -- capacitance of each input pin,
+* ``drive_res_kohm``     -- equivalent output drive resistance,
+* ``intrinsic_delay_ps`` -- parasitic (unloaded) delay,
+* ``internal_energy_fj`` -- internal (short-circuit + diffusion) energy per
+  output toggle,
+* ``leakage_uw``         -- static leakage power.
+
+Drive strength ``Xn`` scales drive resistance by ``1/n`` and area, input
+capacitance, internal energy and leakage by roughly ``n``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+#: Model-scale geometry factor.  The generator instantiates ~1/400 of the
+#: silicon's cell count (DESIGN.md Section 5); to keep *wirelengths* and
+#: everything derived from them (Elmore delays, wire power, repeater
+#: spacing, TSV area fractions, the 100x-cell-height long-wire threshold)
+#: in true micrometres, each model cell carries the placement area of the
+#: ~100 real cells it stands for: linear dimensions scale by 10.
+GEOMETRY_SCALE = 10.0
+
+#: Physical (28 nm) standard-cell row height in micrometres.  The paper
+#: defines "long wires" as wires longer than 100x this height (Table 3).
+BASE_CELL_HEIGHT_UM = 1.2
+
+#: Model-cell row height (fat cells, see GEOMETRY_SCALE).
+CELL_HEIGHT_UM = BASE_CELL_HEIGHT_UM * GEOMETRY_SCALE
+
+#: Power-scale factors: a model cell also aggregates the internal and
+#: leakage power of the logic it stands for, keeping the block-level
+#: cell-power vs. net-power balance at the paper's values (Table 3) and
+#: the chip leakage share near the paper's ~7-15% (Tables 2/5).
+POWER_SCALE = 12.0
+LEAKAGE_SCALE = 60.0
+
+#: Drive strengths available for every function.
+DRIVE_STRENGTHS = (1, 2, 4, 8, 16)
+
+#: Threshold-voltage flavors.
+VTH_RVT = "RVT"
+VTH_HVT = "HVT"
+VTH_FLAVORS = (VTH_RVT, VTH_HVT)
+
+# HVT derating relative to RVT, per the paper's Section 6.2: "around 30%
+# slower, yet 50% lower leakage and 5% smaller cell power".
+HVT_DELAY_FACTOR = 1.30
+HVT_LEAKAGE_FACTOR = 0.50
+HVT_INTERNAL_FACTOR = 0.95
+
+
+@dataclass(frozen=True)
+class CellMaster:
+    """One library cell (a function at a drive strength and Vth flavor)."""
+
+    name: str
+    function: str
+    drive: int
+    vth: str
+    n_inputs: int
+    is_sequential: bool
+    area_um2: float
+    input_cap_ff: float
+    drive_res_kohm: float
+    intrinsic_delay_ps: float
+    internal_energy_fj: float
+    leakage_uw: float
+    #: clock-pin capacitance, nonzero only for sequential cells
+    clock_pin_cap_ff: float = 0.0
+
+    def delay_ps(self, load_ff: float) -> float:
+        """First-order cell delay driving ``load_ff`` femtofarads."""
+        return self.intrinsic_delay_ps + self.drive_res_kohm * load_ff
+
+    @property
+    def is_buffer(self) -> bool:
+        """True for repeaters (BUF/INV), counted in the paper's tables."""
+        return self.function in ("BUF", "INV")
+
+
+# Base (X1, RVT) characteristics per logic function.
+#   function: (n_inputs, sequential, area, c_in, r_drive, d_int, e_int, leak)
+_BASE_FUNCTIONS: Dict[str, Tuple[int, bool, float, float, float, float, float, float]] = {
+    #                 in  seq  area   cin   rdrv   dint   eint   leak
+    "INV":    (1, False, 0.65, 0.90, 4.20, 4.0, 0.55, 0.0040),
+    "BUF":    (1, False, 0.98, 0.95, 3.80, 7.5, 0.95, 0.0062),
+    "NAND2":  (2, False, 0.98, 1.05, 4.60, 5.5, 0.75, 0.0058),
+    "NOR2":   (2, False, 0.98, 1.10, 5.20, 6.0, 0.78, 0.0060),
+    "AND2":   (2, False, 1.30, 1.00, 4.40, 8.0, 1.00, 0.0072),
+    "OR2":    (2, False, 1.30, 1.05, 4.80, 8.5, 1.05, 0.0074),
+    "XOR2":   (2, False, 1.95, 1.60, 5.60, 11.0, 1.60, 0.0115),
+    "AOI21":  (3, False, 1.30, 1.15, 5.00, 7.0, 0.95, 0.0080),
+    "MUX2":   (3, False, 1.95, 1.30, 5.20, 10.0, 1.45, 0.0110),
+    "DFF":    (2, True, 4.60, 1.20, 4.80, 45.0, 3.80, 0.0260),
+}
+
+#: Combinational functions the random-logic generator draws from, with
+#: weights roughly matching post-synthesis function histograms.
+COMBINATIONAL_MIX: List[Tuple[str, float]] = [
+    ("INV", 0.18), ("NAND2", 0.22), ("NOR2", 0.12), ("AND2", 0.10),
+    ("OR2", 0.08), ("XOR2", 0.08), ("AOI21", 0.12), ("MUX2", 0.10),
+    ("BUF", 0.00),  # buffers come only from optimization, not synthesis
+]
+
+
+def _master_name(function: str, drive: int, vth: str) -> str:
+    suffix = "" if vth == VTH_RVT else "_HVT"
+    return f"{function}_X{drive}{suffix}"
+
+
+def _build_master(function: str, drive: int, vth: str) -> CellMaster:
+    (n_in, seq, area, cin, rdrv, dint, eint, leak) = _BASE_FUNCTIONS[function]
+    # Size scaling: area/cap/energy/leakage grow ~linearly with drive,
+    # drive resistance falls as 1/drive, intrinsic delay is nearly flat.
+    size = float(drive)
+    delay_k = HVT_DELAY_FACTOR if vth == VTH_HVT else 1.0
+    leak_k = HVT_LEAKAGE_FACTOR if vth == VTH_HVT else 1.0
+    int_k = HVT_INTERNAL_FACTOR if vth == VTH_HVT else 1.0
+    geom = GEOMETRY_SCALE * GEOMETRY_SCALE
+    return CellMaster(
+        name=_master_name(function, drive, vth),
+        function=function,
+        drive=drive,
+        vth=vth,
+        n_inputs=n_in,
+        is_sequential=seq,
+        area_um2=area * (0.55 + 0.45 * size) * geom,
+        input_cap_ff=cin * (0.70 + 0.30 * size),
+        drive_res_kohm=rdrv / size * delay_k,
+        intrinsic_delay_ps=dint * delay_k,
+        internal_energy_fj=eint * (0.55 + 0.45 * size) * int_k * POWER_SCALE,
+        leakage_uw=leak * size * leak_k * LEAKAGE_SCALE,
+        clock_pin_cap_ff=(0.9 if seq else 0.0),
+    )
+
+
+class CellLibrary:
+    """The full dual-Vth library: every function x drive x Vth flavor.
+
+    The library exposes lookups used by the optimizer:
+
+    * :meth:`master` -- fetch by name;
+    * :meth:`variant` -- the same function at a different drive or Vth;
+    * :meth:`upsize` / :meth:`downsize` -- neighboring drive strengths;
+    * :meth:`sizes_of` -- the ordered size ladder for a function.
+    """
+
+    def __init__(self, flavors: Iterable[str] = VTH_FLAVORS,
+                 drives: Iterable[int] = DRIVE_STRENGTHS) -> None:
+        self._masters: Dict[str, CellMaster] = {}
+        self._drives = tuple(sorted(drives))
+        self._flavors = tuple(flavors)
+        for function in _BASE_FUNCTIONS:
+            for vth in self._flavors:
+                for drive in self._drives:
+                    m = _build_master(function, drive, vth)
+                    self._masters[m.name] = m
+
+    # -- lookups ---------------------------------------------------------
+
+    def master(self, name: str) -> CellMaster:
+        """Fetch a master by its library name, e.g. ``"NAND2_X4_HVT"``."""
+        return self._masters[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._masters
+
+    def __len__(self) -> int:
+        return len(self._masters)
+
+    @property
+    def masters(self) -> List[CellMaster]:
+        """All masters in the library."""
+        return list(self._masters.values())
+
+    @property
+    def functions(self) -> List[str]:
+        """All logic functions in the library."""
+        return list(_BASE_FUNCTIONS)
+
+    @property
+    def drives(self) -> Tuple[int, ...]:
+        return self._drives
+
+    def variant(self, master: CellMaster, drive: Optional[int] = None,
+                vth: Optional[str] = None) -> CellMaster:
+        """The master implementing the same function at new drive/Vth."""
+        name = _master_name(master.function,
+                            master.drive if drive is None else drive,
+                            master.vth if vth is None else vth)
+        return self._masters[name]
+
+    def sizes_of(self, function: str, vth: str = VTH_RVT) -> List[CellMaster]:
+        """The size ladder (ascending drive) for ``function`` at ``vth``."""
+        return [self._masters[_master_name(function, d, vth)]
+                for d in self._drives]
+
+    def upsize(self, master: CellMaster) -> Optional[CellMaster]:
+        """Next larger drive of the same function/Vth, or None at the top."""
+        idx = self._drives.index(master.drive)
+        if idx + 1 >= len(self._drives):
+            return None
+        return self.variant(master, drive=self._drives[idx + 1])
+
+    def downsize(self, master: CellMaster) -> Optional[CellMaster]:
+        """Next smaller drive of the same function/Vth, or None at X1."""
+        idx = self._drives.index(master.drive)
+        if idx == 0:
+            return None
+        return self.variant(master, drive=self._drives[idx - 1])
+
+    def buffer(self, drive: int = 4, vth: str = VTH_RVT) -> CellMaster:
+        """The repeater cell used by buffer insertion and CTS."""
+        return self._masters[_master_name("BUF", drive, vth)]
+
+    def flop(self, drive: int = 1, vth: str = VTH_RVT) -> CellMaster:
+        """The standard flip-flop master."""
+        return self._masters[_master_name("DFF", drive, vth)]
+
+
+def make_28nm_library() -> CellLibrary:
+    """Construct the default dual-Vth 28 nm library."""
+    return CellLibrary()

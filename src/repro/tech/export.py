@@ -1,0 +1,136 @@
+"""Technology exporters: Liberty (.lib) and LEF.
+
+Dumps the model's cell library and physical abstracts in the two formats
+the EDA ecosystem speaks, so the technology this study runs on can be
+inspected with standard tooling (or diffed against a real PDK's files).
+The Liberty writer emits the linear delay/power model the timing engine
+actually uses; the LEF writer emits cell/macro footprints, the metal
+stack, and the via geometries.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional
+
+from .cells import CELL_HEIGHT_UM, CellLibrary, CellMaster
+from .layers import MetalStack
+from .macros import MacroMaster
+from .process import ProcessNode
+
+_INPUT_PINS = ("A", "B", "C")
+
+
+def _cell_pins(master: CellMaster) -> List[str]:
+    if master.is_sequential:
+        return ["D", "CK"]
+    return list(_INPUT_PINS[:master.n_inputs])
+
+
+def write_liberty(process: ProcessNode, name: str = "repro28") -> str:
+    """Emit the cell library as a Liberty file.
+
+    Delay arcs use the library's linear model (``intrinsic + R * C``)
+    expressed as Liberty ``linear`` delay coefficients; leakage and
+    internal energies match :mod:`repro.power` exactly.
+    """
+    lib = process.library
+    out: List[str] = []
+    out.append(f"library ({name}) {{")
+    out.append('  delay_model : "generic_cmos";')
+    out.append("  time_unit : \"1ps\";")
+    out.append("  capacitive_load_unit (1, ff);")
+    out.append("  leakage_power_unit : \"1uW\";")
+    out.append(f"  voltage_unit : \"1V\";")
+    out.append(f"  nom_voltage : {process.vdd};")
+    for master in sorted(lib.masters, key=lambda m: m.name):
+        out.append(f"  cell ({master.name}) {{")
+        out.append(f"    area : {master.area_um2:.3f};")
+        out.append(f"    cell_leakage_power : {master.leakage_uw:.5f};")
+        if master.is_sequential:
+            out.append('    ff (IQ, IQN) { clocked_on : "CK"; '
+                       'next_state : "D"; }')
+        for pin in _cell_pins(master):
+            cap = master.clock_pin_cap_ff if pin == "CK" else \
+                master.input_cap_ff
+            out.append(f"    pin ({pin}) {{")
+            out.append("      direction : input;")
+            out.append(f"      capacitance : {cap:.3f};")
+            if pin == "CK":
+                out.append("      clock : true;")
+            out.append("    }")
+        out_pin = "Q" if master.is_sequential else "Y"
+        out.append(f"    pin ({out_pin}) {{")
+        out.append("      direction : output;")
+        related = "CK" if master.is_sequential else \
+            " ".join(_cell_pins(master))
+        out.append(f"      timing () {{")
+        out.append(f"        related_pin : \"{related}\";")
+        out.append(f"        intrinsic_rise : "
+                   f"{master.intrinsic_delay_ps:.2f};")
+        out.append(f"        intrinsic_fall : "
+                   f"{master.intrinsic_delay_ps:.2f};")
+        out.append(f"        rise_resistance : "
+                   f"{master.drive_res_kohm:.4f};")
+        out.append(f"        fall_resistance : "
+                   f"{master.drive_res_kohm:.4f};")
+        out.append("      }")
+        out.append(f"      internal_power () {{ rise_power : "
+                   f"{master.internal_energy_fj / 2:.3f}; fall_power : "
+                   f"{master.internal_energy_fj / 2:.3f}; }}")
+        out.append("    }")
+        out.append("  }")
+    out.append("}")
+    return "\n".join(out)
+
+
+def write_lef(process: ProcessNode,
+              macros: Iterable[MacroMaster] = (),
+              name: str = "repro28") -> str:
+    """Emit the physical technology + cell abstracts as a LEF file."""
+    stack = process.metal_stack
+    out: List[str] = []
+    out.append("VERSION 5.8 ;")
+    out.append("BUSBITCHARS \"[]\" ;")
+    out.append("DIVIDERCHAR \"/\" ;")
+    out.append("UNITS DATABASE MICRONS 1000 ; END UNITS")
+    for layer in stack:
+        out.append(f"LAYER {layer.name}")
+        out.append("  TYPE ROUTING ;")
+        direction = "HORIZONTAL" if layer.direction == "H" else "VERTICAL"
+        out.append(f"  DIRECTION {direction} ;")
+        out.append(f"  PITCH {layer.pitch_um:.3f} ;")
+        out.append(f"  WIDTH {layer.width_um:.3f} ;")
+        out.append(f"  RESISTANCE RPERSQ {layer.r_per_um * 1000:.4f} ;")
+        out.append(f"  CAPACITANCE CPERSQDIST {layer.c_per_um:.4f} ;")
+        out.append(f"END {layer.name}")
+    # 3D interconnect as CUT-layer-style definitions
+    for via, vname in ((process.tsv, "TSV3D"), (process.f2f_via, "F2FVIA")):
+        out.append(f"VIA {vname} DEFAULT")
+        out.append(f"  RECT M9 ( {-via.diameter_um / 2:.3f} "
+                   f"{-via.diameter_um / 2:.3f} ) "
+                   f"( {via.diameter_um / 2:.3f} "
+                   f"{via.diameter_um / 2:.3f} ) ;")
+        out.append(f"END {vname}")
+    out.append(f"SITE core")
+    out.append("  CLASS CORE ;")
+    out.append(f"  SIZE 0.2 BY {CELL_HEIGHT_UM:.3f} ;")
+    out.append("END core")
+    for master in sorted(process.library.masters, key=lambda m: m.name):
+        width = master.area_um2 / CELL_HEIGHT_UM
+        out.append(f"MACRO {master.name}")
+        out.append("  CLASS CORE ;")
+        out.append(f"  SIZE {width:.3f} BY {CELL_HEIGHT_UM:.3f} ;")
+        out.append("  SITE core ;")
+        for pin in _cell_pins(master) + \
+                (["Q"] if master.is_sequential else ["Y"]):
+            direction = "OUTPUT" if pin in ("Q", "Y") else "INPUT"
+            out.append(f"  PIN {pin} DIRECTION {direction} ; END {pin}")
+        out.append(f"END {master.name}")
+    for macro in macros:
+        out.append(f"MACRO {macro.name}")
+        out.append("  CLASS BLOCK ;")
+        out.append(f"  SIZE {macro.width_um:.3f} BY "
+                   f"{macro.height_um:.3f} ;")
+        out.append(f"END {macro.name}")
+    out.append("END LIBRARY")
+    return "\n".join(out)

@@ -1,0 +1,161 @@
+"""Three-dimensional interconnect models: TSVs and face-to-face vias.
+
+The paper (Table 1) parameterizes two 3D connection styles:
+
+* **TSV** (through-silicon via), used in face-to-back (F2B) bonding.  TSVs
+  punch through the thinned substrate, *consume silicon area* (they need a
+  keep-out and a landing pad at M1), cannot be placed over macros, and are
+  pitch-limited.
+* **F2F via**, used in face-to-face bonding.  These are metal-metal bonds on
+  top of the two dies' M9; they consume *no* silicon area, can sit above
+  cells and macros, and can be made roughly twice the minimum top-metal
+  width.
+
+The TSV electrical model follows Katti et al., "Electrical Modeling and
+Characterization of Through Silicon Via for Three-Dimensional ICs" (paper
+reference [4]): a cylindrical copper resistor in series with the wire, and
+a MOS capacitor (oxide liner in series with the silicon depletion region)
+to ground.  The numeric table in the source text of the paper is garbled,
+so the defaults here are computed from the Katti equations at a 3 um
+diameter, 30 um height TSV -- consistent with the paper's statement that
+the TSV diameter is "much larger than F2F via size".
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+# Physical constants (SI).
+_RHO_CU = 1.68e-8          # copper resistivity, ohm*m
+_EPS0 = 8.854e-12          # vacuum permittivity, F/m
+_EPS_OX = 3.9 * _EPS0      # SiO2 liner permittivity
+_EPS_SI = 11.7 * _EPS0     # silicon permittivity
+
+
+@dataclass(frozen=True)
+class Via3D:
+    """A 3D connection element (TSV or F2F via).
+
+    Attributes:
+        style: ``"TSV"`` or ``"F2F"``.
+        diameter_um: conductor diameter.
+        height_um: vertical extent (substrate thickness for TSVs, bond
+            height for F2F vias).
+        pitch_um: minimum center-to-center pitch.
+        resistance_kohm: series resistance in kilo-ohms.
+        capacitance_ff: capacitance to ground in femtofarads.
+        occupies_silicon: True if the via consumes placement area.
+        landing_pad_um: side of the square landing pad/keep-out the placer
+            must reserve (zero for F2F vias, which live above the cells).
+    """
+
+    style: str
+    diameter_um: float
+    height_um: float
+    pitch_um: float
+    resistance_kohm: float
+    capacitance_ff: float
+    occupies_silicon: bool
+    landing_pad_um: float
+
+    @property
+    def area_um2(self) -> float:
+        """Silicon area consumed per via (zero for F2F)."""
+        if not self.occupies_silicon:
+            return 0.0
+        side = max(self.landing_pad_um, self.pitch_um)
+        return side * side
+
+    def delay_ps(self, load_ff: float) -> float:
+        """First-order delay contribution driving ``load_ff`` downstream."""
+        return self.resistance_kohm * (self.capacitance_ff / 2.0 + load_ff)
+
+
+def katti_tsv_resistance(diameter_um: float, height_um: float) -> float:
+    """TSV series resistance (kOhm) from the cylindrical-conductor model.
+
+    ``R = rho * h / (pi r^2)``, Katti et al. eq. (1).
+    """
+    r_m = diameter_um * 1e-6 / 2.0
+    h_m = height_um * 1e-6
+    r_ohm = _RHO_CU * h_m / (math.pi * r_m * r_m)
+    return r_ohm / 1000.0
+
+
+def katti_tsv_capacitance(diameter_um: float, height_um: float,
+                          t_ox_um: float = 0.1,
+                          depletion_um: float = 0.5) -> float:
+    """TSV capacitance (fF): oxide liner in series with Si depletion.
+
+    Both are coaxial-cylinder capacitances ``C = 2 pi eps h / ln(r2/r1)``
+    (Katti et al. eqs. (2)-(5)); the depletion region around the liner
+    reduces the effective MOS capacitance well below the oxide value.
+    """
+    r = diameter_um * 1e-6 / 2.0
+    h = height_um * 1e-6
+    r_ox = r + t_ox_um * 1e-6
+    r_dep = r_ox + depletion_um * 1e-6
+    c_ox = 2.0 * math.pi * _EPS_OX * h / math.log(r_ox / r)
+    c_dep = 2.0 * math.pi * _EPS_SI * h / math.log(r_dep / r_ox)
+    c_series = c_ox * c_dep / (c_ox + c_dep)
+    return c_series * 1e15
+
+
+def tsv_wire_coupling_ff(via: Via3D, wire_distance_um: float = 1.0,
+                         coupled_length_um: float = 5.0) -> float:
+    """TSV-to-wire coupling capacitance (fF) -- paper future work.
+
+    A wire running past a TSV couples to its sidewall; modeled as a
+    cylinder-to-plane capacitance ``C = 2 pi eps L / acosh(d / r)`` over
+    the coupled length.  This extra switching capacitance is a source of
+    3D power loss the paper defers to future work; the
+    :mod:`repro.analysis.coupling` study quantifies it.
+    """
+    r = via.diameter_um / 2.0
+    d = r + max(wire_distance_um, 0.05)
+    eps = 3.9 * _EPS0  # through the surrounding dielectric
+    c = 2.0 * math.pi * eps * (coupled_length_um * 1e-6) / \
+        math.acosh(d / r)
+    return c * 1e15
+
+
+def make_tsv(diameter_um: float = 3.0, height_um: float = 30.0,
+             pitch_um: float = 7.0) -> Via3D:
+    """Build the default F2B TSV (Katti model, 3 um / 30 um / 6 um pitch)."""
+    return Via3D(
+        style="TSV",
+        diameter_um=diameter_um,
+        height_um=height_um,
+        pitch_um=pitch_um,
+        resistance_kohm=katti_tsv_resistance(diameter_um, height_um),
+        capacitance_ff=katti_tsv_capacitance(diameter_um, height_um),
+        occupies_silicon=True,
+        landing_pad_um=pitch_um,
+    )
+
+
+def make_f2f_via(top_metal_width_um: float = 0.4,
+                 pitch_um: float = 2.0) -> Via3D:
+    """Build the default F2F via.
+
+    The paper sizes F2F vias at about twice the minimum top-metal (M9)
+    width.  They are short metal-to-metal bonds, so both R and C are tiny
+    compared to a TSV, and they consume no silicon.
+    """
+    diameter = 2.0 * top_metal_width_um
+    height = 2.0  # bond + top-via stack height in um
+    r_m = diameter * 1e-6 / 2.0
+    r_ohm = _RHO_CU * (height * 1e-6) / (math.pi * r_m * r_m)
+    # Parallel-plate-ish fringe cap of a small pad, ~0.2 fF/um of height.
+    c_ff = 0.20 * height
+    return Via3D(
+        style="F2F",
+        diameter_um=diameter,
+        height_um=height,
+        pitch_um=pitch_um,
+        resistance_kohm=r_ohm / 1000.0,
+        capacitance_ff=c_ff,
+        occupies_silicon=False,
+        landing_pad_um=0.0,
+    )

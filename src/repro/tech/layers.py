@@ -1,0 +1,133 @@
+"""Back-end-of-line metal stack model.
+
+The paper's designs use a nine-metal-layer 28 nm stack: blocks other than
+the SPARC core route in M1-M7 and leave M8/M9 for over-the-block routing,
+while the SPC uses all nine layers (paper Section 2.2).  This module models
+each layer's geometry and per-unit-length parasitics, which feed the Elmore
+delay engine (:mod:`repro.timing`) and the net-power analysis
+(:mod:`repro.power`).
+
+Units: lengths in micrometres, resistance in kilo-ohms, capacitance in
+femtofarads, so that ``R * C`` is directly in picoseconds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+
+@dataclass(frozen=True)
+class MetalLayer:
+    """A single routing layer.
+
+    Attributes:
+        name: layer name, e.g. ``"M4"``.
+        index: 1-based position in the stack (M1 = 1).
+        direction: preferred routing direction, ``"H"`` or ``"V"``.
+        pitch_um: track pitch in micrometres.
+        width_um: default wire width in micrometres.
+        r_per_um: wire resistance in kilo-ohms per micrometre.
+        c_per_um: wire capacitance in femtofarads per micrometre.
+    """
+
+    name: str
+    index: int
+    direction: str
+    pitch_um: float
+    width_um: float
+    r_per_um: float
+    c_per_um: float
+
+    def wire_resistance(self, length_um: float) -> float:
+        """Resistance (kOhm) of a wire of ``length_um`` on this layer."""
+        return self.r_per_um * length_um
+
+    def wire_capacitance(self, length_um: float) -> float:
+        """Capacitance (fF) of a wire of ``length_um`` on this layer."""
+        return self.c_per_um * length_um
+
+
+@dataclass
+class MetalStack:
+    """An ordered collection of metal layers (M1 at the bottom).
+
+    Provides convenience accessors and an *effective* per-unit-length
+    parasitic for routing-layer ranges, used when a net's exact layer
+    assignment is unknown (global-routing stage).
+    """
+
+    layers: List[MetalLayer] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self._by_name: Dict[str, MetalLayer] = {l.name: l for l in self.layers}
+
+    def __len__(self) -> int:
+        return len(self.layers)
+
+    def __iter__(self):
+        return iter(self.layers)
+
+    def layer(self, name: str) -> MetalLayer:
+        """Look up a layer by name; raises ``KeyError`` for unknown names."""
+        return self._by_name[name]
+
+    @property
+    def top(self) -> MetalLayer:
+        """The topmost layer of the stack."""
+        return self.layers[-1]
+
+    def sub_stack(self, max_index: int) -> "MetalStack":
+        """Return the stack restricted to layers ``M1..M<max_index>``.
+
+        Used to model blocks that route only up to M7, reserving the top
+        two layers for over-the-block chip routing.
+        """
+        if max_index < 1 or max_index > len(self.layers):
+            raise ValueError(f"max_index {max_index} outside stack of "
+                             f"{len(self.layers)} layers")
+        return MetalStack(self.layers[:max_index])
+
+    def effective_rc(self, lo: int = 2, hi: int = None) -> Tuple[float, float]:
+        """Average (r_per_um, c_per_um) over layers ``lo..hi`` inclusive.
+
+        Signal routing rarely uses M1 (reserved for pins and rails), so the
+        default range starts at M2.  Returns kOhm/um and fF/um.
+        """
+        if hi is None:
+            hi = len(self.layers)
+        chosen = [l for l in self.layers if lo <= l.index <= hi]
+        if not chosen:
+            raise ValueError(f"empty layer range {lo}..{hi}")
+        r = sum(l.r_per_um for l in chosen) / len(chosen)
+        c = sum(l.c_per_um for l in chosen) / len(chosen)
+        return r, c
+
+
+def make_28nm_stack() -> MetalStack:
+    """Build the nine-layer 28 nm-class stack used throughout the study.
+
+    Layer parasitics follow the usual foundry progression: thin, resistive
+    lower layers (1x pitch), intermediate 2x layers, and thick, low-R top
+    layers for clocks/busses.  Values are representative of published 28 nm
+    interconnect data; the paper's conclusions depend only on the relative
+    ordering (lower layers slow, upper layers fast), which is preserved.
+    """
+    spec = [
+        # name, direction, pitch, width, r (kOhm/um), c (fF/um)
+        ("M1", "H", 0.090, 0.045, 0.00500, 0.190),
+        ("M2", "V", 0.090, 0.045, 0.00420, 0.200),
+        ("M3", "H", 0.090, 0.045, 0.00420, 0.200),
+        ("M4", "V", 0.180, 0.090, 0.00180, 0.210),
+        ("M5", "H", 0.180, 0.090, 0.00180, 0.210),
+        ("M6", "V", 0.180, 0.090, 0.00180, 0.210),
+        ("M7", "H", 0.360, 0.180, 0.00070, 0.220),
+        ("M8", "V", 0.720, 0.360, 0.00030, 0.230),
+        ("M9", "H", 0.720, 0.400, 0.00025, 0.230),
+    ]
+    layers = [
+        MetalLayer(name=n, index=i + 1, direction=d, pitch_um=p,
+                   width_um=w, r_per_um=r, c_per_um=c)
+        for i, (n, d, p, w, r, c) in enumerate(spec)
+    ]
+    return MetalStack(layers)

@@ -1,0 +1,92 @@
+"""Hard memory macro models.
+
+The L2-cache data bank in the paper is "memory macro dominated": each bank
+holds 512 KB arranged as 32 x 16 KB SRAM macros, and because cell and
+leakage power live inside the macros, block folding barely helps (Table 4).
+This module models such macros: fixed-outline hard blocks with pin
+capacitance, access energy and leakage that the folding flow cannot reduce.
+
+At model scale the generator instantiates fewer macros per block (see
+``repro.designgen.t2``), keeping each block's *fraction* of macro power --
+the quantity the paper's folding criteria act on -- faithful.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+
+@dataclass(frozen=True)
+class MacroMaster:
+    """A hard macro master (SRAM array plus periphery).
+
+    Attributes:
+        name: master name, e.g. ``"SRAM_16KB"``.
+        width_um / height_um: fixed outline.
+        n_io: number of signal pins (address + data + control).
+        pin_cap_ff: input capacitance per pin.
+        access_energy_fj: internal energy per clocked access.
+        leakage_uw: static leakage of the whole macro.
+        drive_res_kohm: output drive resistance of data pins.
+        intrinsic_delay_ps: macro access time.
+    """
+
+    name: str
+    width_um: float
+    height_um: float
+    n_io: int
+    pin_cap_ff: float
+    access_energy_fj: float
+    leakage_uw: float
+    drive_res_kohm: float
+    intrinsic_delay_ps: float
+
+    @property
+    def area_um2(self) -> float:
+        """Macro footprint in square micrometres."""
+        return self.width_um * self.height_um
+
+
+def sram_macro(kilobytes: float, word_bits: int = 64) -> MacroMaster:
+    """Parametric SRAM macro generator.
+
+    Scales area, energy, and leakage with capacity using standard
+    memory-compiler trends (area ~ bits; access energy ~ sqrt(bits) for the
+    active row plus constant periphery; leakage ~ bits).
+
+    Args:
+        kilobytes: macro capacity in KB.
+        word_bits: data word width, setting the data-pin count.
+
+    Returns:
+        A :class:`MacroMaster` for the requested capacity.
+    """
+    if kilobytes <= 0:
+        raise ValueError("macro capacity must be positive")
+    bits = kilobytes * 1024 * 8
+    # 28 nm SRAM bitcell ~ 0.12 um^2; array efficiency ~ 55%.
+    area = bits * 0.12 / 0.55
+    aspect = 2.0  # macros are wide and short, as in cache banks
+    height = (area / aspect) ** 0.5
+    width = area / height
+    import math
+    addr_bits = max(1, int(math.ceil(math.log2(max(2.0, bits / word_bits)))))
+    n_io = word_bits * 2 + addr_bits + 4  # D, Q, A, control
+    return MacroMaster(
+        name=f"SRAM_{kilobytes:g}KB",
+        width_um=width,
+        height_um=height,
+        n_io=n_io,
+        pin_cap_ff=1.8,
+        access_energy_fj=(18.0 * (bits ** 0.5) / (16384.0 ** 0.5) *
+                          word_bits / 8.0 + 220.0) * 7.0,
+        leakage_uw=0.0025 * bits,
+        drive_res_kohm=1.2,
+        intrinsic_delay_ps=180.0 + 40.0 * (bits / 131072.0) ** 0.5,
+    )
+
+
+def default_macro_menu() -> List[MacroMaster]:
+    """The macro sizes used by the synthetic T2 generator."""
+    return [sram_macro(kb) for kb in (1, 2, 4, 8, 16)]

@@ -1,0 +1,78 @@
+"""Process-node bundle: everything a design flow needs from the technology.
+
+A :class:`ProcessNode` groups the metal stack, the dual-Vth cell library,
+the 3D interconnect menu and the electrical constants (supply voltage,
+clock frequencies) into one object passed through the whole flow.  The
+defaults model the paper's environment: a 28 nm PDK with nine metal layers,
+a 500 MHz CPU clock and a 250 MHz I/O clock.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .cells import (BASE_CELL_HEIGHT_UM, CELL_HEIGHT_UM, CellLibrary,
+                    make_28nm_library)
+from .interconnect3d import Via3D, make_f2f_via, make_tsv
+from .layers import MetalStack, make_28nm_stack
+
+#: Clock-domain names used by the T2 model.
+CPU_CLOCK = "cpu_clk"
+IO_CLOCK = "io_clk"
+
+
+@dataclass
+class ProcessNode:
+    """A complete technology description.
+
+    Attributes:
+        name: human-readable node name.
+        vdd: supply voltage (V).
+        metal_stack: the BEOL stack (M1 at index 1).
+        library: the standard-cell library.
+        tsv: the F2B through-silicon via.
+        f2f_via: the F2F bond via.
+        clock_freq_ghz: frequency of each clock domain (GHz).
+        default_activity: switching activity assumed for data nets when no
+            simulation data exists (toggles per cycle).
+    """
+
+    name: str = "generic28"
+    vdd: float = 0.9
+    metal_stack: MetalStack = field(default_factory=make_28nm_stack)
+    library: CellLibrary = field(default_factory=make_28nm_library)
+    tsv: Via3D = field(default_factory=make_tsv)
+    f2f_via: Via3D = field(default_factory=make_f2f_via)
+    clock_freq_ghz: dict = field(default_factory=lambda: {
+        CPU_CLOCK: 0.7, IO_CLOCK: 0.35,
+    })
+    default_activity: float = 0.15
+
+    @property
+    def cell_height_um(self) -> float:
+        """Model-cell row height (fat cells, see tech.cells)."""
+        return CELL_HEIGHT_UM
+
+    @property
+    def long_wire_um(self) -> float:
+        """The paper's long-wire threshold: 100x the *physical* standard
+        cell height (Table 3)."""
+        return 100.0 * BASE_CELL_HEIGHT_UM
+
+    def clock_period_ps(self, domain: str) -> float:
+        """Clock period of ``domain`` in picoseconds."""
+        return 1000.0 / self.clock_freq_ghz[domain]
+
+    def via_for(self, bonding: str) -> Via3D:
+        """The 3D via used by a bonding style (``"F2B"`` or ``"F2F"``)."""
+        key = bonding.upper()
+        if key == "F2B":
+            return self.tsv
+        if key == "F2F":
+            return self.f2f_via
+        raise ValueError(f"unknown bonding style {bonding!r}")
+
+
+def make_process(name: str = "generic28") -> ProcessNode:
+    """Construct the default 28 nm-class process node."""
+    return ProcessNode(name=name)

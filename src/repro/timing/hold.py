@@ -1,0 +1,174 @@
+"""Hold-time (min-delay) analysis.
+
+Setup checks bound the *slowest* path per cycle; hold checks bound the
+*fastest*: a capturing flop must not see the next launch's data before
+its hold window closes, so every launch-to-capture path must be slower
+than ``hold time + clock skew``.  The sign-off engine here propagates
+*minimum* arrivals through the combinational DAG (the mirror image of
+:func:`repro.timing.sta.run_sta`) and checks each capture against the
+hold requirement, taking the clock tree's measured skew
+(:class:`repro.cts.tree.CTSResult`) as the uncertainty.
+
+Zero-stage paths (flop feeding flop directly) are the classic hold risk;
+3D designs add a twist the paper's future work hints at: tier-crossing
+launch/capture pairs see the inter-tier clock skew.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict, deque
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..cts.tree import CTSResult
+from ..netlist.core import Netlist
+from ..route.estimate import RoutingResult
+from ..tech.process import ProcessNode
+from .sta import HOLD_PS, TimingConfig
+
+
+@dataclass
+class HoldResult:
+    """Min-delay slacks at capturing endpoints."""
+
+    #: capture instance id -> hold slack (ps)
+    slack: Dict[int, float]
+    whs_ps: float
+    violations: int
+
+    @property
+    def met(self) -> bool:
+        return self.whs_ps >= 0.0
+
+
+def run_hold_analysis(netlist: Netlist, routing: RoutingResult,
+                      process: ProcessNode, config: TimingConfig,
+                      cts: Optional[CTSResult] = None,
+                      hold_ps: float = HOLD_PS) -> HoldResult:
+    """Check every capture against ``hold + skew`` with min-delay paths."""
+    skew = cts.skew_ps if cts is not None else 0.0
+    requirement = hold_ps + skew
+
+    insts = netlist.instances
+    loads: Dict[int, float] = defaultdict(float)
+    for net in netlist.nets.values():
+        if net.is_clock or net.driver.is_port:
+            continue
+        if net.driver.pin != 0 and not insts[net.driver.inst].is_macro:
+            continue
+        routed = routing.nets.get(net.id)
+        if routed is not None:
+            loads[net.driver.inst] += routed.total_cap_ff
+
+    succ: Dict[int, List[Tuple[int, float]]] = defaultdict(list)
+    pred_count: Dict[int, int] = defaultdict(int)
+    captures: Dict[int, List[Tuple[int, float]]] = defaultdict(list)
+    for net in netlist.nets.values():
+        if net.is_clock:
+            continue
+        routed = routing.nets.get(net.id)
+        if routed is None or net.driver.is_port:
+            continue
+        for s in routed.sinks:
+            if s.ref.is_port:
+                continue
+            sink = insts[s.ref.inst]
+            wd = routed.sink_wire_delay_ps(s)
+            if sink.is_macro or sink.is_sequential:
+                captures[net.driver.inst].append((s.ref.inst, wd))
+            else:
+                succ[net.driver.inst].append((s.ref.inst, wd))
+                pred_count[s.ref.inst] += 1
+
+    INF = float("inf")
+    min_arrival: Dict[int, float] = {}
+    comb_in: Dict[int, float] = defaultdict(lambda: INF)
+    ready = deque()
+    for inst in insts.values():
+        if inst.is_macro:
+            min_arrival[inst.id] = inst.master.intrinsic_delay_ps
+            ready.append(inst.id)
+        elif inst.is_sequential:
+            min_arrival[inst.id] = inst.master.delay_ps(loads[inst.id])
+            ready.append(inst.id)
+        elif pred_count[inst.id] == 0:
+            # driven only by ports: ports launch at the clock edge too,
+            # conservatively with zero external min delay
+            min_arrival[inst.id] = inst.master.delay_ps(loads[inst.id])
+            ready.append(inst.id)
+
+    remaining = dict(pred_count)
+    done = set()
+    while ready:
+        iid = ready.popleft()
+        if iid in done:
+            continue
+        done.add(iid)
+        a = min_arrival[iid]
+        for sink, wd in succ[iid]:
+            comb_in[sink] = min(comb_in[sink], a + wd)
+            remaining[sink] -= 1
+            if remaining[sink] == 0:
+                inst = insts[sink]
+                min_arrival[sink] = comb_in[sink] + \
+                    inst.master.delay_ps(loads[sink])
+                ready.append(sink)
+
+    slack: Dict[int, float] = {}
+    whs = INF
+    violations = 0
+    for drv, sinks in captures.items():
+        a = min_arrival.get(drv)
+        if a is None:
+            continue
+        for cap_inst, wd in sinks:
+            hs = (a + wd) - requirement
+            prev = slack.get(cap_inst, INF)
+            if hs < prev:
+                slack[cap_inst] = hs
+            if hs < whs:
+                whs = hs
+    violations = sum(1 for v in slack.values() if v < 0)
+    if whs == INF:
+        whs = 0.0
+    return HoldResult(slack=slack, whs_ps=whs, violations=violations)
+
+
+def fix_hold(netlist: Netlist, routing: RoutingResult,
+             hold: HoldResult, process: ProcessNode,
+             requirement_ps: Optional[float] = None) -> int:
+    """Pad violating captures with delay buffers on their D inputs.
+
+    The standard hold fix: insert a small buffer in front of each
+    violating capture pin, adding its cell delay to the min path.
+    Returns the number of buffers added; re-route and re-check after.
+    """
+    from ..netlist.core import PinRef
+    buf = process.library.master("BUF_X1")
+    added = 0
+    for cap_inst, hs in sorted(hold.slack.items()):
+        if hs >= 0:
+            continue
+        inst = netlist.instances.get(cap_inst)
+        if inst is None:
+            continue
+        # find the capture pin's net and splice a buffer before it
+        for net in list(netlist.nets_of(cap_inst)):
+            if net.is_clock:
+                continue
+            for ref in list(net.sinks):
+                if ref.inst != cap_inst:
+                    continue
+                pad = netlist.add_instance(
+                    f"hold_{cap_inst}_{net.id}", buf,
+                    x=inst.x, y=inst.y, die=inst.die,
+                    cluster=inst.cluster)
+                netlist.remove_sink(net.id, ref)
+                netlist.add_sink(net.id, PinRef(inst=pad.id, pin=0))
+                netlist.add_net(f"hold_n_{cap_inst}_{net.id}",
+                                PinRef(inst=pad.id), [ref],
+                                clock_domain=net.clock_domain)
+                added += 1
+                break
+            break
+    return added

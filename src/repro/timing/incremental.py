@@ -1,0 +1,227 @@
+"""Incremental static timing analysis.
+
+Engineering-change-order edits -- resizing a master, swapping its Vth --
+perturb timing only in the touched cells' fan-in/fan-out cones, yet
+:func:`repro.timing.sta.run_sta` reprocesses the whole block.  This
+module keeps the timing graph alive between edits:
+
+* :meth:`IncrementalSTA.swap_master` applies a master change and
+  re-propagates arrivals forward (and requireds backward) only while
+  values actually move;
+* results match a from-scratch :func:`run_sta` exactly (asserted by the
+  test suite), because both build the same graph and delay model.
+
+Placement and routing are assumed frozen (master swaps do not move
+cells); for netlist surgery (buffer insertion), rebuild.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict, deque
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from ..netlist.core import Netlist
+from ..route.estimate import RoutingResult
+from ..tech.cells import CellMaster
+from ..tech.process import ProcessNode
+from .sta import (MACRO_SETUP_PS, SETUP_PS, STAResult, TimingConfig,
+                  run_sta)
+
+
+class IncrementalSTA:
+    """A persistent timing view supporting master-swap ECOs."""
+
+    def __init__(self, netlist: Netlist, routing: RoutingResult,
+                 process: ProcessNode, config: TimingConfig) -> None:
+        self.netlist = netlist
+        self.routing = routing
+        self.process = process
+        self.config = config
+        self._build()
+
+    # -- construction -----------------------------------------------------
+
+    def _build(self) -> None:
+        base = run_sta(self.netlist, self.routing, self.process,
+                       self.config)
+        self.period = base.period_ps
+        self.arrival: Dict[int, float] = dict(base.arrival)
+        self.required: Dict[int, float] = dict(base.required)
+
+        insts = self.netlist.instances
+        # edges keep live references to the routed SinkPath objects, so
+        # wire delays always reflect the *current* pin caps
+        self.succ: Dict[int, List[Tuple[int, object, object]]] = \
+            defaultdict(list)
+        self.pred: Dict[int, List[Tuple[int, object, object]]] = \
+            defaultdict(list)
+        self.term_req: Dict[int, List[Tuple[float, object, object]]] = \
+            defaultdict(list)
+        self.port_in: Dict[int, List[Tuple[float, object, object]]] = \
+            defaultdict(list)
+        self.loads: Dict[int, float] = defaultdict(float)
+        for net in self.netlist.nets.values():
+            if net.is_clock:
+                continue
+            routed = self.routing.nets.get(net.id)
+            if routed is None:
+                continue
+            drv = net.driver
+            if not drv.is_port and (drv.pin == 0 or
+                                    insts[drv.inst].is_macro):
+                self.loads[drv.inst] += routed.total_cap_ff
+            for s in routed.sinks:
+                ref = s.ref
+                if ref.is_port:
+                    if not drv.is_port and \
+                            not self.netlist.ports[ref.port].false_path:
+                        req = self.period - \
+                            self.config.io_delay(ref.port)
+                        self.term_req[drv.inst].append((req, routed, s))
+                    continue
+                sink = insts[ref.inst]
+                if sink.is_macro or sink.is_sequential:
+                    if not drv.is_port:
+                        setup = MACRO_SETUP_PS if sink.is_macro \
+                            else SETUP_PS
+                        self.term_req[drv.inst].append(
+                            (self.period - setup, routed, s))
+                    continue
+                if drv.is_port:
+                    a0 = self.config.io_delay(drv.port)
+                    self.port_in[ref.inst].append((a0, routed, s))
+                else:
+                    self.succ[drv.inst].append((ref.inst, routed, s))
+                    self.pred[ref.inst].append((drv.inst, routed, s))
+
+    # -- delay model --------------------------------------------------------
+
+    def _own_delay(self, iid: int) -> float:
+        inst = self.netlist.instances[iid]
+        if inst.is_macro:
+            return inst.master.intrinsic_delay_ps
+        return inst.master.delay_ps(self.loads[iid])
+
+    def _recompute_arrival(self, iid: int) -> float:
+        inst = self.netlist.instances[iid]
+        if inst.is_macro or inst.is_sequential:
+            return self._own_delay(iid)
+        best = float("-inf")
+        for a0, routed, sp in self.port_in.get(iid, ()):
+            best = max(best, a0 + routed.sink_wire_delay_ps(sp))
+        for drv, routed, sp in self.pred[iid]:
+            best = max(best, self.arrival.get(drv, 0.0) +
+                       routed.sink_wire_delay_ps(sp))
+        if best == float("-inf"):
+            best = 0.0
+        return best + self._own_delay(iid)
+
+    def _recompute_required(self, iid: int) -> float:
+        r = float("inf")
+        for req, routed, sp in self.term_req.get(iid, ()):
+            r = min(r, req - routed.sink_wire_delay_ps(sp))
+        for sink, routed, sp in self.succ[iid]:
+            r_sink = self.required.get(sink, float("inf"))
+            if r_sink < float("inf"):
+                r = min(r, r_sink - self._own_delay(sink) -
+                        routed.sink_wire_delay_ps(sp))
+        return r
+
+    # -- ECO edits -----------------------------------------------------------
+
+    def swap_master(self, inst_id: int, master: CellMaster) -> None:
+        """Apply one master change and re-time the affected cones."""
+        netlist = self.netlist
+        old = netlist.instances[inst_id].master
+        if old is master:
+            return
+        netlist.replace_master(inst_id, master)
+        # the cell's input cap changes its drivers' loads; refresh the
+        # routing view's pin caps in place so a from-scratch STA over
+        # the same routing agrees with this incremental view
+        dirty: Set[int] = {inst_id}
+        cap_delta = master.input_cap_ff - old.input_cap_ff
+        if abs(cap_delta) > 1e-12:
+            for net in netlist.nets_of(inst_id):
+                if net.is_clock or net.driver.is_port:
+                    continue
+                if net.driver.inst == inst_id:
+                    continue
+                routed = self.routing.nets.get(net.id)
+                pins = 0
+                for s in net.sinks:
+                    if s.is_port or s.inst != inst_id:
+                        continue
+                    pins += 1
+                    if routed is not None:
+                        for sp in routed.sinks:
+                            if sp.ref.key() == s.key():
+                                sp.pin_cap_ff = master.input_cap_ff
+                if net.driver.pin == 0 or \
+                        netlist.instances[net.driver.inst].is_macro:
+                    self.loads[net.driver.inst] += pins * cap_delta
+                dirty.add(net.driver.inst)
+        self._propagate_forward(dirty)
+        self._propagate_backward(dirty)
+
+    def _propagate_forward(self, seeds: Iterable[int]) -> None:
+        work = deque(seeds)
+        guard = 0
+        limit = 50 * (len(self.netlist.instances) + 4)
+        while work and guard < limit:
+            guard += 1
+            iid = work.popleft()
+            inst = self.netlist.instances[iid]
+            new = self._recompute_arrival(iid)
+            if abs(new - self.arrival.get(iid, 0.0)) < 1e-9:
+                continue
+            self.arrival[iid] = new
+            if inst.is_macro or inst.is_sequential:
+                pass  # launch value changed (load-dependent clk->q)
+            for sink, _routed, _sp in self.succ[iid]:
+                work.append(sink)
+
+    def _propagate_backward(self, seeds: Iterable[int]) -> None:
+        work = deque(seeds)
+        # a changed cell's delay also shifts its predecessors' required
+        for iid in list(work):
+            for drv, _routed, _sp in self.pred[iid]:
+                work.append(drv)
+        guard = 0
+        limit = 50 * (len(self.netlist.instances) + 4)
+        while work and guard < limit:
+            guard += 1
+            iid = work.popleft()
+            new = self._recompute_required(iid)
+            old = self.required.get(iid, float("inf"))
+            if new == old or (new == float("inf") and
+                              old == float("inf")):
+                continue
+            if abs(new - old) < 1e-9:
+                continue
+            self.required[iid] = new
+            for drv, _routed, _sp in self.pred[iid]:
+                work.append(drv)
+
+    # -- results ---------------------------------------------------------------
+
+    def result(self) -> STAResult:
+        """Snapshot the current slacks as an :class:`STAResult`."""
+        slack: Dict[int, float] = {}
+        wns = float("inf")
+        tns = 0.0
+        for iid, a in self.arrival.items():
+            r = self.required.get(iid, float("inf"))
+            if r == float("inf"):
+                continue
+            s = r - a
+            slack[iid] = s
+            wns = min(wns, s)
+            if s < 0:
+                tns += s
+        if wns == float("inf"):
+            wns = 0.0
+        return STAResult(period_ps=self.period, arrival=self.arrival,
+                         required=self.required, slack=slack,
+                         wns_ps=wns, tns_ps=tns)

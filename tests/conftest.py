@@ -1,0 +1,34 @@
+"""Shared fixtures for the test suite."""
+
+import pytest
+
+from repro.designgen import block_type_by_name, generate_block
+from repro.tech import make_process
+
+
+@pytest.fixture(scope="session")
+def process():
+    """One process node for the whole session (immutable technology)."""
+    return make_process()
+
+
+@pytest.fixture(scope="session")
+def library(process):
+    return process.library
+
+
+def fresh_block(name: str, library, seed: int = 1, scale: float = 1.0):
+    """A newly generated block (never share: flows mutate netlists)."""
+    return generate_block(block_type_by_name(name), library, seed=seed,
+                          scale=scale)
+
+
+@pytest.fixture()
+def small_block(library):
+    """A small, fast block for flow-level tests."""
+    return fresh_block("ncu", library)
+
+
+@pytest.fixture()
+def ccx_block(library):
+    return fresh_block("ccx", library)

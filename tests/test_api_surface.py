@@ -1,0 +1,49 @@
+"""API-surface hygiene: exports resolve, and public items are documented."""
+
+import importlib
+import inspect
+
+import pytest
+
+PACKAGES = [
+    "repro", "repro.tech", "repro.netlist", "repro.designgen",
+    "repro.floorplan", "repro.place", "repro.route", "repro.timing",
+    "repro.power", "repro.opt", "repro.cts", "repro.core",
+    "repro.thermal", "repro.analysis",
+]
+
+
+@pytest.mark.parametrize("package", PACKAGES)
+def test_all_exports_resolve(package):
+    mod = importlib.import_module(package)
+    assert hasattr(mod, "__all__"), package
+    for name in mod.__all__:
+        assert getattr(mod, name, None) is not None, \
+            f"{package}.{name} in __all__ but unresolvable"
+
+
+@pytest.mark.parametrize("package", PACKAGES)
+def test_public_classes_and_functions_documented(package):
+    mod = importlib.import_module(package)
+    undocumented = []
+    for name in mod.__all__:
+        obj = getattr(mod, name)
+        if inspect.isclass(obj) or inspect.isfunction(obj):
+            if not (obj.__doc__ or "").strip():
+                undocumented.append(f"{package}.{name}")
+    assert not undocumented, undocumented
+
+
+@pytest.mark.parametrize("package", PACKAGES)
+def test_modules_have_docstrings(package):
+    mod = importlib.import_module(package)
+    assert (mod.__doc__ or "").strip(), package
+
+
+def test_top_level_lazy_exports():
+    import repro
+    assert repro.FlowConfig is not None
+    assert repro.build_chip is not None
+    assert callable(repro.run_experiment)
+    with pytest.raises(AttributeError):
+        repro.definitely_not_a_symbol

@@ -1,0 +1,88 @@
+"""Tests for clock-gating insertion."""
+
+import pytest
+
+from repro.cts.tree import synthesize_clock_tree
+from repro.opt.clockgate import (flop_input_activity, insert_clock_gates)
+from repro.place.placer2d import PlacementConfig, place_block_2d
+from repro.power.activity import apply_activity, propagate_activity
+from repro.power.analysis import analyze_power
+from repro.route.estimate import route_block
+from repro.tech.process import CPU_CLOCK
+from tests.conftest import fresh_block
+
+
+@pytest.fixture()
+def placed(library):
+    gb = fresh_block("l2t", library, seed=19)
+    place_block_2d(gb.netlist, PlacementConfig(seed=19))
+    return gb
+
+
+def test_flop_activity_extraction(placed):
+    nl = placed.netlist
+    signals = propagate_activity(nl)
+    acts = flop_input_activity(nl, signals)
+    flops = [i for i in nl.instances.values() if i.is_sequential]
+    assert len(acts) == len(flops)
+    assert all(0.0 <= a <= 1.0 for a in acts.values())
+
+
+def test_gating_annotates_candidates(placed, process):
+    nl = placed.netlist
+    signals = propagate_activity(nl)
+    res = insert_clock_gates(nl, process, signals,
+                             activity_threshold=0.15)
+    assert res.n_gates > 0
+    assert res.gated_flops >= 4 * res.n_gates
+    gated = [i for i in nl.instances.values()
+             if i.gated_activity is not None]
+    assert len(gated) == res.gated_flops
+    assert all(0.0 < g.gated_activity <= 1.0 for g in gated)
+    # ICG cells were added
+    icgs = [i for i in nl.instances.values()
+            if i.name.startswith("icg_")]
+    assert len(icgs) == res.n_gates
+
+
+def test_gating_saves_power(placed, process):
+    nl = placed.netlist
+    routing = route_block(nl, process.metal_stack)
+    signals = propagate_activity(nl)
+    apply_activity(nl, signals)
+    cts0 = synthesize_clock_tree(nl, process)
+    before = analyze_power(nl, routing, process, CPU_CLOCK, cts=cts0)
+    res = insert_clock_gates(nl, process, signals,
+                             activity_threshold=0.2)
+    assert res.gated_flops > 0
+    routing = route_block(nl, process.metal_stack)
+    cts1 = synthesize_clock_tree(nl, process)
+    after = analyze_power(nl, routing, process, CPU_CLOCK, cts=cts1)
+    assert after.total_uw < before.total_uw
+    # clock pin capacitance seen by the tree shrank
+    assert cts1.sink_pin_cap_ff < cts0.sink_pin_cap_ff
+
+
+def test_high_threshold_gates_more(placed, process):
+    nl = placed.netlist
+    signals = propagate_activity(nl)
+    low = insert_clock_gates(nl, process, signals,
+                             activity_threshold=0.02)
+    # fresh netlist for the generous threshold
+    gb2 = fresh_block("l2t", process.library, seed=19)
+    place_block_2d(gb2.netlist, PlacementConfig(seed=19))
+    signals2 = propagate_activity(gb2.netlist)
+    high = insert_clock_gates(gb2.netlist, process, signals2,
+                              activity_threshold=0.5)
+    assert high.gated_flops >= low.gated_flops
+
+
+def test_already_gated_flops_skipped(placed, process):
+    nl = placed.netlist
+    signals = propagate_activity(nl)
+    first = insert_clock_gates(nl, process, signals,
+                               activity_threshold=0.2)
+    second = insert_clock_gates(nl, process, signals,
+                                activity_threshold=0.2)
+    assert second.gated_flops == 0 or \
+        second.gated_flops < first.gated_flops

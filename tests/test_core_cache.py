@@ -1,0 +1,53 @@
+"""Tests for the block-design cache."""
+
+import pytest
+
+from repro.core.cache import DesignCache
+from repro.core.flow import FlowConfig
+from repro.core.fullchip import ChipConfig, build_chip
+
+
+def test_hit_returns_same_object(process):
+    cache = DesignCache()
+    cfg = FlowConfig(scale=0.4)
+    a = cache.get_or_run("ncu", cfg, process)
+    b = cache.get_or_run("ncu", cfg, process)
+    assert a is b
+    assert cache.stats.hits == 1
+    assert cache.stats.misses == 1
+    assert cache.stats.hit_rate == pytest.approx(0.5)
+
+
+def test_different_configs_miss(process):
+    cache = DesignCache()
+    cache.get_or_run("ncu", FlowConfig(scale=0.4), process)
+    cache.get_or_run("ncu", FlowConfig(scale=0.4, dual_vth=True),
+                     process)
+    assert cache.stats.misses == 2
+
+
+def test_clear(process):
+    cache = DesignCache()
+    cache.get_or_run("ncu", FlowConfig(scale=0.4), process)
+    cache.clear()
+    assert len(cache) == 0
+    assert cache.stats.misses == 0
+
+
+def test_eviction_cap(process):
+    cache = DesignCache(max_entries=1)
+    cache.get_or_run("ncu", FlowConfig(scale=0.4), process)
+    cache.get_or_run("ccu", FlowConfig(scale=0.4), process)
+    assert len(cache) == 1
+
+
+def test_chip_sweep_reuses_blocks(process):
+    cache = DesignCache()
+    build_chip(ChipConfig(style="core_cache", scale=0.3), process,
+               cache=cache)
+    first_misses = cache.stats.misses
+    # same seed + scale: unfolded blocks with equal budgets recur
+    build_chip(ChipConfig(style="core_core", scale=0.3), process,
+               cache=cache)
+    assert cache.stats.hits > 0
+    assert cache.stats.misses < 2 * first_misses

@@ -1,0 +1,139 @@
+"""Tests for folding criteria and fold partitions."""
+
+import pytest
+
+from repro.core.flow import FlowConfig, run_block_flow
+from repro.core.folding import (FoldSpec, assign_regions_balanced,
+                                folding_candidates, make_partition,
+                                partition_case_sweep)
+from repro.designgen.t2 import SPC_FOLDED_FUBS
+from tests.conftest import fresh_block
+
+
+def test_fold_spec_validates_mode():
+    with pytest.raises(ValueError):
+        FoldSpec(mode="diagonal")
+
+
+class TestMakePartition:
+    def test_mincut(self, library):
+        gb = fresh_block("l2t", library, seed=1)
+        part = make_partition(gb, FoldSpec(mode="mincut"))
+        assert set(part.values()) == {0, 1}
+
+    def test_regions(self, library):
+        gb = fresh_block("ccx", library, seed=1)
+        part = make_partition(gb, FoldSpec(mode="regions",
+                                           die1_regions=("cpx",)))
+        cpx = gb.clusters_of_regions(("cpx",))
+        for inst in gb.netlist.instances.values():
+            assert part[inst.id] == (1 if inst.cluster in cpx else 0)
+
+    def test_regions_requires_names(self, library):
+        gb = fresh_block("ccx", library, seed=1)
+        with pytest.raises(ValueError):
+            make_partition(gb, FoldSpec(mode="regions"))
+
+    def test_interleave_periods(self, library):
+        gb = fresh_block("l2t", library, seed=1)
+        fine = make_partition(gb, FoldSpec(mode="interleave",
+                                           interleave_period=4))
+        coarse = make_partition(gb, FoldSpec(mode="interleave",
+                                             interleave_period=200))
+        from repro.place.partition import count_cut
+        assert count_cut(gb.netlist, fine) > count_cut(gb.netlist, coarse)
+
+    def test_fub_assign_keeps_fubs_whole(self, library):
+        gb = fresh_block("spc", library, seed=1)
+        part = make_partition(gb, FoldSpec(mode="fub_assign"))
+        for fub in gb.regions:
+            dies = {part[i.id] for i in gb.netlist.instances.values()
+                    if gb.region_of_cluster(i.cluster) == fub}
+            assert len(dies) == 1, fub
+
+    def test_fub_fold_splits_named_fubs(self, library):
+        gb = fresh_block("spc", library, seed=1)
+        part = make_partition(gb, FoldSpec(
+            mode="fub_fold", folded_regions=SPC_FOLDED_FUBS))
+        for fub in SPC_FOLDED_FUBS:
+            dies = {part[i.id] for i in gb.netlist.instances.values()
+                    if gb.region_of_cluster(i.cluster) == fub}
+            assert dies == {0, 1}, fub
+        unfolded = set(gb.regions) - set(SPC_FOLDED_FUBS)
+        for fub in unfolded:
+            dies = {part[i.id] for i in gb.netlist.instances.values()
+                    if gb.region_of_cluster(i.cluster) == fub}
+            assert len(dies) == 1, fub
+
+    def test_fub_fold_unknown_region_rejected(self, library):
+        gb = fresh_block("spc", library, seed=1)
+        with pytest.raises(ValueError):
+            make_partition(gb, FoldSpec(mode="fub_fold",
+                                        folded_regions=("warp_drive",)))
+
+    def test_fub_modes_require_regions(self, library):
+        gb = fresh_block("ncu", library, seed=1)
+        with pytest.raises(ValueError):
+            make_partition(gb, FoldSpec(mode="fub_assign"))
+
+    def test_balanced_region_assignment(self, library):
+        gb = fresh_block("spc", library, seed=1)
+        region_die = assign_regions_balanced(gb)
+        area = {0: 0.0, 1: 0.0}
+        for inst in gb.netlist.instances.values():
+            region = gb.region_of_cluster(inst.cluster)
+            if region is not None:
+                area[region_die[region]] += inst.area_um2
+        total = area[0] + area[1]
+        assert max(area.values()) / total < 0.65
+
+
+class TestPartitionSweep:
+    def test_five_cases(self, library):
+        gb = fresh_block("l2t", library, seed=1)
+        cases = partition_case_sweep(gb)
+        assert [c[0] for c in cases] == ["#1", "#2", "#3", "#4", "#5"]
+
+    def test_cut_grows_over_cases(self, library):
+        from repro.place.partition import count_cut
+        gb = fresh_block("l2t", library, seed=1)
+        cuts = [count_cut(gb.netlist, make_partition(gb, spec))
+                for _, spec in partition_case_sweep(gb)]
+        assert cuts[-1] > 3 * cuts[0]
+
+
+class TestFoldingCandidates:
+    @pytest.fixture(scope="class")
+    def candidates(self, process):
+        designs = {
+            name: run_block_flow(name, FlowConfig(), process)
+            for name in ("ccx", "l2d", "ncu")
+        }
+        counts = {"ccx": 1, "l2d": 8, "ncu": 1}
+        return folding_candidates(designs, counts)
+
+    def test_sorted_by_power_share(self, candidates):
+        shares = [c.total_power_pct for c in candidates]
+        assert shares == sorted(shares, reverse=True)
+
+    def test_l2d_counts_multiplicity(self, candidates):
+        l2d = next(c for c in candidates if c.block == "l2d")
+        assert l2d.count == 8
+        assert "8X" in l2d.remark
+
+    def test_power_threshold_disqualifies(self, process):
+        # with a realistic chip-wide denominator a small control block
+        # falls below the 1% criterion; emulate with a higher threshold
+        designs = {
+            name: run_block_flow(name, FlowConfig(), process)
+            for name in ("ccx", "ncu")
+        }
+        rows = folding_candidates(designs, {"ccx": 1, "ncu": 1},
+                                  min_power_pct=30.0)
+        ncu = next(c for c in rows if c.block == "ncu")
+        assert not ncu.qualifies
+
+    def test_ccx_qualifies(self, candidates):
+        ccx = next(c for c in candidates if c.block == "ccx")
+        assert ccx.qualifies
+        assert "CPU clock" in ccx.remark

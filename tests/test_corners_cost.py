@@ -1,0 +1,126 @@
+"""Tests for process corners and the cost/yield model."""
+
+import pytest
+
+from repro.analysis.corners import analyze_corners, signoff_summary
+from repro.analysis.cost import (CostModel, cost_2d, cost_3d,
+                                 cost_comparison, die_yield,
+                                 dies_per_wafer, format_cost_table)
+from repro.core.flow import FlowConfig, run_block_flow
+from repro.tech.corners import (CORNERS, corner_library, corner_process,
+                                derate_master)
+
+
+class TestCorners:
+    def test_corner_set(self):
+        assert set(CORNERS) == {"ss", "tt", "ff"}
+        assert CORNERS["ss"].delay_factor > 1 > CORNERS["ff"].delay_factor
+        assert CORNERS["ff"].leakage_factor > 1
+
+    def test_derate_master(self, library):
+        m = library.master("INV_X2")
+        ss = derate_master(m, CORNERS["ss"])
+        assert ss.drive_res_kohm > m.drive_res_kohm
+        assert ss.leakage_uw < m.leakage_uw
+        assert ss.area_um2 == m.area_um2  # geometry unchanged
+
+    def test_tt_is_identity(self, library):
+        m = library.master("NAND2_X4_HVT")
+        tt = derate_master(m, CORNERS["tt"])
+        assert tt == m
+
+    def test_corner_library_complete(self, library):
+        ff = corner_library(library, "ff")
+        assert len(ff) == len(library)
+        assert ff.master("INV_X1").drive_res_kohm < \
+            library.master("INV_X1").drive_res_kohm
+        # library navigation still works
+        assert ff.upsize(ff.master("INV_X2")).drive == 4
+
+    def test_corner_process(self, process):
+        ss = corner_process(process, "ss")
+        assert ss.vdd < process.vdd
+        assert ss.name.endswith("_ss")
+        # base process untouched
+        assert process.library.master("INV_X1").drive_res_kohm == \
+            pytest.approx(4.2)
+
+    @pytest.fixture(scope="class")
+    def design(self, process):
+        return run_block_flow("ncu", FlowConfig(seed=3), process)
+
+    def test_corner_ordering(self, design, process):
+        reports = analyze_corners(design, process)
+        assert reports["ss"].wns_ps < reports["tt"].wns_ps < \
+            reports["ff"].wns_ps
+        assert reports["ff"].leakage_uw > reports["tt"].leakage_uw > \
+            reports["ss"].leakage_uw
+
+    def test_masters_restored_after_analysis(self, design, process):
+        before = {i.id: i.master for i in design.netlist.instances.values()}
+        analyze_corners(design, process)
+        after = {i.id: i.master for i in design.netlist.instances.values()}
+        assert before == after
+
+    def test_summary_renders(self, design, process):
+        reports = analyze_corners(design, process)
+        text = signoff_summary(reports)
+        assert "setup sign-off at SS" in text
+        assert "ff" in text
+
+
+class TestCostModel:
+    def test_dies_per_wafer_decreases_with_area(self):
+        assert dies_per_wafer(50, 300) > dies_per_wafer(100, 300)
+
+    def test_dies_per_wafer_rejects_zero_area(self):
+        with pytest.raises(ValueError):
+            dies_per_wafer(0, 300)
+
+    def test_yield_decreases_with_area(self):
+        model = CostModel()
+        assert die_yield(25, model) > die_yield(100, model)
+        assert 0 < die_yield(100, model) < 1
+
+    def test_small_dies_cheaper(self):
+        small = cost_2d(40)
+        big = cost_2d(120)
+        assert small.cost_per_good_die < big.cost_per_good_die
+
+    def test_w2w_vs_d2d(self):
+        # with big dies (poor yield), die matching (d2d) wins
+        w2w = cost_3d(80, strategy="w2w")
+        d2d = cost_3d(80, strategy="d2d")
+        assert d2d.cost_per_good_die < w2w.cost_per_good_die
+
+    def test_f2f_skips_tsv_cost(self):
+        f2b = cost_3d(40, style="fold_f2b", uses_tsv=True)
+        f2f = cost_3d(40, style="fold_f2f", uses_tsv=False)
+        assert f2f.cost_per_good_die < f2b.cost_per_good_die
+
+    def test_unknown_strategy_rejected(self):
+        with pytest.raises(ValueError):
+            cost_3d(40, strategy="origami")
+
+    def test_comparison_and_table(self):
+        costs = cost_comparison({"2d": 72.0, "core_cache": 40.0,
+                                 "fold_f2f": 37.0})
+        table = format_cost_table(costs)
+        assert "2d" in table and "fold_f2f" in table
+        by_style = {c.style: c for c in costs}
+        # halved dies yield better per tier than the 2D monolith
+        assert by_style["core_cache"].die_yield != \
+            by_style["2d"].die_yield
+
+    def test_cost_scaling_sane(self):
+        # stacking two half-size dies costs more than one big die at low
+        # defect density (bonding overhead dominates) ...
+        cheap_defects = CostModel(defect_density=0.05)
+        d2 = cost_2d(80, cheap_defects)
+        d3 = cost_3d(40, cheap_defects, strategy="d2d")
+        assert d3.cost_per_good_die > d2.cost_per_good_die
+        # ... but wins when defects make the big die yield poorly
+        dirty = CostModel(defect_density=2.5)
+        d2 = cost_2d(80, dirty)
+        d3 = cost_3d(40, dirty, strategy="d2d")
+        assert d3.cost_per_good_die < d2.cost_per_good_die

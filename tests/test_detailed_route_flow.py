@@ -1,0 +1,48 @@
+"""Tests for the detailed-route flow option and its ablation."""
+
+import pytest
+
+from repro.core.flow import FlowConfig, run_block_flow
+
+
+@pytest.fixture(scope="module")
+def pair(process):
+    estimated = run_block_flow("l2t", FlowConfig(seed=5), process)
+    detailed = run_block_flow("l2t", FlowConfig(seed=5,
+                                                detailed_route=True),
+                              process)
+    return estimated, detailed
+
+
+def test_detailed_flow_closes_timing(pair):
+    _, detailed = pair
+    assert detailed.sta.wns_ps >= -20.0
+
+
+def test_congestion_attached_only_when_requested(pair):
+    estimated, detailed = pair
+    assert estimated.congestion is None
+    assert detailed.congestion is not None
+    assert detailed.congestion.overflow_fraction < 0.10
+
+
+def test_routed_wirelength_reasonable_vs_estimate(pair):
+    estimated, detailed = pair
+    ratio = detailed.wirelength_um / estimated.wirelength_um
+    assert 0.9 < ratio < 1.7
+
+
+def test_power_reflects_measured_wires(pair):
+    estimated, detailed = pair
+    # detours make measured routing slightly more expensive
+    assert detailed.power.total_uw >= 0.95 * estimated.power.total_uw
+
+
+def test_detailed_route_on_folded_block(process):
+    from repro.core.folding import FoldSpec
+    d = run_block_flow("l2t", FlowConfig(
+        seed=5, fold=FoldSpec(mode="mincut"), bonding="F2F",
+        detailed_route=True), process)
+    assert d.congestion is not None
+    assert d.sta.wns_ps >= -20.0
+    assert d.n_vias > 0

@@ -1,0 +1,37 @@
+"""The docs walkthrough must actually run, block by block."""
+
+import contextlib
+import io
+import pathlib
+import re
+
+import pytest
+
+DOC = pathlib.Path(__file__).parent.parent / "docs" / "walkthrough.md"
+
+
+@pytest.mark.slow
+def test_walkthrough_executes_end_to_end():
+    text = DOC.read_text()
+    blocks = re.findall(r"```python\n(.*?)```", text, re.S)
+    assert len(blocks) >= 10
+    namespace = {}
+    for i, block in enumerate(blocks):
+        # shrink the chip-level steps so the doc test stays fast
+        block = block.replace(
+            'ChipConfig(style="fold_f2f", dual_vth=True)',
+            'ChipConfig(style="fold_f2f", dual_vth=True, scale=0.25)')
+        block = block.replace(
+            'ChipConfig(style="core_cache", scale=0.6)',
+            'ChipConfig(style="core_cache", scale=0.25)')
+        with contextlib.redirect_stdout(io.StringIO()):
+            exec(compile(block, f"walkthrough-block-{i}", "exec"),
+                 namespace)
+
+
+def test_readme_code_snippets_parse():
+    readme = (pathlib.Path(__file__).parent.parent /
+              "README.md").read_text()
+    for i, block in enumerate(
+            re.findall(r"```python\n(.*?)```", readme, re.S)):
+        compile(block, f"readme-block-{i}", "exec")

@@ -1,0 +1,104 @@
+"""Tests for the Liberty/LEF exporters and the SVG renderers."""
+
+import pytest
+
+from repro.analysis.layout_svg import render_block_svg, render_chip_svg
+from repro.designgen.t2 import t2_instances
+from repro.floorplan.t2_floorplans import t2_floorplan
+from repro.place.placer2d import PlacementConfig, place_block_2d
+from repro.tech.export import write_lef, write_liberty
+from repro.tech.macros import sram_macro
+from tests.conftest import fresh_block
+
+
+class TestLiberty:
+    @pytest.fixture(scope="class")
+    def lib_text(self, process):
+        return write_liberty(process)
+
+    def test_header(self, lib_text):
+        assert lib_text.startswith("library (repro28) {")
+        assert lib_text.rstrip().endswith("}")
+
+    def test_all_masters_present(self, process, lib_text):
+        for master in process.library.masters:
+            assert f"cell ({master.name})" in lib_text
+
+    def test_flop_has_ff_group(self, lib_text):
+        assert 'ff (IQ, IQN)' in lib_text
+        assert 'clock : true;' in lib_text
+
+    def test_delay_coefficients_match_model(self, process, lib_text):
+        m = process.library.master("INV_X4")
+        idx = lib_text.index("cell (INV_X4)")
+        block = lib_text[idx:idx + 900]
+        assert f"rise_resistance : {m.drive_res_kohm:.4f};" in block
+        assert f"intrinsic_rise : {m.intrinsic_delay_ps:.2f};" in block
+
+    def test_balanced_braces(self, lib_text):
+        assert lib_text.count("{") == lib_text.count("}")
+
+
+class TestLef:
+    @pytest.fixture(scope="class")
+    def lef_text(self, process):
+        return write_lef(process, macros=[sram_macro(4)])
+
+    def test_layers_emitted(self, lef_text):
+        for i in range(1, 10):
+            assert f"LAYER M{i}" in lef_text
+
+    def test_via_definitions(self, lef_text):
+        assert "VIA TSV3D DEFAULT" in lef_text
+        assert "VIA F2FVIA DEFAULT" in lef_text
+
+    def test_cells_and_macros(self, process, lef_text):
+        assert "MACRO INV_X1" in lef_text
+        assert "MACRO SRAM_4KB" in lef_text
+        assert "CLASS BLOCK ;" in lef_text
+        assert lef_text.rstrip().endswith("END LIBRARY")
+
+    def test_macro_size_matches_master(self, lef_text):
+        m = sram_macro(4)
+        assert f"SIZE {m.width_um:.3f} BY {m.height_um:.3f} ;" in lef_text
+
+
+class TestSvg:
+    def test_block_svg(self, library, process):
+        gb = fresh_block("l2t", library, seed=7)
+        result = place_block_2d(gb.netlist, PlacementConfig(seed=7))
+        svg = render_block_svg(gb.netlist, result.outline)
+        assert svg.startswith("<svg")
+        assert svg.rstrip().endswith("</svg>")
+        assert svg.count("<rect") > 100  # cells + macros drawn
+
+    def test_block_svg_with_vias(self, library, process):
+        from repro.place.partition import fm_bipartition
+        from repro.place.placer3d import fold_place_3d
+        gb = fresh_block("l2t", library, seed=7)
+        part = fm_bipartition(gb.netlist, seed=0)
+        res = fold_place_3d(gb.netlist, process, part.assignment, "F2F",
+                            PlacementConfig(seed=7))
+        sites = {v.net_id: (v.x, v.y) for v in res.vias}
+        svg = render_block_svg(gb.netlist, res.outline, via_sites=sites)
+        assert svg.count("<circle") == len(sites)
+
+    def test_chip_svg_labels_all_blocks(self):
+        dims = {name: (300.0, 300.0) for name, _ in t2_instances()}
+        fp = t2_floorplan("fold_f2f", dims)
+        svg = render_chip_svg(fp)
+        for name, _ in t2_instances():
+            assert f">{name}</text>" in svg
+        # folded blocks draw the double (both-tier) fill
+        assert "(both tiers)" in svg
+
+
+def test_chip_svg_with_tsv_plan(process):
+    from repro.floorplan.tsv_planning import plan_tsv_arrays
+    dims = {name: (300.0, 300.0) for name, _ in t2_instances()}
+    fp = t2_floorplan("core_cache", dims, gap=40.0)
+    plan = plan_tsv_arrays(fp, [("spc0", "l2d0", 60)], process.tsv)
+    svg = render_chip_svg(fp, tsv_plan=plan)
+    used = sum(1 for s in plan.sites if s.used > 0)
+    assert svg.count("<circle") == used
+    assert used > 0

@@ -1,0 +1,156 @@
+"""Tests for the sequence-pair annealer and the T2 reference layouts."""
+
+import pytest
+
+from repro.floorplan.seqpair import (AnnealConfig, FPBlock,
+                                     anneal_floorplan, pack)
+from repro.floorplan.t2_floorplans import (BOTH_DIES, FOLDED_TYPES, STYLES,
+                                           t2_floorplan)
+from repro.designgen.t2 import t2_instances
+
+
+def no_overlaps(positions):
+    items = list(positions.items())
+    for i, (na, (ax, ay, aw, ah)) in enumerate(items):
+        for nb, (bx, by, bw, bh) in items[i + 1:]:
+            if not (ax + aw <= bx + 1e-9 or bx + bw <= ax + 1e-9 or
+                    ay + ah <= by + 1e-9 or by + bh <= ay + 1e-9):
+                return False, (na, nb)
+    return True, None
+
+
+class TestSequencePair:
+    def blocks(self, n=6):
+        return [FPBlock(f"b{i}", 10.0 + i, 8.0 + (i % 3) * 4)
+                for i in range(n)]
+
+    def test_identity_pack_is_a_row(self):
+        blocks = self.blocks(3)
+        res = pack(blocks, [0, 1, 2], [0, 1, 2])
+        assert res.width == pytest.approx(sum(b.width for b in blocks))
+        assert res.height == pytest.approx(max(b.height for b in blocks))
+
+    def test_reversed_p1_stacks_vertically(self):
+        blocks = self.blocks(3)
+        res = pack(blocks, [2, 1, 0], [0, 1, 2])
+        assert res.height == pytest.approx(sum(b.height for b in blocks))
+
+    def test_pack_never_overlaps(self):
+        import numpy as np
+        rng = np.random.default_rng(0)
+        blocks = self.blocks(8)
+        for _ in range(20):
+            p1 = list(rng.permutation(8))
+            p2 = list(rng.permutation(8))
+            res = pack(blocks, p1, p2)
+            ok, pair = no_overlaps(res.positions)
+            assert ok, pair
+
+    def test_anneal_beats_row_pack(self):
+        blocks = self.blocks(10)
+        row = pack(blocks, list(range(10)), list(range(10)))
+        annealed = anneal_floorplan(
+            blocks, config=AnnealConfig(iterations=1500, seed=1))
+        assert annealed.area < row.area
+        ok, _ = no_overlaps(annealed.positions)
+        assert ok
+
+    def test_anneal_with_bundles_pulls_blocks_together(self):
+        blocks = self.blocks(8)
+        bundles = [("b0", "b7", 50)]
+        res = anneal_floorplan(blocks, bundles,
+                               AnnealConfig(iterations=2500, seed=2,
+                                            wl_weight=3.0))
+        x0, y0 = res.center_of("b0")
+        x7, y7 = res.center_of("b7")
+        d = abs(x0 - x7) + abs(y0 - y7)
+        assert d < (res.width + res.height) / 2
+
+    def test_empty_floorplan(self):
+        assert anneal_floorplan([]).area == 0.0
+
+
+class TestT2Floorplans:
+    @pytest.fixture(scope="class")
+    def dims(self):
+        return {name: (300.0, 300.0) for name, _ in t2_instances()}
+
+    @pytest.mark.parametrize("style", STYLES)
+    def test_all_instances_placed(self, style, dims):
+        fp = t2_floorplan(style, dims)
+        assert set(fp.positions) == {n for n, _ in t2_instances()}
+        assert fp.width > 0 and fp.height > 0
+
+    @pytest.mark.parametrize("style", STYLES)
+    def test_blocks_inside_chip(self, style, dims):
+        fp = t2_floorplan(style, dims)
+        for name, r in fp.positions.items():
+            assert r.x0 >= -1e-9 and r.y0 >= -1e-9
+            assert r.x1 <= fp.width + 1e-9
+            assert r.y1 <= fp.height + 1e-9
+
+    def test_2d_single_die_no_overlap(self, dims):
+        fp = t2_floorplan("2d", dims)
+        assert fp.n_dies == 1
+        assert set(fp.die_of.values()) == {0}
+        rects = {n: (r.x0, r.y0, r.width, r.height)
+                 for n, r in fp.positions.items()}
+        ok, pair = no_overlaps(rects)
+        assert ok, pair
+
+    @pytest.mark.parametrize("style", ["core_cache", "core_core"])
+    def test_stacked_styles_no_overlap_per_die(self, style, dims):
+        fp = t2_floorplan(style, dims)
+        assert fp.n_dies == 2
+        for die in (0, 1):
+            rects = {n: (r.x0, r.y0, r.width, r.height)
+                     for n, r in fp.positions.items()
+                     if fp.die_of[n] == die}
+            ok, pair = no_overlaps(rects)
+            assert ok, (die, pair)
+
+    def test_core_cache_separates_cores_and_caches(self, dims):
+        fp = t2_floorplan("core_cache", dims)
+        spc_dies = {fp.die_of[f"spc{i}"] for i in range(8)}
+        l2_dies = {fp.die_of[f"l2d{i}"] for i in range(8)} | \
+            {fp.die_of[f"l2t{i}"] for i in range(8)}
+        assert spc_dies == {0}
+        assert l2_dies == {1}
+
+    def test_core_core_splits_cores(self, dims):
+        fp = t2_floorplan("core_core", dims)
+        dies = [fp.die_of[f"spc{i}"] for i in range(8)]
+        assert dies.count(0) == 4 and dies.count(1) == 4
+
+    @pytest.mark.parametrize("style", ["fold_f2b", "fold_f2f"])
+    def test_folded_blocks_on_both_dies(self, style, dims):
+        fp = t2_floorplan(style, dims)
+        for name, die in fp.die_of.items():
+            base = name.rstrip("0123456789")
+            if base in FOLDED_TYPES:
+                assert die == BOTH_DIES, name
+            else:
+                assert die in (0, 1), name
+
+    def test_crosses_dies(self, dims):
+        fp = t2_floorplan("core_cache", dims)
+        assert fp.crosses_dies("spc0", "l2d0")
+        assert not fp.crosses_dies("spc0", "spc1")
+        fp2 = t2_floorplan("fold_f2b", dims)
+        # folded blocks expose pins on both tiers -> no forced crossing
+        assert not fp2.crosses_dies("spc0", "ccx")
+
+    def test_unknown_style_rejected(self, dims):
+        with pytest.raises(ValueError):
+            t2_floorplan("origami", dims)
+
+    def test_folded_dims_shrink_chip(self):
+        full = {name: (300.0, 300.0) for name, _ in t2_instances()}
+        fp_2d = t2_floorplan("2d", full)
+        small = dict(full)
+        for name, _ in t2_instances():
+            base = name.rstrip("0123456789")
+            if base in FOLDED_TYPES:
+                small[name] = (212.0, 212.0)
+        fp_fold = t2_floorplan("fold_f2f", small)
+        assert fp_fold.area_um2 < fp_2d.area_um2

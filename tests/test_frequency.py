@@ -1,0 +1,37 @@
+"""Tests for the clock-frequency sweep (paper Section 7 claim)."""
+
+import pytest
+
+from repro.analysis.frequency import (FrequencyPoint, benefit_trend,
+                                      format_sweep, frequency_sweep)
+from repro.core.folding import FoldSpec
+
+
+class TestPointMath:
+    def test_benefit(self):
+        p = FrequencyPoint(0.7, power_2d_uw=100.0, power_3d_uw=85.0,
+                           wns_2d_ps=0, wns_3d_ps=0)
+        assert p.benefit == pytest.approx(-0.15)
+        assert p.both_close_timing
+
+    def test_timing_flag(self):
+        p = FrequencyPoint(0.7, 100, 85, wns_2d_ps=-100, wns_3d_ps=0)
+        assert not p.both_close_timing
+
+    def test_trend_prefers_closed_points(self):
+        pts = [FrequencyPoint(0.5, 100, 90, 0, 0),
+               FrequencyPoint(0.7, 100, 85, 0, 0),
+               FrequencyPoint(0.9, 100, 60, -500, 0)]
+        # the violating last point is excluded
+        assert benefit_trend(pts) == pytest.approx(-0.05)
+
+
+def test_sweep_on_l2t(process):
+    pts = frequency_sweep("l2t", FoldSpec(mode="mincut"), process,
+                          freqs_ghz=(0.5, 0.7))
+    assert len(pts) == 2
+    assert all(p.power_2d_uw > 0 and p.power_3d_uw > 0 for p in pts)
+    # folding saves power at both frequencies
+    assert all(p.benefit < 0 for p in pts)
+    text = format_sweep(pts)
+    assert "benefit" in text and "0.50" in text

@@ -1,0 +1,47 @@
+"""Netlist statistics plus the scale-stability contract of DESIGN.md."""
+
+import pytest
+
+from repro.core.flow import FlowConfig, run_block_flow
+from repro.core.folding import FoldSpec
+from repro.netlist.stats import collect_stats
+from tests.conftest import fresh_block
+
+
+class TestStats:
+    def test_collect_stats_counts(self, library):
+        gb = fresh_block("l2t", library, seed=4)
+        stats = collect_stats(gb.netlist)
+        assert stats.num_cells == gb.netlist.num_cells
+        assert stats.num_macros == len(gb.netlist.macros)
+        assert stats.num_flops > 0
+        assert stats.num_nets == len(gb.netlist.nets)
+        assert stats.cell_area_um2 == pytest.approx(
+            gb.netlist.total_cell_area())
+        assert stats.total_area_um2 > stats.cell_area_um2
+        assert stats.avg_net_degree > 1.5
+
+    def test_function_histogram_sums_to_cells(self, library):
+        gb = fresh_block("ncu", library, seed=4)
+        stats = collect_stats(gb.netlist)
+        assert sum(stats.function_histogram.values()) == stats.num_cells
+
+    def test_hvt_fraction_initially_zero(self, library):
+        gb = fresh_block("ncu", library, seed=4)
+        assert collect_stats(gb.netlist).hvt_fraction == 0.0
+
+
+class TestScaleStability:
+    """DESIGN.md Section 5: paper claims are ratios between designs at
+    identical scale, and those ratios keep their sign across scales."""
+
+    @pytest.mark.parametrize("scale", [0.7, 1.0])
+    def test_fold_signs_stable(self, process, scale):
+        d2 = run_block_flow("ccx", FlowConfig(scale=scale), process)
+        d3 = run_block_flow("ccx", FlowConfig(
+            scale=scale,
+            fold=FoldSpec(mode="regions", die1_regions=("cpx",)),
+            bonding="F2B"), process)
+        assert d3.footprint_um2 < d2.footprint_um2
+        assert d3.wirelength_um < d2.wirelength_um
+        assert d3.power.total_uw < d2.power.total_uw

@@ -1,0 +1,75 @@
+"""Tests for scan-chain insertion."""
+
+import pytest
+
+from repro.opt.scan import (insert_scan_chains, scan_order_quality)
+from repro.place.placer2d import PlacementConfig, place_block_2d
+from repro.place.partition import fm_bipartition
+from repro.place.placer3d import fold_place_3d
+from tests.conftest import fresh_block
+
+
+@pytest.fixture()
+def placed(library):
+    gb = fresh_block("l2t", library, seed=8)
+    place_block_2d(gb.netlist, PlacementConfig(seed=8))
+    return gb
+
+
+def test_all_flops_stitched_once(placed):
+    nl = placed.netlist
+    flops = {i.id for i in nl.instances.values() if i.is_sequential}
+    res = insert_scan_chains(nl, n_chains=4)
+    stitched = [f for c in res.chains for f in c.flops]
+    assert sorted(stitched) == sorted(flops)
+    assert res.n_flops == len(flops)
+    assert nl.validate() == []
+
+
+def test_ports_created_per_chain(placed):
+    nl = placed.netlist
+    res = insert_scan_chains(nl, n_chains=3)
+    for c in res.chains:
+        assert f"scan_in_{c.index}" in nl.ports
+        assert f"scan_out_{c.index}" in nl.ports
+        assert nl.ports[f"scan_in_{c.index}"].false_path
+
+
+def test_scan_nets_low_activity(placed):
+    nl = placed.netlist
+    insert_scan_chains(nl)
+    scan_nets = [n for n in nl.nets.values()
+                 if n.name.startswith("scan_")]
+    assert scan_nets
+    assert all(n.activity == pytest.approx(0.01) for n in scan_nets)
+
+
+def test_reorder_beats_random(placed):
+    nl = placed.netlist
+    res = insert_scan_chains(nl, n_chains=2)
+    big = max(res.chains, key=lambda c: len(c.flops))
+    assert scan_order_quality(nl, big) < 0.8
+
+
+def test_folded_chains_stay_per_tier(library, process):
+    gb = fresh_block("l2t", library, seed=8)
+    part = fm_bipartition(gb.netlist, seed=0)
+    fold_place_3d(gb.netlist, process, part.assignment, "F2F",
+                  PlacementConfig(seed=8))
+    res = insert_scan_chains(gb.netlist, n_chains=2)
+    for chain in res.chains:
+        dies = {gb.netlist.instances[f].die for f in chain.flops}
+        assert dies == {chain.die}
+
+
+def test_timing_unaffected_by_scan(placed, process):
+    from repro.route.estimate import route_block
+    from repro.timing.sta import TimingConfig, run_sta
+    nl = placed.netlist
+    routing = route_block(nl, process.metal_stack)
+    before = run_sta(nl, routing, process, TimingConfig("cpu_clk"))
+    insert_scan_chains(nl)
+    routing = route_block(nl, process.metal_stack)
+    after = run_sta(nl, routing, process, TimingConfig("cpu_clk"))
+    # scan ports are false paths; functional slack must not regress
+    assert after.wns_ps >= before.wns_ps - 1.0

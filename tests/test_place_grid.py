@@ -1,0 +1,112 @@
+"""Tests for rectangles and the supply/demand density grid."""
+
+import numpy as np
+import pytest
+
+from repro.place.grid import DensityGrid, Rect
+
+
+class TestRect:
+    def test_dimensions(self):
+        r = Rect(1, 2, 4, 7)
+        assert r.width == 3
+        assert r.height == 5
+        assert r.area == 15
+
+    def test_contains(self):
+        r = Rect(0, 0, 10, 10)
+        assert r.contains(5, 5)
+        assert r.contains(0, 10)
+        assert not r.contains(-1, 5)
+        assert not r.contains(5, 11)
+
+    def test_clamp(self):
+        r = Rect(0, 0, 10, 10)
+        assert r.clamp(-5, 5) == (0, 5)
+        assert r.clamp(20, 20) == (10, 10)
+        assert r.clamp(3, 4) == (3, 4)
+        assert r.clamp(-5, 5, margin=1) == (1, 5)
+
+    def test_overlaps(self):
+        a = Rect(0, 0, 10, 10)
+        assert a.overlaps(Rect(5, 5, 15, 15))
+        assert not a.overlaps(Rect(10, 0, 20, 10))  # touching edges
+        assert not a.overlaps(Rect(11, 11, 20, 20))
+
+    def test_negative_area_clamped(self):
+        assert Rect(5, 5, 1, 1).area == 0.0
+
+
+class TestDensityGrid:
+    def test_rejects_empty_region(self):
+        with pytest.raises(ValueError):
+            DensityGrid(Rect(0, 0, 0, 10))
+
+    def test_total_supply_matches_region(self):
+        g = DensityGrid(Rect(0, 0, 100, 100), target_bins=100,
+                        utilization=1.0)
+        assert g.total_supply() == pytest.approx(100 * 100)
+
+    def test_utilization_scales_supply(self):
+        g = DensityGrid(Rect(0, 0, 100, 100), utilization=0.5)
+        assert g.total_supply() == pytest.approx(5000)
+
+    def test_obstruction_carves_hole(self):
+        g = DensityGrid(Rect(0, 0, 100, 100), target_bins=100,
+                        utilization=1.0)
+        g.add_obstruction(Rect(0, 0, 50, 50))
+        assert g.total_supply() == pytest.approx(100 * 100 - 50 * 50,
+                                                 rel=0.01)
+
+    def test_overlapping_obstructions_never_negative(self):
+        g = DensityGrid(Rect(0, 0, 100, 100), utilization=1.0)
+        g.add_obstruction(Rect(0, 0, 60, 60))
+        g.add_obstruction(Rect(0, 0, 60, 60))
+        assert g.supply.min() >= 0.0
+
+    def test_bin_of_clamps(self):
+        g = DensityGrid(Rect(0, 0, 100, 100), target_bins=100)
+        assert g.bin_of(-10, -10) == (0, 0)
+        i, j = g.bin_of(200, 200)
+        assert i == g.nx - 1 and j == g.ny - 1
+
+    def test_bin_center_roundtrip(self):
+        g = DensityGrid(Rect(0, 0, 100, 100), target_bins=64)
+        cx, cy = g.bin_center(3, 4)
+        assert g.bin_of(cx, cy) == (3, 4)
+
+    def test_in_obstruction(self):
+        g = DensityGrid(Rect(0, 0, 100, 100))
+        g.add_obstruction(Rect(10, 10, 20, 20))
+        assert g.in_obstruction(15, 15)
+        assert not g.in_obstruction(50, 50)
+
+    def test_demand_map_accumulates(self):
+        g = DensityGrid(Rect(0, 0, 100, 100), target_bins=100)
+        xs = np.array([5.0, 5.0, 95.0])
+        ys = np.array([5.0, 5.0, 95.0])
+        areas = np.array([10.0, 20.0, 5.0])
+        demand = g.demand_map(xs, ys, areas)
+        assert demand.sum() == pytest.approx(35.0)
+        assert demand[g.bin_of(5, 5)] == pytest.approx(30.0)
+
+    def test_overflow_zero_when_spread(self):
+        g = DensityGrid(Rect(0, 0, 100, 100), target_bins=25,
+                        utilization=1.0)
+        rng = np.random.default_rng(0)
+        xs = rng.uniform(0, 100, 200)
+        ys = rng.uniform(0, 100, 200)
+        areas = np.full(200, 1.0)
+        assert g.overflow(xs, ys, areas) == pytest.approx(0.0)
+
+    def test_overflow_when_piled_up(self):
+        g = DensityGrid(Rect(0, 0, 100, 100), target_bins=25,
+                        utilization=0.5)
+        xs = np.full(100, 50.0)
+        ys = np.full(100, 50.0)
+        areas = np.full(100, 50.0)
+        assert g.overflow(xs, ys, areas) > 0.5
+
+    def test_nonsquare_region_aspect(self):
+        g = DensityGrid(Rect(0, 0, 400, 100), target_bins=64)
+        assert g.nx > g.ny

@@ -1,0 +1,73 @@
+"""Tests for FM bipartitioning."""
+
+import pytest
+
+from repro.place.partition import (count_cut, fm_bipartition,
+                                   partition_by_clusters)
+from tests.conftest import fresh_block
+
+
+def test_balance_within_tolerance(library):
+    gb = fresh_block("l2t", library, seed=5)
+    res = fm_bipartition(gb.netlist, balance_tol=0.10)
+    assert res.balance <= 0.62
+
+
+def test_assignment_covers_all_instances(library):
+    gb = fresh_block("ncu", library, seed=5)
+    res = fm_bipartition(gb.netlist)
+    assert set(res.assignment) == set(gb.netlist.instances)
+    assert set(res.assignment.values()) <= {0, 1}
+
+
+def test_cut_matches_count_cut(library):
+    gb = fresh_block("ncu", library, seed=5)
+    res = fm_bipartition(gb.netlist)
+    assert res.cut_nets == count_cut(gb.netlist, res.assignment)
+
+
+def test_fm_improves_over_random_split(library):
+    import numpy as np
+    gb = fresh_block("l2t", library, seed=6)
+    nl = gb.netlist
+    rng = np.random.default_rng(0)
+    random_assign = {i: int(rng.integers(0, 2)) for i in nl.instances}
+    random_cut = count_cut(nl, random_assign)
+    res = fm_bipartition(nl, initial=random_assign)
+    assert res.cut_nets < random_cut
+
+
+def test_locked_instances_stay(library):
+    gb = fresh_block("ncu", library, seed=7)
+    nl = gb.netlist
+    some = list(nl.instances)[:20]
+    initial = {i: 1 for i in some}
+    res = fm_bipartition(nl, initial=initial, locked=set(some))
+    for i in some:
+        assert res.assignment[i] == 1
+
+
+def test_ccx_natural_split_is_near_zero_cut(library):
+    gb = fresh_block("ccx", library, seed=1)
+    cpx = gb.clusters_of_regions(("cpx",))
+    assignment = partition_by_clusters(gb.netlist, cpx)
+    # PCX and CPX share only the few test-bridge signals
+    assert count_cut(gb.netlist, assignment) <= 4
+
+
+def test_partition_by_clusters_assignment(library):
+    gb = fresh_block("l2d", library, seed=1)
+    clusters = gb.clusters_of_regions(("subbank3",))
+    assignment = partition_by_clusters(gb.netlist, clusters)
+    for inst in gb.netlist.instances.values():
+        expected = 1 if inst.cluster in clusters else 0
+        assert assignment[inst.id] == expected
+
+
+def test_fm_deterministic(library):
+    a = fresh_block("l2t", library, seed=8)
+    b = fresh_block("l2t", library, seed=8)
+    ra = fm_bipartition(a.netlist, seed=3)
+    rb = fm_bipartition(b.netlist, seed=3)
+    assert ra.cut_nets == rb.cut_nets
+    assert ra.assignment == rb.assignment

@@ -1,0 +1,94 @@
+"""Tests for the quadratic (B2B) placement solver."""
+
+import numpy as np
+import pytest
+
+from repro.place.quadratic import QPNet, QuadraticPlacer
+
+
+def test_two_fixed_points_pull_between():
+    # HPWL is flat anywhere between two anchors, so B2B must land the
+    # cell strictly between them (not collapse to either end)
+    nets = [
+        QPNet(movable=[0], fixed=[(0.0, 0.0)]),
+        QPNet(movable=[0], fixed=[(10.0, 10.0)]),
+    ]
+    placer = QuadraticPlacer(1, nets)
+    x, y = placer.solve(np.array([3.0]), np.array([3.0]))
+    assert 0.5 < x[0] < 9.5
+    assert 0.5 < y[0] < 9.5
+
+
+def test_equal_weights_from_center_stay_centered():
+    nets = [
+        QPNet(movable=[0], fixed=[(0.0, 0.0)]),
+        QPNet(movable=[0], fixed=[(10.0, 10.0)]),
+    ]
+    placer = QuadraticPlacer(1, nets)
+    x, y = placer.solve(np.array([5.0]), np.array([5.0]))
+    assert x[0] == pytest.approx(5.0, abs=0.5)
+
+
+def test_chain_orders_monotonically():
+    # fixed(0) - a - b - c - fixed(30): solution must be ordered
+    nets = [
+        QPNet(movable=[0], fixed=[(0.0, 0.0)]),
+        QPNet(movable=[0, 1], fixed=[]),
+        QPNet(movable=[1, 2], fixed=[]),
+        QPNet(movable=[2], fixed=[(30.0, 0.0)]),
+    ]
+    placer = QuadraticPlacer(3, nets)
+    x0 = np.array([1.0, 2.0, 3.0])
+    x, y = placer.solve(x0, np.zeros(3))
+    assert 0 < x[0] < x[1] < x[2] < 30
+
+
+def test_anchor_pulls_toward_target():
+    nets = [QPNet(movable=[0], fixed=[(0.0, 0.0)])]
+    placer = QuadraticPlacer(1, nets)
+    ax = np.array([100.0])
+    ay = np.array([0.0])
+    x_weak, _ = placer.solve(np.array([0.0]), np.array([0.0]),
+                             anchors=(ax, ay, 1e-6))
+    x_strong, _ = placer.solve(np.array([0.0]), np.array([0.0]),
+                               anchors=(ax, ay, 10.0))
+    assert x_strong[0] > x_weak[0]
+    assert x_strong[0] > 90
+
+
+def test_isolated_cell_stays_finite():
+    placer = QuadraticPlacer(2, [QPNet(movable=[0], fixed=[(5.0, 5.0)])])
+    x, y = placer.solve(np.array([0.0, 42.0]), np.array([0.0, 7.0]))
+    assert np.isfinite(x).all() and np.isfinite(y).all()
+
+
+def test_net_weight_strengthens_pull():
+    nets_light = [
+        QPNet(movable=[0], fixed=[(0.0, 0.0)], weight=1.0),
+        QPNet(movable=[0], fixed=[(10.0, 0.0)], weight=1.0),
+    ]
+    nets_heavy = [
+        QPNet(movable=[0], fixed=[(0.0, 0.0)], weight=1.0),
+        QPNet(movable=[0], fixed=[(10.0, 0.0)], weight=9.0),
+    ]
+    x_light, _ = QuadraticPlacer(1, nets_light).solve(
+        np.array([5.0]), np.array([0.0]))
+    x_heavy, _ = QuadraticPlacer(1, nets_heavy).solve(
+        np.array([5.0]), np.array([0.0]))
+    assert x_heavy[0] > x_light[0]
+
+
+def test_multi_pin_net_collapses_without_fixed():
+    nets = [QPNet(movable=[0, 1, 2], fixed=[])]
+    placer = QuadraticPlacer(3, nets)
+    x, y = placer.solve(np.array([0.0, 5.0, 10.0]),
+                        np.array([0.0, 0.0, 0.0]), rounds=3)
+    assert np.ptp(x) < 5.0  # pulled together
+
+
+def test_degenerate_nets_skipped():
+    placer = QuadraticPlacer(1, [
+        QPNet(movable=[], fixed=[(0, 0), (1, 1)]),
+        QPNet(movable=[0], fixed=[]),
+    ])
+    assert placer.nets == []

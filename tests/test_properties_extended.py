@@ -1,0 +1,102 @@
+"""Property-based tests for the later-added subsystems."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.cost import CostModel, cost_2d, cost_3d, die_yield
+from repro.netlist.core import Netlist
+from repro.place.grid import Rect
+from repro.place.legalize import check_overlaps, legalize_cells
+from repro.power.activity import _gate_output
+from repro.tech.cells import CELL_HEIGHT_UM, make_28nm_library
+from repro.tech.corners import CORNERS, derate_master
+
+signal = st.tuples(st.floats(min_value=0.0, max_value=1.0),
+                   st.floats(min_value=0.0, max_value=1.0))
+
+
+class TestActivityProperties:
+    @given(st.sampled_from(["INV", "BUF", "NAND2", "AND2", "NOR2", "OR2",
+                            "XOR2", "AOI21", "MUX2"]),
+           st.lists(signal, min_size=1, max_size=3))
+    def test_outputs_always_bounded(self, function, ins):
+        prob, act = _gate_output(function, ins)
+        assert 0.0 <= prob <= 1.0
+        assert 0.0 <= act <= 1.0
+
+    @given(st.lists(signal, min_size=2, max_size=2))
+    def test_demorgan_probability(self, ins):
+        # NAND(a,b) == NOT(AND(a,b)) must hold probabilistically
+        p_and, a_and = _gate_output("AND2", ins)
+        p_nand, a_nand = _gate_output("NAND2", ins)
+        assert p_nand == pytest.approx(1.0 - p_and, abs=1e-9)
+        assert a_nand == pytest.approx(a_and, abs=1e-9)
+
+    @given(signal)
+    def test_double_inversion_identity(self, sig):
+        once = _gate_output("INV", [sig])
+        twice = _gate_output("INV", [once])
+        assert twice[0] == pytest.approx(sig[0], abs=1e-9)
+        assert twice[1] == pytest.approx(sig[1], abs=1e-9)
+
+
+class TestCostProperties:
+    areas = st.floats(min_value=5.0, max_value=400.0)
+
+    @given(areas, areas)
+    def test_yield_monotone_in_area(self, a, b):
+        model = CostModel()
+        lo, hi = sorted((a, b))
+        assert die_yield(lo, model) >= die_yield(hi, model) - 1e-12
+
+    @given(areas)
+    def test_yields_are_probabilities(self, a):
+        model = CostModel()
+        assert 0.0 < die_yield(a, model) <= 1.0
+
+    @given(areas, st.floats(min_value=0.01, max_value=3.0))
+    def test_costs_positive(self, area, d0):
+        model = CostModel(defect_density=d0)
+        assert cost_2d(area, model).cost_per_good_die > 0
+        assert cost_3d(area, model, strategy="w2w").cost_per_good_die > 0
+        assert cost_3d(area, model, strategy="d2d").cost_per_good_die > 0
+
+
+class TestCornerProperties:
+    @given(st.sampled_from(["ss", "tt", "ff"]),
+           st.sampled_from(["INV_X1", "NAND2_X4", "DFF_X2",
+                            "MUX2_X8_HVT"]))
+    def test_derating_preserves_identity_fields(self, corner, name):
+        lib = make_28nm_library()
+        m = lib.master(name)
+        d = derate_master(m, CORNERS[corner])
+        assert d.name == m.name
+        assert d.function == m.function
+        assert d.drive == m.drive
+        assert d.area_um2 == m.area_um2
+        assert d.input_cap_ff == m.input_cap_ff
+
+
+class TestLegalizerProperties:
+    @given(st.lists(st.tuples(
+        st.floats(min_value=0.0, max_value=500.0),
+        st.floats(min_value=0.0, max_value=300.0)),
+        min_size=1, max_size=80),
+        st.integers(min_value=0, max_value=10))
+    @settings(max_examples=25, deadline=None)
+    def test_placed_cells_never_overlap(self, positions, seed):
+        lib = make_28nm_library()
+        nl = Netlist("prop")
+        outline = Rect(0, 0, 520, 30 * CELL_HEIGHT_UM)
+        cells = []
+        for k, (x, y) in enumerate(positions):
+            cells.append(nl.add_instance(f"c{k}", lib.master("INV_X2"),
+                                         x=x, y=y))
+        res = legalize_cells(cells, outline)
+        placed = [c for c in cells]
+        if res.failed == 0:
+            assert check_overlaps(placed) == 0
+        for c in placed:
+            assert outline.x0 - 1e-6 <= c.x <= outline.x1 + 1e-6

@@ -1,0 +1,103 @@
+"""Tests for the global router and the F2F via placement flow."""
+
+import pytest
+
+from repro.place.grid import Rect
+from repro.place.partition import fm_bipartition
+from repro.place.placer2d import PlacementConfig
+from repro.place.placer3d import crossing_nets, fold_place_3d
+from repro.route.global_router import GlobalRouter
+from repro.route.route3d import export_merged_view, place_f2f_vias
+from tests.conftest import fresh_block
+
+
+class TestGlobalRouter:
+    def setup_method(self):
+        self.region = Rect(0, 0, 3200, 3200)
+
+    def test_straight_route_length(self):
+        gr = GlobalRouter(self.region, n_gcells=32)
+        path = gr.route((100, 100), (3100, 100))
+        manhattan = 3000
+        assert path.length_um == pytest.approx(manhattan, rel=0.15)
+        assert path.detour_um < 0.2 * manhattan
+
+    def test_usage_committed(self):
+        gr = GlobalRouter(self.region, n_gcells=32)
+        gr.route((100, 1600), (3100, 1600), n_wires=50)
+        assert gr.usage.sum() >= 50
+
+    def test_blockage_forces_detour(self):
+        gr = GlobalRouter(self.region, n_gcells=32,
+                          capacity_per_gcell=100)
+        gr.add_blockage(Rect(1200, 0, 2000, 3100), remaining_fraction=0.0)
+        path = gr.route((100, 1600), (3100, 1600))
+        assert path.detour_um > 500
+
+    def test_partial_blockage_cheaper_than_full(self):
+        full = GlobalRouter(self.region, n_gcells=32, capacity_per_gcell=100)
+        full.add_blockage(Rect(1200, 0, 2000, 3100), 0.0)
+        part = GlobalRouter(self.region, n_gcells=32, capacity_per_gcell=100)
+        part.add_blockage(Rect(1200, 0, 2000, 3100), 0.8)
+        p_full = full.route((100, 1600), (3100, 1600))
+        p_part = part.route((100, 1600), (3100, 1600))
+        assert p_part.length_um <= p_full.length_um
+
+    def test_congestion_spreads_bundles(self):
+        gr = GlobalRouter(self.region, n_gcells=16, capacity_per_gcell=60)
+        for _ in range(6):
+            gr.route((100, 1600), (3100, 1600), n_wires=50)
+        assert gr.overflow() < 0.5  # later bundles detoured around
+
+    def test_same_gcell_route(self):
+        gr = GlobalRouter(self.region, n_gcells=8)
+        path = gr.route((10, 10), (20, 20))
+        assert path.length_um >= 0.0
+
+
+class TestF2FViaPlacement:
+    @pytest.fixture()
+    def folded(self, process, library):
+        gb = fresh_block("l2t", library, seed=3)
+        part = fm_bipartition(gb.netlist, seed=0)
+        res = fold_place_3d(gb.netlist, process, part.assignment, "F2F",
+                            PlacementConfig(seed=3))
+        return gb, res
+
+    def test_one_site_per_crossing_net(self, folded, process):
+        gb, res = folded
+        plan = place_f2f_vias(gb.netlist, res.outline, process)
+        crossing = {n.id for n in crossing_nets(gb.netlist)}
+        assert set(plan.sites) == crossing
+
+    def test_sites_inside_outline(self, folded, process):
+        gb, res = folded
+        plan = place_f2f_vias(gb.netlist, res.outline, process)
+        for x, y in plan.sites.values():
+            assert res.outline.contains(x, y)
+
+    def test_sites_respect_pitch(self, folded, process):
+        gb, res = folded
+        plan = place_f2f_vias(gb.netlist, res.outline, process)
+        pitch = process.f2f_via.pitch_um
+        pts = list(plan.sites.values())
+        for i, a in enumerate(pts):
+            for b in pts[i + 1:]:
+                assert max(abs(a[0] - b[0]),
+                           abs(a[1] - b[1])) >= pitch * 0.99
+
+    def test_displacement_small(self, folded, process):
+        gb, res = folded
+        plan = place_f2f_vias(gb.netlist, res.outline, process)
+        if plan.n_vias:
+            assert plan.total_displacement_um / plan.n_vias < \
+                10 * process.f2f_via.pitch_um
+
+    def test_merged_view_export(self, folded, process):
+        gb, res = folded
+        text = export_merged_view(gb.netlist, res.outline, max_nets=200)
+        assert "DESIGN l2t_3dview ;" in text
+        assert "M1_die_top" in text and "M9_die_bot" in text
+        assert "3DNET" in text
+        assert "TIED_TO_GROUND" in text  # 2D nets excluded from routing
+        assert text.count("END") >= 3

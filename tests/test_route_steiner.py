@@ -1,0 +1,75 @@
+"""Tests for the trunk Steiner tree."""
+
+import pytest
+
+from repro.route.steiner import (hpwl_length, steiner_length, trunk_tree)
+
+
+def test_two_pin_net_exact():
+    # for 2 pins the trunk tree equals the Manhattan distance
+    assert steiner_length([(0, 0), (3, 4)]) == pytest.approx(7.0)
+
+
+def test_collinear_pins():
+    pins = [(0, 0), (5, 0), (10, 0)]
+    assert steiner_length(pins) == pytest.approx(10.0)
+
+
+def test_l_shape():
+    pins = [(0, 0), (10, 0), (10, 10)]
+    t = trunk_tree(pins)
+    # trunk at median y=0 spanning x 0..10 plus one stub of 10
+    assert t.length_um == pytest.approx(20.0)
+
+
+def test_star_topology():
+    pins = [(0, 0), (10, 0), (5, 5), (5, -5)]
+    length = steiner_length(pins)
+    assert length == pytest.approx(10 + 5 + 5)
+
+
+def test_degenerate_pins():
+    assert steiner_length([]) == 0.0
+    assert steiner_length([(3, 3)]) == 0.0
+    assert steiner_length([(3, 3), (3, 3)]) == 0.0
+
+
+def test_tree_at_least_hpwl():
+    import numpy as np
+    rng = np.random.default_rng(0)
+    for _ in range(50):
+        n = int(rng.integers(2, 12))
+        pins = [(float(x), float(y))
+                for x, y in rng.uniform(0, 100, size=(n, 2))]
+        assert steiner_length(pins) >= hpwl_length(pins) - 1e-9
+
+
+def test_tree_at_most_star():
+    import numpy as np
+    rng = np.random.default_rng(1)
+    for _ in range(50):
+        n = int(rng.integers(2, 12))
+        pins = [(float(x), float(y))
+                for x, y in rng.uniform(0, 100, size=(n, 2))]
+        cx = sum(p[0] for p in pins) / n
+        cy = sum(p[1] for p in pins) / n
+        star = sum(abs(p[0] - cx) + abs(p[1] - cy) for p in pins) * 2
+        assert steiner_length(pins) <= star + 1e-9
+
+
+def test_path_length_between_pins():
+    pins = [(0, 0), (10, 0), (5, 8)]
+    t = trunk_tree(pins)
+    # trunk at y=0: path (0,0)->(5,8) = 5 horizontal + 8 stub
+    assert t.path_length((0, 0), (5, 8)) == pytest.approx(13.0)
+
+
+def test_tap_point_clamped_to_trunk():
+    t = trunk_tree([(0, 0), (10, 0)])
+    assert t.tap_point((-5, 3)) == (0.0, 0.0)
+    assert t.tap_point((20, 3)) == (10.0, 0.0)
+
+
+def test_hpwl_length():
+    assert hpwl_length([(0, 0), (3, 4), (1, 1)]) == pytest.approx(7.0)
+    assert hpwl_length([(0, 0)]) == 0.0

@@ -1,0 +1,83 @@
+"""Tests for seed-stability analysis and JSON export."""
+
+import json
+
+import pytest
+
+from repro.analysis.export_json import (block_to_dict, chip_to_dict,
+                                        dump_json)
+from repro.analysis.stability import (StabilityResult, compare_stability,
+                                      fold_stability)
+from repro.core.flow import FlowConfig, run_block_flow
+from repro.core.folding import FoldSpec
+
+
+class TestStabilityResult:
+    def test_statistics(self):
+        r = StabilityResult("x", [-0.10, -0.14, -0.12])
+        assert r.mean == pytest.approx(-0.12)
+        assert r.std > 0
+        assert r.sign_stable
+        assert "sign-stable" in r.summary()
+
+    def test_mixed_sign_flagged(self):
+        r = StabilityResult("x", [-0.05, 0.03])
+        assert not r.sign_stable
+        assert "MIXED SIGN" in r.summary()
+
+    def test_empty(self):
+        r = StabilityResult("x", [])
+        assert r.mean == 0.0 and not r.sign_stable
+
+
+def test_ccx_fold_power_sign_stable(process):
+    res = fold_stability(
+        "ccx", FoldSpec(mode="regions", die1_regions=("cpx",)),
+        process, metric="power", seeds=(1, 2))
+    assert res.n == 2
+    assert res.sign_stable
+    assert res.mean < -0.05
+
+
+def test_compare_stability_footprint(process):
+    res = compare_stability(
+        "l2t", FlowConfig(),
+        FlowConfig(fold=FoldSpec(mode="mincut"), bonding="F2F"),
+        process, metric="footprint", seeds=(1, 2), label="l2t foot")
+    assert res.label == "l2t foot"
+    assert res.sign_stable and res.mean < -0.3
+
+
+class TestJsonExport:
+    @pytest.fixture(scope="class")
+    def design(self, process):
+        return run_block_flow("ncu", FlowConfig(
+            fold=FoldSpec(mode="mincut"), bonding="F2F",
+            detailed_route=True), process)
+
+    def test_block_dict_complete(self, design):
+        d = block_to_dict(design)
+        assert d["name"] == "ncu"
+        assert d["config"]["folded"] is True
+        assert d["config"]["bonding"] == "F2F"
+        assert d["power"]["total_uw"] == pytest.approx(
+            design.power.total_uw)
+        assert d["n_vias"] == design.n_vias
+        assert "congestion" in d
+
+    def test_json_round_trips(self, design, tmp_path):
+        path = tmp_path / "design.json"
+        text = dump_json(design, str(path))
+        loaded = json.loads(path.read_text())
+        assert loaded == json.loads(text)
+        assert loaded["clock_tree"]["sinks"] > 0
+
+    def test_chip_dict(self, process):
+        from repro.core import ChipConfig, build_chip
+        chip = build_chip(ChipConfig(style="core_cache", scale=0.3),
+                          process)
+        d = chip_to_dict(chip)
+        assert d["style"] == "core_cache"
+        assert d["n_dies"] == 2
+        assert set(d["blocks"]) == set(chip.block_designs)
+        json.dumps(d)  # fully serializable

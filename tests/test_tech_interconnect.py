@@ -1,0 +1,70 @@
+"""Tests for TSV / F2F via models (Katti equations)."""
+
+import math
+
+import pytest
+
+from repro.tech.interconnect3d import (katti_tsv_capacitance,
+                                       katti_tsv_resistance, make_f2f_via,
+                                       make_tsv)
+
+
+def test_katti_resistance_formula():
+    # R = rho * h / (pi r^2) with rho_cu = 1.68e-8 Ohm m
+    r = katti_tsv_resistance(diameter_um=3.0, height_um=30.0)
+    expected = 1.68e-8 * 30e-6 / (math.pi * (1.5e-6) ** 2) / 1000.0
+    assert r == pytest.approx(expected, rel=1e-9)
+
+
+def test_katti_resistance_scales():
+    base = katti_tsv_resistance(3.0, 30.0)
+    assert katti_tsv_resistance(3.0, 60.0) == pytest.approx(2 * base)
+    assert katti_tsv_resistance(6.0, 30.0) == pytest.approx(base / 4)
+
+
+def test_katti_capacitance_in_expected_range():
+    c = katti_tsv_capacitance(3.0, 30.0)
+    assert 10.0 < c < 120.0  # tens of fF, per the literature
+
+
+def test_katti_capacitance_series_less_than_oxide():
+    # with a huge depletion region, the series cap shrinks
+    c_small_dep = katti_tsv_capacitance(3.0, 30.0, depletion_um=0.1)
+    c_big_dep = katti_tsv_capacitance(3.0, 30.0, depletion_um=2.0)
+    assert c_big_dep < c_small_dep
+
+
+def test_default_tsv_properties():
+    tsv = make_tsv()
+    assert tsv.style == "TSV"
+    assert tsv.occupies_silicon
+    assert tsv.area_um2 > 0
+    assert tsv.landing_pad_um > 0
+    assert tsv.resistance_kohm > 0
+    assert tsv.capacitance_ff > 10
+
+
+def test_default_f2f_properties():
+    f2f = make_f2f_via()
+    assert f2f.style == "F2F"
+    assert not f2f.occupies_silicon
+    assert f2f.area_um2 == 0.0
+    assert f2f.capacitance_ff < 2.0
+    # paper: F2F via is about twice the minimum top-metal width
+    assert f2f.diameter_um == pytest.approx(0.8)
+
+
+def test_tsv_much_larger_than_f2f():
+    tsv, f2f = make_tsv(), make_f2f_via()
+    assert tsv.diameter_um > 2 * f2f.diameter_um
+    assert tsv.capacitance_ff > 10 * f2f.capacitance_ff
+
+
+def test_via_delay_increases_with_load():
+    tsv = make_tsv()
+    assert tsv.delay_ps(50.0) > tsv.delay_ps(5.0) > 0.0
+
+
+def test_tsv_area_uses_pitch_keepout():
+    tsv = make_tsv(pitch_um=8.0)
+    assert tsv.area_um2 == pytest.approx(64.0)

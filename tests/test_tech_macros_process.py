@@ -1,0 +1,70 @@
+"""Tests for macro masters and the process-node bundle."""
+
+import pytest
+
+from repro.tech.macros import default_macro_menu, sram_macro
+from repro.tech.process import CPU_CLOCK, IO_CLOCK, make_process
+
+
+class TestSramMacro:
+    def test_area_scales_with_capacity(self):
+        small, big = sram_macro(2), sram_macro(16)
+        assert big.area_um2 == pytest.approx(8 * small.area_um2, rel=0.01)
+
+    def test_leakage_scales_with_bits(self):
+        assert sram_macro(16).leakage_uw == pytest.approx(
+            8 * sram_macro(2).leakage_uw, rel=0.01)
+
+    def test_access_energy_grows_sublinearly(self):
+        e2, e16 = sram_macro(2).access_energy_fj, \
+            sram_macro(16).access_energy_fj
+        assert e2 < e16 < 8 * e2
+
+    def test_outline_is_wide(self):
+        m = sram_macro(16)
+        assert m.width_um > m.height_um
+
+    def test_io_count_reasonable(self):
+        m = sram_macro(16, word_bits=64)
+        assert m.n_io > 128  # D + Q + address + control
+
+    def test_rejects_nonpositive_capacity(self):
+        with pytest.raises(ValueError):
+            sram_macro(0)
+        with pytest.raises(ValueError):
+            sram_macro(-4)
+
+    def test_menu_sorted_sizes(self):
+        menu = default_macro_menu()
+        areas = [m.area_um2 for m in menu]
+        assert areas == sorted(areas)
+
+
+class TestProcessNode:
+    def test_clock_periods(self):
+        p = make_process()
+        assert p.clock_period_ps(CPU_CLOCK) == pytest.approx(
+            1000.0 / p.clock_freq_ghz[CPU_CLOCK])
+        assert p.clock_period_ps(IO_CLOCK) == pytest.approx(
+            2 * p.clock_period_ps(CPU_CLOCK))
+
+    def test_unknown_clock_raises(self):
+        with pytest.raises(KeyError):
+            make_process().clock_period_ps("turbo_clk")
+
+    def test_via_for_bonding(self):
+        p = make_process()
+        assert p.via_for("F2B").style == "TSV"
+        assert p.via_for("f2f").style == "F2F"
+        with pytest.raises(ValueError):
+            p.via_for("glue")
+
+    def test_long_wire_threshold_is_physical(self):
+        # 100x the *physical* 28nm cell height, not the fat model cell
+        p = make_process()
+        assert p.long_wire_um == pytest.approx(120.0)
+
+    def test_library_and_stack_attached(self):
+        p = make_process()
+        assert len(p.metal_stack) == 9
+        assert "INV_X1" in p.library

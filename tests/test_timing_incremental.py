@@ -1,0 +1,78 @@
+"""Incremental STA must agree exactly with from-scratch STA."""
+
+import numpy as np
+import pytest
+
+from repro.place.placer2d import PlacementConfig, place_block_2d
+from repro.route.estimate import route_block
+from repro.timing.incremental import IncrementalSTA
+from repro.timing.sta import TimingConfig, run_sta
+from tests.conftest import fresh_block
+
+
+@pytest.fixture()
+def setup(library, process):
+    gb = fresh_block("ncu", library, seed=23)
+    place_block_2d(gb.netlist, PlacementConfig(seed=23))
+    routing = route_block(gb.netlist, process.metal_stack)
+    config = TimingConfig("cpu_clk", default_io_delay_ps=50.0)
+    return gb.netlist, routing, config
+
+
+def assert_matches_full(inc, netlist, routing, process, config):
+    full = run_sta(netlist, routing, process, config)
+    snap = inc.result()
+    assert snap.wns_ps == pytest.approx(full.wns_ps, abs=1e-6)
+    for iid, s in full.slack.items():
+        assert snap.slack.get(iid) == pytest.approx(s, abs=1e-6), iid
+
+
+def test_initial_state_matches(setup, process):
+    netlist, routing, config = setup
+    inc = IncrementalSTA(netlist, routing, process, config)
+    assert_matches_full(inc, netlist, routing, process, config)
+
+
+def test_single_upsize_matches(setup, process):
+    netlist, routing, config = setup
+    inc = IncrementalSTA(netlist, routing, process, config)
+    cell = next(c for c in netlist.cells
+                if not c.is_sequential and c.master.drive == 2)
+    inc.swap_master(cell.id, process.library.upsize(cell.master))
+    assert_matches_full(inc, netlist, routing, process, config)
+
+
+def test_vth_swap_matches(setup, process):
+    netlist, routing, config = setup
+    inc = IncrementalSTA(netlist, routing, process, config)
+    cell = next(c for c in netlist.cells if not c.is_sequential)
+    hvt = process.library.variant(cell.master, vth="HVT")
+    inc.swap_master(cell.id, hvt)
+    assert_matches_full(inc, netlist, routing, process, config)
+
+
+def test_many_random_swaps_match(setup, process):
+    netlist, routing, config = setup
+    inc = IncrementalSTA(netlist, routing, process, config)
+    rng = np.random.default_rng(0)
+    cells = [c for c in netlist.cells if not c.is_sequential]
+    for _ in range(40):
+        cell = cells[int(rng.integers(0, len(cells)))]
+        if rng.random() < 0.5:
+            new = process.library.upsize(cell.master) or \
+                process.library.downsize(cell.master)
+        else:
+            new = process.library.downsize(cell.master) or \
+                process.library.upsize(cell.master)
+        if new is not None:
+            inc.swap_master(cell.id, new)
+    assert_matches_full(inc, netlist, routing, process, config)
+
+
+def test_noop_swap_is_stable(setup, process):
+    netlist, routing, config = setup
+    inc = IncrementalSTA(netlist, routing, process, config)
+    before = inc.result().wns_ps
+    cell = next(iter(netlist.cells))
+    inc.swap_master(cell.id, cell.master)
+    assert inc.result().wns_ps == pytest.approx(before)

@@ -1,0 +1,127 @@
+"""Tests for timing path extraction and chip-level sign-off."""
+
+import pytest
+
+from repro.core.chip_sta import (CrossPath, build_signed_off_chip,
+                                 pipeline_failing_bundles, run_chip_sta)
+from repro.core.flow import FlowConfig, run_block_flow
+from repro.core.fullchip import ChipConfig, build_chip
+from repro.timing.paths import extract_worst_paths, io_path_delays
+from repro.timing.sta import TimingConfig
+
+
+@pytest.fixture(scope="module")
+def l2t_design(process):
+    return run_block_flow("l2t", FlowConfig(seed=2), process)
+
+
+def _cfg(design):
+    domain = design.generated.block_type.logic.clock_domain
+    return TimingConfig(domain,
+                        default_io_delay_ps=design.config.io_budget_ps)
+
+
+class TestWorstPaths:
+    def test_paths_extracted(self, l2t_design, process):
+        d = l2t_design
+        paths = extract_worst_paths(d.netlist, d.routing, process,
+                                    _cfg(d), n_paths=3, sta=d.sta)
+        assert 1 <= len(paths) <= 3
+
+    def test_path_slacks_match_sta(self, l2t_design, process):
+        d = l2t_design
+        paths = extract_worst_paths(d.netlist, d.routing, process,
+                                    _cfg(d), n_paths=3, sta=d.sta)
+        assert paths[0].slack_ps == pytest.approx(d.sta.wns_ps)
+        slacks = [p.slack_ps for p in paths]
+        assert slacks == sorted(slacks)
+
+    def test_path_arrivals_monotonic(self, l2t_design, process):
+        d = l2t_design
+        for path in extract_worst_paths(d.netlist, d.routing, process,
+                                        _cfg(d), n_paths=2, sta=d.sta):
+            arr = [s.arrival_ps for s in path.stages]
+            assert arr == sorted(arr)
+
+    def test_report_renders(self, l2t_design, process):
+        d = l2t_design
+        path = extract_worst_paths(d.netlist, d.routing, process,
+                                   _cfg(d), n_paths=1, sta=d.sta)[0]
+        text = path.report()
+        assert "startpoint" in text and "slack" in text
+        assert path.stages[0].instance in text
+
+
+class TestIoPathDelays:
+    def test_delays_positive(self, l2t_design, process):
+        d = l2t_design
+        t_in, t_out = io_path_delays(d.netlist, d.routing, process,
+                                     _cfg(d), sta=d.sta)
+        assert t_in > 0 and t_out > 0
+
+    def test_io_paths_fit_budgeted_period(self, l2t_design, process):
+        d = l2t_design
+        period = d.sta.period_ps
+        budget = d.config.io_budget_ps
+        t_in, t_out = io_path_delays(d.netlist, d.routing, process,
+                                     _cfg(d), sta=d.sta)
+        # the block met timing, so budgeted port paths fit the period
+        assert t_in <= period - budget + 30.0
+        assert t_out <= period - budget + 30.0
+
+
+class TestCrossPath:
+    def test_slack_arithmetic(self):
+        p = CrossPath("a", "b", t_out_ps=300, wire_ps=200, t_in_ps=400,
+                      period_ps=1000)
+        assert p.delay_ps == 900
+        assert p.slack_ps == 100
+        assert p.latency_cycles == 1
+
+    def test_pipelining_splits_wire(self):
+        p = CrossPath("a", "b", t_out_ps=300, wire_ps=2000, t_in_ps=400,
+                      period_ps=1000)
+        assert p.slack_ps < 0
+        piped = CrossPath("a", "b", 300, 2000, 400, 1000,
+                          pipeline_stages=3)
+        assert piped.slack_ps > p.slack_ps
+        assert piped.latency_cycles == 4
+
+    def test_pipeline_failing_bundles(self):
+        from repro.core.chip_sta import ChipSTAResult
+        bad = CrossPath("a", "b", 200, 3000, 200, 1000)
+        ok = CrossPath("c", "d", 100, 100, 100, 1000)
+        sta = ChipSTAResult(paths=[bad, ok],
+                            wns_ps=bad.slack_ps, block_wns_ps=0.0)
+        fixed = pipeline_failing_bundles(sta)
+        assert fixed.pipelined_bundles == 1
+        assert fixed.wns_ps > sta.wns_ps
+        assert fixed.paths[1].pipeline_stages == 0
+
+
+class TestChipSignOff:
+    @pytest.fixture(scope="class")
+    def signed(self, process):
+        return build_signed_off_chip(
+            ChipConfig(style="core_cache", scale=0.4), process,
+            max_iterations=2)
+
+    def test_converges(self, signed):
+        chip, sta = signed
+        assert sta.wns_ps >= -30.0
+
+    def test_report(self, signed):
+        _, sta = signed
+        text = sta.report(3)
+        assert "chip-level sign-off" in text
+        assert "WNS" in text
+
+    def test_paths_cover_both_directions(self, signed):
+        chip, sta = signed
+        assert len(sta.paths) == 2 * len(chip.routed_bundles)
+
+    def test_run_chip_sta_standalone(self, process):
+        chip = build_chip(ChipConfig(style="2d", scale=0.4), process)
+        sta = run_chip_sta(chip, process)
+        assert sta.paths
+        assert sta.block_wns_ps == chip.wns_ps

@@ -1,0 +1,98 @@
+"""Tests for chip-level TSV array planning."""
+
+import pytest
+
+from repro.designgen.t2 import t2_instances
+from repro.floorplan.t2_floorplans import t2_floorplan
+from repro.floorplan.tsv_planning import (plan_tsv_arrays, whitespace_sites)
+from repro.place.grid import Rect
+from repro.tech.interconnect3d import make_tsv
+
+
+@pytest.fixture(scope="module")
+def floorplan():
+    dims = {name: (400.0, 400.0) for name, _ in t2_instances()}
+    return t2_floorplan("core_cache", dims, gap=60.0)
+
+
+@pytest.fixture(scope="module")
+def tsv():
+    return make_tsv()
+
+
+class TestWhitespaceSites:
+    def test_sites_outside_all_blocks(self, floorplan, tsv):
+        sites = whitespace_sites(floorplan, tsv, gcell_um=100.0)
+        assert sites, "some whitespace must exist with 60um gaps"
+        for s in sites:
+            for rect in floorplan.positions.values():
+                assert not rect.contains(s.x, s.y), (s.x, s.y)
+
+    def test_capacity_positive(self, floorplan, tsv):
+        for s in whitespace_sites(floorplan, tsv, gcell_um=100.0):
+            assert s.capacity > 0
+            assert s.free == s.capacity
+
+    def test_finer_grid_more_sites(self, floorplan, tsv):
+        coarse = whitespace_sites(floorplan, tsv, gcell_um=200.0)
+        fine = whitespace_sites(floorplan, tsv, gcell_um=80.0)
+        assert len(fine) > len(coarse)
+
+
+class TestPlanTsvArrays:
+    def test_all_wires_placed(self, floorplan, tsv):
+        bundles = [("spc0", "l2d0", 120), ("spc1", "l2d1", 120)]
+        plan = plan_tsv_arrays(floorplan, bundles, tsv, gcell_um=100.0)
+        assert plan.unplaced_wires == 0
+        assert plan.total_tsvs == 240
+
+    def test_capacity_respected(self, floorplan, tsv):
+        bundles = [("spc0", "l2d0", 5000)]
+        plan = plan_tsv_arrays(floorplan, bundles, tsv, gcell_um=100.0)
+        for s in plan.sites:
+            assert s.used <= s.capacity
+
+    def test_detour_nonnegative(self, floorplan, tsv):
+        bundles = [("spc0", "ccx", 120), ("l2d7", "ccx", 120)]
+        plan = plan_tsv_arrays(floorplan, bundles, tsv, gcell_um=100.0)
+        for a in plan.assignments:
+            assert a.detour_um >= 0.0
+        assert plan.detour_of(("spc0", "ccx")) >= 0.0
+        assert plan.detour_of(("never", "routed")) == 0.0
+
+    def test_sites_near_midpoint_preferred(self, floorplan, tsv):
+        bundles = [("spc0", "l2d0", 40)]
+        plan = plan_tsv_arrays(floorplan, bundles, tsv, gcell_um=100.0)
+        ax, ay = floorplan.center_of("spc0")
+        bx, by = floorplan.center_of("l2d0")
+        direct = abs(ax - bx) + abs(ay - by)
+        # first assignment's through-length should not exceed 2x direct
+        a = plan.assignments[0]
+        through = (abs(ax - a.site.x) + abs(ay - a.site.y) +
+                   abs(a.site.x - bx) + abs(a.site.y - by))
+        assert through < 2.0 * direct + 400.0
+
+    def test_overfull_whitespace_reports_unplaced(self, tsv):
+        # one giant block covering nearly everything
+        from repro.floorplan.t2_floorplans import ChipFloorplan
+        fp = ChipFloorplan(
+            style="2d",
+            positions={"blob": Rect(0, 0, 990, 990)},
+            die_of={"blob": 0}, width=1000, height=1000, n_dies=2)
+        plan = plan_tsv_arrays(fp, [("blob", "blob", 10 ** 7)], tsv,
+                               gcell_um=100.0)
+        assert plan.unplaced_wires > 0
+
+
+def test_fullchip_integration(process):
+    """F2B chips pay the TSV-array detour; F2F-bonded folded chips
+    place bond points freely."""
+    from repro.core.fullchip import ChipConfig, build_chip
+    chip = build_chip(ChipConfig(style="core_cache", scale=0.4), process)
+    crossing = [rb for rb in chip.routed_bundles if rb.crosses_dies]
+    assert crossing
+    # each crossing bundle's length >= the router's manhattan estimate
+    for rb in crossing:
+        ax, ay = chip.floorplan.center_of(rb.bundle.a)
+        bx, by = chip.floorplan.center_of(rb.bundle.b)
+        assert rb.length_um >= abs(ax - bx) + abs(ay - by) - 1e-6

@@ -1,0 +1,93 @@
+"""Round-trip tests: write_verilog -> read_verilog -> same structure."""
+
+import pytest
+
+from repro.netlist.io import write_verilog
+from repro.netlist.verilog_in import VerilogParseError, read_verilog
+from tests.conftest import fresh_block
+
+
+@pytest.fixture(scope="module")
+def roundtrip(library):
+    gb = fresh_block("l2t", library, seed=14)
+    text = write_verilog(gb.netlist)
+    parsed = read_verilog(text, library)
+    return gb.netlist, parsed
+
+
+def test_counts_preserved(roundtrip):
+    original, parsed = roundtrip
+    assert parsed.num_cells == original.num_cells
+    assert len(parsed.macros) == len(original.macros)
+    assert len(parsed.ports) == len(original.ports)
+
+
+def test_port_directions_preserved(roundtrip):
+    original, parsed = roundtrip
+    for name, port in original.ports.items():
+        assert parsed.ports[name].direction == port.direction
+
+
+def test_masters_preserved(roundtrip):
+    original, parsed = roundtrip
+    orig = sorted((i.name, i.master.name)
+                  for i in original.instances.values())
+    new = sorted((i.name, i.master.name)
+                 for i in parsed.instances.values())
+    assert orig == new
+
+
+def test_connectivity_preserved(roundtrip):
+    original, parsed = roundtrip
+
+    def edges(nl):
+        out = set()
+        for net in nl.nets.values():
+            drv = net.driver
+            d = drv.port if drv.is_port else nl.instances[drv.inst].name
+            for s in net.sinks:
+                t = s.port if s.is_port else nl.instances[s.inst].name
+                out.add((d, t))
+        return out
+
+    assert edges(parsed) == edges(original)
+
+
+def test_parsed_netlist_validates(roundtrip):
+    _, parsed = roundtrip
+    assert parsed.validate() == []
+
+
+def test_clock_net_flagged(roundtrip):
+    _, parsed = roundtrip
+    clock_nets = [n for n in parsed.nets.values() if n.is_clock]
+    assert len(clock_nets) >= 1
+
+
+def test_buffer_counts_match(roundtrip):
+    original, parsed = roundtrip
+    assert parsed.num_buffers == original.num_buffers
+
+
+class TestParseErrors:
+    def test_missing_module(self, library):
+        with pytest.raises(VerilogParseError):
+            read_verilog("wire x;", library)
+
+    def test_unknown_master(self, library):
+        text = """module t (a);\n  input a;\n  WARP9_X1 u (.A(a));\nendmodule"""
+        with pytest.raises(VerilogParseError):
+            read_verilog(text, library)
+
+    def test_driverless_net(self, library):
+        text = ("module t (o);\n  output o;\n  wire n;\n"
+                "  INV_X1 u (.A(n), .Y(o));\nendmodule")
+        with pytest.raises(VerilogParseError):
+            read_verilog(text, library)
+
+    def test_minimal_module_ok(self, library):
+        text = ("module t (a, o);\n  input a;\n  output o;\n"
+                "  INV_X1 u (.A(a), .Y(o));\nendmodule")
+        nl = read_verilog(text, library)
+        assert nl.num_cells == 1
+        assert nl.validate() == []
