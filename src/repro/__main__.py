@@ -5,7 +5,8 @@ Subcommands:
 * ``experiments``               -- list every paper table/figure runner;
 * ``run <id> [--scale S]``      -- regenerate one artifact and print it;
 * ``block <name> [options]``    -- design one T2 block (optionally folded);
-* ``chip <style> [options]``    -- build a full chip in one design style.
+* ``chip <style> [options]``    -- build a full chip in one design style;
+* ``lint <block|style>``        -- run the static design checker.
 """
 
 from __future__ import annotations
@@ -83,6 +84,48 @@ def _cmd_signoff(args) -> int:
     return 0 if sta.wns_ps >= -30.0 else 1
 
 
+def _cmd_lint(args) -> int:
+    from .core import FlowConfig, FoldSpec, run_block_flow
+    from .core.fullchip import ChipConfig, build_chip
+    from .lint import LintConfig, Waiver, lint_block, lint_chip
+    from .tech import make_process
+
+    config = LintConfig(
+        disabled=tuple(args.disable or ()),
+        waivers=tuple(Waiver(rule_id=w, reason="waived on command line")
+                      for w in (args.waive or ())))
+    process = make_process()
+    if args.target in ("2d", "core_cache", "core_core", "fold_f2b",
+                       "fold_f2f") or args.style:
+        style = args.style or args.target
+        chip = build_chip(ChipConfig(style=style, scale=args.scale),
+                          process)
+        report = lint_chip(chip, config=config)
+    else:
+        from .designgen.t2 import t2_block_types
+        known = [bt.name for bt in t2_block_types()]
+        if args.target not in known:
+            print(f"unknown block or chip style {args.target!r}; "
+                  f"blocks: {', '.join(known)}; styles: 2d, core_cache, "
+                  f"core_core, fold_f2b, fold_f2f", file=sys.stderr)
+            return 2
+        fold = FoldSpec(mode=args.fold_mode) if args.fold else None
+        fc = FlowConfig(scale=args.scale, seed=args.seed, fold=fold,
+                        bonding=args.bonding)
+        design = run_block_flow(args.target, fc, process)
+        report = lint_block(design, config=config)
+
+    if args.json:
+        print(report.to_json())
+    elif args.markdown:
+        print(report.to_markdown())
+    else:
+        print(report.summary())
+        for v in report.violations:
+            print(f"  {v}")
+    return 0 if report.clean else 1
+
+
 def _cmd_chip(args) -> int:
     from .analysis.report import design_metric_rows, format_table
     from .core.fullchip import ChipConfig, build_chip
@@ -139,6 +182,34 @@ def main(argv=None) -> int:
     p_so.add_argument("--iterations", type=int, default=2)
     p_so.add_argument("--paths", type=int, default=6)
     p_so.set_defaults(func=_cmd_signoff)
+
+    p_lint = sub.add_parser(
+        "lint", help="run the static design checker on a block or chip")
+    p_lint.add_argument(
+        "target",
+        help="T2 block name (spc, ccx, ...) or chip style (2d, "
+             "core_cache, core_core, fold_f2b, fold_f2f)")
+    p_lint.add_argument("--style", default=None,
+                        choices=["2d", "core_cache", "core_core",
+                                 "fold_f2b", "fold_f2f"],
+                        help="force chip-style interpretation of target")
+    p_lint.add_argument("--fold", action="store_true")
+    p_lint.add_argument("--fold-mode", default="mincut")
+    p_lint.add_argument("--bonding", default="F2B",
+                        choices=["F2B", "F2F"])
+    p_lint.add_argument("--scale", type=float, default=0.5)
+    p_lint.add_argument("--seed", type=int, default=1)
+    p_lint.add_argument("--disable", action="append", metavar="RULE",
+                        help="disable a rule id (fnmatch pattern, "
+                             "repeatable)")
+    p_lint.add_argument("--waive", action="append", metavar="RULE",
+                        help="waive violations of a rule id (fnmatch "
+                             "pattern, repeatable)")
+    p_lint.add_argument("--json", action="store_true",
+                        help="emit the machine-readable report")
+    p_lint.add_argument("--markdown", action="store_true",
+                        help="emit the markdown report")
+    p_lint.set_defaults(func=_cmd_lint)
 
     p_rep = sub.add_parser("report",
                            help="write a markdown design report card")

@@ -15,7 +15,7 @@ Three ablations probe the mechanisms behind the paper's methodology:
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Dict, List, Optional, Tuple
+from typing import List, Optional, Tuple
 
 from ..core.flow import FlowConfig, run_block_flow
 from ..core.folding import FoldSpec

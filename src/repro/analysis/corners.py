@@ -13,10 +13,10 @@ from dataclasses import dataclass
 from typing import Dict, List
 
 from ..core.flow import BlockDesign
-from ..power.analysis import PowerReport, analyze_power
+from ..power.analysis import analyze_power
 from ..tech.corners import CORNERS, corner_process
 from ..tech.process import ProcessNode
-from ..timing.sta import STAResult, TimingConfig, run_sta
+from ..timing.sta import TimingConfig, run_sta
 
 
 @dataclass

@@ -9,13 +9,13 @@ EXPERIMENTS.md are generated from this registry.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
 
 from ..core.bonding import bonding_power_sweep
 from ..core.flow import BlockDesign, FlowConfig, run_block_flow
 from ..core.folding import FoldSpec, folding_candidates
-from ..core.fullchip import ChipConfig, ChipDesign, build_chip
+from ..core.fullchip import ChipConfig, build_chip
 from ..core.secondlevel import spc_folding_study
 from ..designgen.t2 import t2_block_types
 from ..tech.process import ProcessNode, make_process

@@ -11,7 +11,7 @@ measures the power gap trend.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace as dc_replace
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence
 
 from ..core.flow import FlowConfig, run_block_flow
 from ..core.folding import FoldSpec

@@ -17,9 +17,8 @@ The solver reuses the sparse nodal-analysis pattern of the thermal model
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional
 
 import numpy as np
 from scipy.sparse import coo_matrix

@@ -8,7 +8,7 @@ primitives directly.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from ..netlist.core import Netlist
 from ..place.grid import Rect

@@ -7,8 +7,8 @@ parentheses, matching the presentation of the paper's Tables 2/4/5.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+from dataclasses import dataclass
+from typing import List, Sequence, Union
 
 Number = Union[int, float]
 

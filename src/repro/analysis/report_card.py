@@ -4,12 +4,13 @@ One call renders everything the library knows about a finished chip into
 a single markdown document -- the design-review artifact an engineering
 team would circulate: headline metrics, the cell/net/leakage power
 split, per-block-type contributions, thermal and IR-drop integrity,
-manufacturing cost, and the chip-level timing sign-off.
+manufacturing cost, the static-checker (lint) summary, and the
+chip-level timing sign-off.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import List
 
 from ..core.fullchip import ChipDesign
 from ..tech.process import ProcessNode
@@ -83,7 +84,7 @@ def chip_report_card(chip: ChipDesign, process: ProcessNode,
         lines.append("## Physical integrity")
         lines.append("")
         from ..thermal.model import analyze_chip_thermal
-        from .cost import cost_comparison, format_cost_table
+        from .cost import cost_comparison
         from .irdrop import analyze_chip_ir_drop
         thermal = analyze_chip_thermal(chip)
         ir = analyze_chip_ir_drop(chip)
@@ -96,6 +97,21 @@ def chip_report_card(chip: ChipDesign, process: ProcessNode,
         lines.append(f"* cost per good die (d2d bonding): "
                      f"**{costs[0].cost_per_good_die:.2f}** "
                      f"(yield {costs[0].die_yield:.1%})")
+    lines.append("")
+    lines.append("## Static checks (lint)")
+    lines.append("")
+    from ..lint import lint_chip
+    lint = lint_chip(chip)
+    lines.append(f"**{lint.summary()}**")
+    by_rule = lint.by_rule()
+    if by_rule:
+        lines.append("")
+        lines.append("| rule | severity | count | example |")
+        lines.append("|---|---|---|---|")
+        for rid, vs in by_rule.items():
+            example = vs[0].message.replace("|", "\\|")
+            lines.append(f"| {rid} | {vs[0].severity} | {len(vs)} | "
+                         f"{example} |")
     if include_signoff:
         lines.append("")
         lines.append("## Chip-level timing sign-off")

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, replace
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence
 
 from ..core.flow import BlockDesign, FlowConfig, run_block_flow
 from ..core.folding import FoldSpec

@@ -14,9 +14,9 @@ heavily-connected F2B partitions.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Dict, List, Optional, Tuple
+from typing import List, Optional, Tuple
 
-from ..designgen.generate import GeneratedBlock, generate_block
+from ..designgen.generate import generate_block
 from ..designgen.t2 import block_type_by_name
 from ..tech.process import ProcessNode
 from .flow import BlockDesign, FlowConfig, run_block_flow

@@ -15,8 +15,8 @@ explorer) to deduplicate the work.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Optional, Tuple
+from dataclasses import dataclass
+from typing import Dict, Tuple
 
 from ..tech.process import ProcessNode
 from .flow import BlockDesign, FlowConfig, run_block_flow

@@ -14,8 +14,8 @@ true worst slack including paths no single block can see.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
 
 from ..tech.process import ProcessNode
 from ..timing.paths import io_path_delays

@@ -9,12 +9,12 @@ library configurations, collects power / footprint / temperature /
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence, Tuple
 
 from ..tech.process import ProcessNode
 from ..thermal.model import analyze_chip_thermal
-from .fullchip import ChipConfig, ChipDesign, build_chip
+from .fullchip import ChipConfig, build_chip
 
 #: the paper's design axes
 DEFAULT_GRID: Tuple[Tuple[str, bool], ...] = (

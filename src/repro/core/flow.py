@@ -18,7 +18,7 @@ statistics, HVT usage and the cell/net/leakage power split.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass
 from typing import Dict, Optional, Tuple
 
 from ..cts.tree import CTSResult
@@ -66,6 +66,9 @@ class FlowConfig:
     #: after optimization, run the capacity-tracked global router and
     #: re-time against the measured (not estimated) wirelengths
     detailed_route: bool = False
+    #: run the static checker at stage boundaries and raise
+    #: :class:`repro.lint.LintError` on any unwaived error
+    assert_clean: bool = False
 
 
 @dataclass
@@ -145,6 +148,11 @@ def run_flow_on(gb: GeneratedBlock, config: FlowConfig,
     max_metal = _routing_layers(block_type, config)
     pc = PlacementConfig(utilization=config.utilization, seed=config.seed)
 
+    if config.assert_clean:
+        # gate the incoming netlist before spending placement effort
+        from ..lint import assert_clean as _gate, lint_netlist
+        _gate(lint_netlist(netlist), stage=f"{block_type.name}/generate")
+
     fold_result: Optional[Fold3DResult] = None
     via_sites: Dict[int, Tuple[float, float]] = {}
     via = None
@@ -177,6 +185,16 @@ def run_flow_on(gb: GeneratedBlock, config: FlowConfig,
         else:
             via_sites = {v.net_id: (v.x, v.y) for v in fold_result.vias}
         n_vias = fold_result.n_vias
+
+    if config.assert_clean:
+        # gate the placement (and legalized via sites) before routing
+        from ..lint import assert_clean as _gate, lint_placement
+        _gate(lint_placement(
+            netlist, outline,
+            bonding=config.bonding if fold_result is not None else None,
+            vias=fold_result.vias if fold_result is not None else None,
+            utilization=config.utilization),
+            stage=f"{block_type.name}/place")
 
     def route_fn(nl: Netlist) -> RoutingResult:
         return route_block(nl, process.metal_stack, max_metal=max_metal,
@@ -220,7 +238,7 @@ def run_flow_on(gb: GeneratedBlock, config: FlowConfig,
     from ..opt.dualvth import hvt_fraction
 
     n_vias += opt.cts.via_crossings
-    return BlockDesign(
+    design = BlockDesign(
         name=block_type.name,
         config=config,
         netlist=netlist,
@@ -242,3 +260,7 @@ def run_flow_on(gb: GeneratedBlock, config: FlowConfig,
         generated=gb,
         congestion=congestion,
     )
+    if config.assert_clean:
+        from ..lint import assert_clean as _gate, lint_block
+        _gate(lint_block(design), stage=f"{block_type.name}/signoff")
+    return design

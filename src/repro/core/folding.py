@@ -27,8 +27,8 @@ designs and reproduces Table 3.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
 from ..designgen.generate import GeneratedBlock
 from ..place.partition import fm_bipartition, partition_by_clusters

@@ -20,11 +20,10 @@ F2F bonding -- and rolls block-level designs up into chip-level metrics:
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
-from ..designgen.t2 import (Bundle, block_type_by_name, t2_block_types,
-                            t2_bundles, t2_instances)
+from ..designgen.t2 import Bundle, t2_block_types, t2_bundles, t2_instances
 from ..floorplan.t2_floorplans import (BOTH_DIES, FOLDED_TYPES, STYLES,
                                        ChipFloorplan, t2_floorplan)
 from ..opt.buffering import optimal_spacing_um
@@ -68,6 +67,9 @@ class ChipConfig:
     #: per-block-type minimum I/O budgets (ps), e.g. from a previous
     #: sign-off iteration (see core.chip_sta.build_signed_off_chip)
     budget_floor_ps: Tuple[Tuple[str, float], ...] = ()
+    #: run the static checker on every block flow and on the assembled
+    #: chip; raise :class:`repro.lint.LintError` on any unwaived error
+    assert_clean: bool = False
 
     def __post_init__(self) -> None:
         if self.style not in STYLES:
@@ -114,6 +116,10 @@ class ChipDesign:
     n_3d_connections: int
     hvt_fraction: float
     wns_ps: float
+    #: per-die chip-level global-router overflow fractions
+    router_overflow: Tuple[float, ...] = ()
+    #: chip-level TSV array plan (F2B 3D styles only)
+    tsv_plan: Optional[object] = None
 
     @property
     def style(self) -> str:
@@ -217,7 +223,8 @@ def build_chip(config: ChipConfig, process: ProcessNode,
         fc = FlowConfig(scale=config.scale, seed=config.seed, fold=fold,
                         bonding=config.bonding, dual_vth=config.dual_vth,
                         io_budget_ps=budget_of.get(bt.name, 0.0),
-                        opt_rounds=config.opt_rounds)
+                        opt_rounds=config.opt_rounds,
+                        assert_clean=config.assert_clean)
         if cache is not None:
             block_designs[bt.name] = cache.get_or_run(bt.name, fc,
                                                       process)
@@ -356,7 +363,7 @@ def build_chip(config: ChipConfig, process: ProcessNode,
             block_designs[bt.name].n_cells * counts[bt.name]
             for bt in t2_block_types())
 
-    return ChipDesign(
+    chip = ChipDesign(
         config=config,
         floorplan=floorplan,
         block_designs=block_designs,
@@ -370,4 +377,13 @@ def build_chip(config: ChipConfig, process: ProcessNode,
         n_3d_connections=n_vias if config.is_3d else 0,
         hvt_fraction=hvt_cells / max(n_cells, 1),
         wns_ps=wns,
+        router_overflow=tuple(r.overflow() for r in routers),
+        tsv_plan=tsv_plan,
     )
+    if config.assert_clean:
+        # block flows were gated individually; this pass adds the
+        # chip-scope rules (floorplan geometry, router capacity, TSVs)
+        from ..lint import assert_clean as _gate, lint_chip
+        _gate(lint_chip(chip, include_blocks=False),
+              stage=f"chip/{config.style}")
+    return chip

@@ -16,7 +16,7 @@ comparison.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Dict, Optional, Tuple
+from typing import Optional, Tuple
 
 from ..designgen.t2 import SPC_FOLDED_FUBS
 from ..tech.process import ProcessNode

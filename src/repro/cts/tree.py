@@ -15,9 +15,8 @@ designs (the CCX's fourth TSV is the clock).
 
 from __future__ import annotations
 
-import math
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
 
 from ..netlist.core import Netlist
 from ..tech.cells import CellMaster

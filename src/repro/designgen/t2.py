@@ -21,8 +21,8 @@ at identical scale (see DESIGN.md Section 5).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
-from typing import Dict, List, Optional, Tuple
+from dataclasses import dataclass, replace
+from typing import List, Tuple
 
 from ..tech.macros import sram_macro
 from ..tech.process import CPU_CLOCK, IO_CLOCK

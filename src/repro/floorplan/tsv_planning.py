@@ -19,11 +19,9 @@ blocks), so this planning applies to the TSV-based styles only.
 
 from __future__ import annotations
 
-import math
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
 
-from ..place.grid import Rect
 from ..tech.interconnect3d import Via3D
 from .t2_floorplans import ChipFloorplan
 

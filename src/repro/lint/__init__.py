@@ -1,0 +1,33 @@
+"""Static design checker (lint) for flow artifacts.
+
+A DRC/ERC-style rule deck that audits every artifact the flow produces
+-- netlists, placements, 3D via sites, routing, CTS, STA inputs and the
+assembled chip -- without re-running any flow stage.  See
+``docs/lint.md`` for the rule catalog.
+
+Importing this package registers the built-in deck (the ``ERC``/``PHY``
+/``RTE``/``CTS``/``STA``/``CHP`` rule modules import for their
+registration side effect).
+"""
+
+from .framework import (ERROR, INFO, SEVERITIES, WARNING, LintConfig,
+                        LintError, LintReport, Rule, Violation, Waiver,
+                        all_rules, rule)
+from .context import (LintContext, context_for_block, context_for_chip,
+                      context_for_netlist, context_for_placement,
+                      macro_rects_of)
+from . import electrical  # noqa: F401  (rule registration)
+from . import physical    # noqa: F401  (rule registration)
+from . import flowcheck   # noqa: F401  (rule registration)
+from .runner import (assert_clean, lint_block, lint_chip, lint_netlist,
+                     lint_placement, run_on_contexts, run_rules)
+
+__all__ = [
+    "ERROR", "WARNING", "INFO", "SEVERITIES",
+    "Rule", "Violation", "Waiver", "LintConfig", "LintError", "LintReport",
+    "rule", "all_rules",
+    "LintContext", "context_for_netlist", "context_for_placement",
+    "context_for_block", "context_for_chip", "macro_rects_of",
+    "run_rules", "run_on_contexts", "lint_netlist", "lint_placement",
+    "lint_block", "lint_chip", "assert_clean",
+]

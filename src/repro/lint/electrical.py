@@ -1,0 +1,238 @@
+"""Electrical rule checks (ERC) over the gate-level netlist.
+
+These rules need only the netlist, so they run at every stage boundary
+from generation onward.  ``ERC003`` / ``ERC004`` reproduce the exact
+message strings of the original ``Netlist.validate()`` so the legacy
+string API can be implemented on top of the structured checker.
+
+Pin conventions (from :mod:`repro.designgen.logic` and the optimizers):
+cell input pins are ``0 .. n_inputs-1``; a flop's D is pin 0 and its
+clock is pin 1; flops may additionally expose test pins (scan-in, the
+pin-2 scan/test output), so extra sink pins beyond ``n_inputs`` are
+legal while *missing* pins below ``n_inputs`` are not.  Macro pin
+numbering is block-specific, so macros are exempt from the pin-level
+rules.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Set, Tuple
+
+from ..netlist.core import INPUT, OUTPUT, Netlist
+from .context import LintContext
+from .framework import ERROR, WARNING, rule
+
+#: driver-side RC budget (ps) above which a net's pin load is flagged;
+#: generous enough that generated broadcast nets pass, tight enough to
+#: catch a small driver on a pathological fanout.
+MAX_DRIVE_DELAY_PS = 400.0
+#: absolute fanout ceiling for non-clock nets
+MAX_FANOUT = 96
+
+
+def _inst_label(netlist: Netlist, inst_id: int) -> str:
+    inst = netlist.instances.get(inst_id)
+    return f"inst {inst.name}" if inst is not None else f"inst #{inst_id}"
+
+
+@rule("ERC001", "floating input pin", WARNING)
+def check_floating_inputs(ctx: LintContext) -> Iterable[Tuple[str, str]]:
+    """Every input pin of every standard cell must be driven by a net.
+
+    The generator wires all ``n_inputs`` pins of each cell, so an
+    unconnected input means an edit (ECO, mutation, import) dropped a
+    connection and the cell's output is undefined.
+    """
+    nl = ctx.netlist
+    connected: Dict[int, Set[int]] = {}
+    for net in nl.nets.values():
+        for s in net.sinks:
+            if not s.is_port:
+                connected.setdefault(s.inst, set()).add(s.pin)
+    for inst in nl.instances.values():
+        if inst.is_macro:
+            continue
+        pins = connected.get(inst.id, set())
+        missing = [p for p in range(inst.master.n_inputs) if p not in pins]
+        if missing:
+            yield (f"inst {inst.name} ({inst.master.name}): input pin(s) "
+                   f"{missing} unconnected", f"inst {inst.name}")
+
+
+@rule("ERC002", "multi-driven input pin", ERROR)
+def check_multi_driven(ctx: LintContext) -> Iterable[Tuple[str, str]]:
+    """No input pin (or output port) may be a sink of more than one net.
+
+    The netlist model enforces a single driver per net, so contention
+    can only arise from two nets converging on the same sink pin.
+    """
+    nl = ctx.netlist
+    seen: Dict[Tuple, List[str]] = {}
+    for net in nl.nets.values():
+        for s in net.sinks:
+            seen.setdefault(s.key(), []).append(net.name)
+    for key, net_names in seen.items():
+        if len(net_names) < 2:
+            continue
+        inst_id, port, pin = key
+        if port is not None:
+            where, obj = f"port {port}", f"port {port}"
+        else:
+            obj = _inst_label(nl, inst_id)
+            where = f"{obj} pin {pin}"
+        yield (f"{where} driven by {len(net_names)} nets: "
+               f"{', '.join(sorted(net_names)[:4])}", obj)
+
+
+@rule("ERC003", "sinkless net", WARNING)
+def check_no_sinks(ctx: LintContext) -> Iterable[Tuple[str, str]]:
+    """Every net must have at least one sink (legacy message format)."""
+    for net in ctx.netlist.nets.values():
+        if not net.sinks:
+            yield f"net {net.name}: no sinks", f"net {net.name}"
+
+
+@rule("ERC004", "dangling endpoint reference", ERROR)
+def check_dangling(ctx: LintContext) -> Iterable[Tuple[str, str]]:
+    """Net endpoints must reference existing instances/ports with legal
+    directions (legacy message format)."""
+    nl = ctx.netlist
+    for net in nl.nets.values():
+        obj = f"net {net.name}"
+        if net.driver.is_port:
+            p = nl.ports.get(net.driver.port)
+            if p is None:
+                yield f"net {net.name}: driver port missing", obj
+            elif p.direction != INPUT:
+                yield (f"net {net.name}: driven by non-input port {p.name}",
+                       obj)
+        elif net.driver.inst not in nl.instances:
+            yield f"net {net.name}: driver instance missing", obj
+        for s in net.sinks:
+            if s.is_port:
+                p = nl.ports.get(s.port)
+                if p is None:
+                    yield f"net {net.name}: sink port missing", obj
+                elif p.direction != OUTPUT:
+                    yield (f"net {net.name}: sinks non-output port {p.name}",
+                           obj)
+            elif s.inst not in nl.instances:
+                yield f"net {net.name}: sink instance missing", obj
+
+
+@rule("ERC005", "combinational loop", ERROR)
+def check_comb_loops(ctx: LintContext) -> Iterable[Tuple[str, str]]:
+    """The combinational portion of the netlist must be acyclic.
+
+    Builds the cell-to-cell graph over non-clock nets restricted to
+    combinational standard cells and peels zero-in-degree nodes (Kahn);
+    whatever remains participates in a loop.  A loop makes every timing
+    and power number downstream meaningless, hence an error.
+    """
+    nl = ctx.netlist
+
+    def comb(inst_id) -> bool:
+        inst = nl.instances.get(inst_id)
+        return inst is not None and not inst.is_macro \
+            and not inst.is_sequential
+
+    succs: Dict[int, Set[int]] = {}
+    indeg: Dict[int, int] = {}
+    for net in nl.nets.values():
+        if net.is_clock or net.driver.is_port or not comb(net.driver.inst):
+            continue
+        u = net.driver.inst
+        for s in net.sinks:
+            if s.is_port or not comb(s.inst) or s.inst == u:
+                if s.inst == u and not s.is_port:
+                    # direct self-loop: report immediately
+                    yield (f"{_inst_label(nl, u)} drives its own input "
+                           f"via net {net.name}", _inst_label(nl, u))
+                continue
+            if s.inst not in succs.setdefault(u, set()):
+                succs[u].add(s.inst)
+                indeg[s.inst] = indeg.get(s.inst, 0) + 1
+    nodes = set(succs) | set(indeg)
+    frontier = [n for n in nodes if indeg.get(n, 0) == 0]
+    remaining = dict(indeg)
+    alive = set(nodes)
+    while frontier:
+        u = frontier.pop()
+        alive.discard(u)
+        for v in succs.get(u, ()):
+            remaining[v] -= 1
+            if remaining[v] == 0:
+                frontier.append(v)
+    # nodes still alive with nonzero in-degree are on (or feed from) cycles
+    cyclic = sorted(i for i in alive if remaining.get(i, 0) > 0)
+    if cyclic:
+        names = [nl.instances[i].name for i in cyclic[:6]]
+        more = f" (+{len(cyclic) - 6} more)" if len(cyclic) > 6 else ""
+        yield (f"combinational loop through {len(cyclic)} cell(s): "
+               f"{', '.join(names)}{more}",
+               _inst_label(nl, cyclic[0]))
+
+
+@rule("ERC006", "clock-domain crossing", WARNING)
+def check_cdc(ctx: LintContext) -> Iterable[Tuple[str, str]]:
+    """Direct flop-to-flop paths must not cross clock domains.
+
+    A flop's domain is the ``clock_domain`` of the clock net feeding its
+    clock pin.  Paths between two known, different domains need a
+    synchronizer the model does not insert, so they are flagged.
+    """
+    nl = ctx.netlist
+    domain: Dict[int, str] = {}
+    for net in nl.nets.values():
+        if not net.is_clock or net.clock_domain is None:
+            continue
+        for s in net.sinks:
+            if not s.is_port:
+                domain[s.inst] = net.clock_domain
+    if len(set(domain.values())) < 2:
+        return
+    for net in nl.nets.values():
+        if net.is_clock or net.driver.is_port:
+            continue
+        launch = domain.get(net.driver.inst)
+        if launch is None:
+            continue
+        for s in net.sinks:
+            if s.is_port:
+                continue
+            capture = domain.get(s.inst)
+            if capture is not None and capture != launch:
+                yield (f"net {net.name}: crosses {launch} -> {capture} "
+                       f"without synchronizer", f"net {net.name}")
+
+
+@rule("ERC007", "driver overload", WARNING)
+def check_fanout_cap(ctx: LintContext) -> Iterable[Tuple[str, str]]:
+    """A cell driver's pin load must be within its drive capability.
+
+    The flag threshold is an RC product: ``drive_res_kohm`` times the
+    summed sink pin capacitance, i.e. the driver-side delay *before*
+    wire cap is added.  Buffer insertion should keep every net far below
+    the budget; a violation means the optimizer missed a net or an edit
+    bypassed it.  Clock nets are exempt (CTS builds their buffer trees).
+    """
+    nl = ctx.netlist
+    for net in nl.nets.values():
+        if net.is_clock or net.driver.is_port:
+            continue
+        inst = nl.instances.get(net.driver.inst)
+        if inst is None or inst.is_macro:
+            continue
+        obj = f"net {net.name}"
+        if len(net.sinks) > MAX_FANOUT:
+            yield (f"net {net.name}: fanout {len(net.sinks)} exceeds "
+                   f"{MAX_FANOUT}", obj)
+            continue
+        # dangling sink refs are ERC004's finding; skip them here
+        load_ff = sum(nl.endpoint_cap_ff(s) for s in net.sinks
+                      if s.is_port or s.inst in nl.instances)
+        delay_ps = inst.master.drive_res_kohm * load_ff
+        if delay_ps > MAX_DRIVE_DELAY_PS:
+            yield (f"net {net.name}: pin load {load_ff:.0f} fF on "
+                   f"{inst.master.name} gives {delay_ps:.0f} ps "
+                   f"(> {MAX_DRIVE_DELAY_PS:.0f} ps budget)", obj)

@@ -1,0 +1,230 @@
+"""Routing, CTS, STA and chip-assembly rule checks.
+
+The ``RTE``/``CTS``/``STA`` rules audit a block's downstream artifacts
+against its netlist; the ``CHP`` rules audit the assembled chip --
+floorplan geometry, global-router capacity and the chip-level TSV plan.
+Like every rule, they inspect stored results only and never re-run a
+flow stage.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Tuple
+
+from ..floorplan.t2_floorplans import BOTH_DIES
+from ..place.grid import GEOM_TOL_UM
+from .context import LintContext
+from .framework import ERROR, WARNING, rule
+
+#: fraction of over-capacity gcells above which congestion is flagged
+MAX_OVERFLOW_FRACTION = 0.05
+
+
+# ---- routing ------------------------------------------------------------
+
+@rule("RTE001", "unrouted net", ERROR, requires=("netlist", "routing"))
+def check_unrouted(ctx: LintContext) -> Iterable[Tuple[str, str]]:
+    """Every non-clock net must appear in the routing result.
+
+    The optimizer re-routes after each edit round, so a missing net
+    means routing and netlist have drifted apart (e.g. a net added
+    after the final route).  Clock nets are exempt: CTS models them.
+    """
+    nl, routing = ctx.netlist, ctx.routing
+    for net in nl.nets.values():
+        if net.is_clock:
+            continue
+        if net.id not in routing.nets:
+            yield f"net {net.name} has no routing entry", f"net {net.name}"
+
+
+@rule("RTE002", "tier-crossing net without via", WARNING,
+      requires=("netlist", "routing", "vias"))
+def check_missing_via(ctx: LintContext) -> Iterable[Tuple[str, str]]:
+    """Nets spanning both tiers should be routed through a 3D via.
+
+    Via sites are planned from the placement before optimization;
+    buffering can split a crossing net so that a *new* segment crosses
+    tiers without a planned site, which the routing estimator then
+    models as a same-tier wire.  Flagged as a warning: it understates
+    the via count but does not invalidate the design.
+    """
+    nl, routing = ctx.netlist, ctx.routing
+    missing = 0
+    example = ""
+    for net in nl.nets.values():
+        if net.is_clock:
+            continue
+        if any(not e.is_port and e.inst not in nl.instances
+               for e in net.endpoints()):
+            continue  # dangling endpoints are ERC004's finding
+        if not nl.is_3d_net(net):
+            continue
+        routed = routing.nets.get(net.id)
+        if routed is not None and routed.via is None:
+            missing += 1
+            example = example or net.name
+    if missing:
+        yield (f"{missing} tier-crossing net(s) routed without a 3D via, "
+               f"e.g. {example}", f"net {example}")
+
+
+@rule("RTE003", "routing congestion", WARNING, requires=("congestion",))
+def check_congestion(ctx: LintContext) -> Iterable[Tuple[str, str]]:
+    """The detailed router's gcell overflow must stay small.
+
+    Persistent overflow means the wirelength (and hence delay/power)
+    numbers sit on detours the estimator did not see.
+    """
+    rep = ctx.congestion
+    frac = rep.overflow_fraction
+    if frac > MAX_OVERFLOW_FRACTION:
+        yield (f"{frac:.1%} of gcells over capacity "
+               f"(max util {rep.max_utilization:.2f})", "congestion")
+
+
+# ---- clock tree ---------------------------------------------------------
+
+@rule("CTS001", "unclocked sequential element", ERROR,
+      requires=("netlist",))
+def check_unclocked(ctx: LintContext) -> Iterable[Tuple[str, str]]:
+    """Every flop and macro must be a sink of some clock net.
+
+    An unclocked flop never launches or captures, so STA silently
+    ignores whole paths -- the worst kind of clean-looking breakage.
+    """
+    nl = ctx.netlist
+    clocked = set()
+    for net in nl.nets.values():
+        if not net.is_clock:
+            continue
+        for s in net.sinks:
+            if not s.is_port:
+                clocked.add(s.inst)
+    for inst in nl.instances.values():
+        if (inst.is_sequential or inst.is_macro) and \
+                inst.id not in clocked:
+            kind = "macro" if inst.is_macro else "flop"
+            yield (f"{kind} {inst.name} is not reached by any clock net",
+                   f"inst {inst.name}")
+
+
+@rule("CTS002", "clock tree sink mismatch", WARNING,
+      requires=("netlist", "cts"))
+def check_cts_coverage(ctx: LintContext) -> Iterable[Tuple[str, str]]:
+    """The synthesized clock tree must cover every clock sink.
+
+    Compares the CTS result's sink count against the clock-net sink
+    count in the netlist; a mismatch means CTS ran on a stale netlist.
+    """
+    nl = ctx.netlist
+    want = sum(len(net.sinks) for net in nl.nets.values() if net.is_clock)
+    got = ctx.cts.n_sinks
+    if got != want:
+        yield (f"clock tree covers {got} sink(s) but the netlist has "
+               f"{want}", "cts")
+
+
+# ---- timing graph -------------------------------------------------------
+
+@rule("STA001", "negative wire parasitics", ERROR, requires=("routing",))
+def check_negative_rc(ctx: LintContext) -> Iterable[Tuple[str, str]]:
+    """Routed-net RC values and lengths must be non-negative.
+
+    A negative R or C turns the Elmore model into a time machine;
+    every slack downstream would be garbage.
+    """
+    for routed in ctx.routing.nets.values():
+        obj = f"net #{routed.net_id}"
+        if routed.r_per_um < 0 or routed.c_per_um < 0:
+            yield (f"net #{routed.net_id}: negative RC "
+                   f"(r={routed.r_per_um:.4f}, c={routed.c_per_um:.4f})",
+                   obj)
+        elif routed.length_um < 0 or routed.wire_cap_ff < 0:
+            yield (f"net #{routed.net_id}: negative length/cap "
+                   f"({routed.length_um:.2f} um, "
+                   f"{routed.wire_cap_ff:.2f} fF)", obj)
+        elif any(s.path_len_um < 0 or s.pin_cap_ff < 0
+                 for s in routed.sinks):
+            yield f"net #{routed.net_id}: negative sink path", obj
+
+
+@rule("STA002", "unconstrained endpoint", WARNING, requires=("netlist",))
+def check_unconstrained(ctx: LintContext) -> Iterable[Tuple[str, str]]:
+    """Every timing-relevant port must be connected to a net.
+
+    A dangling non-false-path port is an endpoint with no launching or
+    capturing path: STA reports nothing for it, so a broken connection
+    looks like perfect timing.  Scan/test ports are declared
+    ``false_path`` and are exempt.
+    """
+    nl = ctx.netlist
+    for port in nl.ports.values():
+        if port.false_path:
+            continue
+        if not nl.nets_of_port(port.name):
+            yield (f"port {port.name} ({port.direction}) is not connected "
+                   f"to any net", f"port {port.name}")
+
+
+# ---- chip assembly ------------------------------------------------------
+
+def _chip_blocks(chip):
+    """(instance name, rect, die) for every placed block."""
+    fp = chip.floorplan
+    return [(inst, rect, fp.die_of[inst])
+            for inst, rect in fp.positions.items()]
+
+
+@rule("CHP001", "overlapping blocks", ERROR, requires=("chip",))
+def check_block_overlaps(ctx: LintContext) -> Iterable[Tuple[str, str]]:
+    """Floorplanned blocks must not overlap on any shared die.
+
+    A folded block (die = both) conflicts with blocks on either tier.
+    """
+    blocks = _chip_blocks(ctx.chip)
+    for i, (na, ra, da) in enumerate(blocks):
+        for nb, rb, db in blocks[i + 1:]:
+            if da != db and BOTH_DIES not in (da, db):
+                continue
+            if ra.overlaps(rb):
+                yield (f"blocks {na} and {nb} overlap on die "
+                       f"{da if da == db else 'shared'}", f"block {na}")
+
+
+@rule("CHP002", "block outside chip", ERROR, requires=("chip",))
+def check_block_bounds(ctx: LintContext) -> Iterable[Tuple[str, str]]:
+    """Every block must sit inside the chip outline."""
+    fp = ctx.chip.floorplan
+    tol = GEOM_TOL_UM
+    for inst, rect, _ in _chip_blocks(ctx.chip):
+        if (rect.x0 < -tol or rect.y0 < -tol or
+                rect.x1 > fp.width + tol or rect.y1 > fp.height + tol):
+            yield (f"block {inst} ({rect.x0:.0f},{rect.y0:.0f})-"
+                   f"({rect.x1:.0f},{rect.y1:.0f}) exceeds chip "
+                   f"{fp.width:.0f}x{fp.height:.0f}", f"block {inst}")
+
+
+@rule("CHP003", "global-router overflow", WARNING, requires=("chip",))
+def check_chip_congestion(ctx: LintContext) -> Iterable[Tuple[str, str]]:
+    """Per-die chip-level routing overflow must stay small."""
+    for die, frac in enumerate(ctx.chip.router_overflow):
+        if frac > MAX_OVERFLOW_FRACTION:
+            yield (f"die {die}: {frac:.1%} of chip gcells over capacity",
+                   f"die {die}")
+
+
+@rule("CHP004", "unplaced chip TSVs", ERROR, requires=("chip",))
+def check_tsv_plan(ctx: LintContext) -> Iterable[Tuple[str, str]]:
+    """Every tier-crossing bundle wire needs a TSV site in whitespace.
+
+    ``unplaced_wires`` counts wires the planner could not host; a
+    nonzero value means the floorplan's whitespace budget (the Fig. 8
+    channel gaps) is too small for the 3D connectivity.
+    """
+    plan = getattr(ctx.chip, "tsv_plan", None)
+    if plan is None:
+        return
+    if plan.unplaced_wires > 0:
+        yield (f"{plan.unplaced_wires} tier-crossing wire(s) have no "
+               f"TSV site", "tsv_plan")

@@ -1,0 +1,294 @@
+"""Rule / violation framework for the static design checker.
+
+The checker is organized like a DRC/ERC deck in a commercial sign-off
+tool: small, independently identifiable *rules* (``ERC001`` ...) run over
+a :class:`~repro.lint.context.LintContext` and report :class:`Violation`
+objects.  A :class:`LintConfig` can disable rules and *waive* individual
+violations (with a recorded reason, as tape-out waiver flows do), and the
+collected :class:`LintReport` renders to a dict/JSON for machines or to
+markdown for design reviews.
+
+Rules register themselves in a module-level registry via the
+:func:`rule` decorator; importing :mod:`repro.lint` loads the built-in
+deck.  Each rule declares which context fields it *requires*, so the same
+deck runs at any stage boundary -- a bare netlist right after generation
+simply skips the physical and routing rules.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from fnmatch import fnmatch
+from typing import TYPE_CHECKING, Callable, Dict, Iterable, List, Optional, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .context import LintContext
+
+#: severity levels, most severe first
+ERROR = "error"
+WARNING = "warning"
+INFO = "info"
+SEVERITIES = (ERROR, WARNING, INFO)
+
+#: rank for sorting (lower = more severe)
+_SEVERITY_RANK = {s: i for i, s in enumerate(SEVERITIES)}
+
+
+@dataclass(frozen=True)
+class Waiver:
+    """A recorded exemption for matching violations.
+
+    Both fields are ``fnmatch`` patterns: ``rule_id`` against the rule
+    identifier, ``obj`` against the violation's offending-object string.
+    A waived violation stays in the report (auditability) but no longer
+    counts toward the error/warning totals.
+    """
+
+    rule_id: str
+    obj: str = "*"
+    reason: str = ""
+
+    def matches(self, violation: "Violation") -> bool:
+        return fnmatch(violation.rule_id, self.rule_id) and \
+            fnmatch(violation.obj or "", self.obj)
+
+
+@dataclass(frozen=True)
+class LintConfig:
+    """Per-run checker configuration: disabled rules and waivers."""
+
+    disabled: Tuple[str, ...] = ()
+    waivers: Tuple[Waiver, ...] = ()
+
+    def is_disabled(self, rule_id: str) -> bool:
+        return any(fnmatch(rule_id, pat) for pat in self.disabled)
+
+    def waiver_for(self, violation: "Violation") -> Optional[Waiver]:
+        for w in self.waivers:
+            if w.matches(violation):
+                return w
+        return None
+
+    def with_waiver(self, rule_id: str, obj: str = "*",
+                    reason: str = "") -> "LintConfig":
+        """A copy of this config with one more waiver appended."""
+        return LintConfig(disabled=self.disabled,
+                          waivers=self.waivers +
+                          (Waiver(rule_id, obj, reason),))
+
+
+@dataclass
+class Violation:
+    """One rule hit on one design object."""
+
+    rule_id: str
+    severity: str
+    message: str
+    #: offending object, e.g. ``"net n_12"`` or ``"inst u_4"``
+    obj: str = ""
+    #: which design/context produced it, e.g. ``"spc"`` or ``"chip/2d"``
+    context: str = ""
+    waived_by: Optional[Waiver] = None
+
+    @property
+    def waived(self) -> bool:
+        return self.waived_by is not None
+
+    def to_dict(self) -> Dict[str, object]:
+        d: Dict[str, object] = {
+            "rule": self.rule_id,
+            "severity": self.severity,
+            "message": self.message,
+            "obj": self.obj,
+            "context": self.context,
+        }
+        if self.waived_by is not None:
+            d["waived"] = True
+            d["waiver_reason"] = self.waived_by.reason
+        return d
+
+    def __str__(self) -> str:
+        ctx = f"[{self.context}] " if self.context else ""
+        tag = " (waived)" if self.waived else ""
+        return f"{self.rule_id} {self.severity}: {ctx}{self.message}{tag}"
+
+
+#: a rule check yields (message, offending-object) pairs
+CheckFn = Callable[["LintContext"], Iterable[Tuple[str, str]]]
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One registered check."""
+
+    id: str
+    title: str
+    severity: str
+    #: :class:`LintContext` attributes that must be non-None to run
+    requires: Tuple[str, ...]
+    check: CheckFn
+    doc: str = ""
+
+
+#: rule id -> Rule; populated by the :func:`rule` decorator on import
+REGISTRY: Dict[str, Rule] = {}
+
+
+def rule(rule_id: str, title: str, severity: str,
+         requires: Tuple[str, ...] = ("netlist",)) -> Callable[[CheckFn], CheckFn]:
+    """Register a check function as a lint rule.
+
+    The decorated function receives a :class:`LintContext` and yields
+    ``(message, obj)`` pairs; severity and rule id are stamped by the
+    runner.  The function's docstring becomes the rule's catalog entry.
+    """
+    if severity not in SEVERITIES:
+        raise ValueError(f"bad severity {severity!r}")
+
+    def wrap(fn: CheckFn) -> CheckFn:
+        if rule_id in REGISTRY:
+            raise ValueError(f"duplicate rule id {rule_id!r}")
+        REGISTRY[rule_id] = Rule(id=rule_id, title=title, severity=severity,
+                                 requires=tuple(requires), check=fn,
+                                 doc=(fn.__doc__ or "").strip())
+        return fn
+
+    return wrap
+
+
+def all_rules() -> List[Rule]:
+    """Every registered rule, ordered by id."""
+    return [REGISTRY[k] for k in sorted(REGISTRY)]
+
+
+class LintError(RuntimeError):
+    """Raised by ``assert_clean`` gates when a stage has lint errors."""
+
+    def __init__(self, report: "LintReport", stage: str = "lint") -> None:
+        self.report = report
+        self.stage = stage
+        errs = report.errors
+        preview = "; ".join(str(v) for v in errs[:5])
+        more = f" (+{len(errs) - 5} more)" if len(errs) > 5 else ""
+        super().__init__(
+            f"{stage}: {len(errs)} lint error(s): {preview}{more}")
+
+
+@dataclass
+class LintReport:
+    """The collected violations of one checker run (or several merged)."""
+
+    violations: List[Violation] = field(default_factory=list)
+    #: contexts that were checked (design names / stages)
+    contexts: List[str] = field(default_factory=list)
+
+    # -- queries ---------------------------------------------------------
+
+    def _active(self, severity: str) -> List[Violation]:
+        return [v for v in self.violations
+                if v.severity == severity and not v.waived]
+
+    @property
+    def errors(self) -> List[Violation]:
+        return self._active(ERROR)
+
+    @property
+    def warnings(self) -> List[Violation]:
+        return self._active(WARNING)
+
+    @property
+    def infos(self) -> List[Violation]:
+        return self._active(INFO)
+
+    @property
+    def waived(self) -> List[Violation]:
+        return [v for v in self.violations if v.waived]
+
+    @property
+    def clean(self) -> bool:
+        """True when no unwaived errors remain (warnings allowed)."""
+        return not self.errors
+
+    def counts(self) -> Dict[str, int]:
+        return {ERROR: len(self.errors), WARNING: len(self.warnings),
+                INFO: len(self.infos), "waived": len(self.waived)}
+
+    def by_rule(self) -> Dict[str, List[Violation]]:
+        """Unwaived violations grouped by rule id."""
+        out: Dict[str, List[Violation]] = {}
+        for v in self.violations:
+            if not v.waived:
+                out.setdefault(v.rule_id, []).append(v)
+        return {k: out[k] for k in sorted(out)}
+
+    def merge(self, other: "LintReport") -> "LintReport":
+        """Fold another report into this one (returns self)."""
+        self.violations.extend(other.violations)
+        self.contexts.extend(c for c in other.contexts
+                             if c not in self.contexts)
+        return self
+
+    def sort(self) -> "LintReport":
+        """Order violations by severity, then rule id, then context."""
+        self.violations.sort(
+            key=lambda v: (_SEVERITY_RANK.get(v.severity, 99),
+                           v.rule_id, v.context, v.obj))
+        return self
+
+    # -- rendering -------------------------------------------------------
+
+    def summary(self) -> str:
+        c = self.counts()
+        verdict = "CLEAN" if self.clean else "FAIL"
+        waived = f", {c['waived']} waived" if c["waived"] else ""
+        return (f"lint {verdict}: {c[ERROR]} error(s), "
+                f"{c[WARNING]} warning(s), {c[INFO]} info{waived} "
+                f"over {max(len(self.contexts), 1)} context(s)")
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "clean": self.clean,
+            "counts": self.counts(),
+            "contexts": list(self.contexts),
+            "violations": [v.to_dict() for v in self.violations],
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    def to_markdown(self, max_rows: int = 200) -> str:
+        """Render the report as a markdown document."""
+        lines = [f"# Lint report — {self.summary()}", ""]
+        grouped = self.by_rule()
+        if not grouped and not self.waived:
+            lines.append("No violations.")
+            return "\n".join(lines) + "\n"
+        if grouped:
+            lines += ["| rule | severity | count |", "|---|---|---|"]
+            for rid, vs in grouped.items():
+                lines.append(f"| {rid} | {vs[0].severity} | {len(vs)} |")
+            lines.append("")
+            shown = 0
+            for rid, vs in grouped.items():
+                lines.append(f"## {rid}")
+                lines.append("")
+                for v in vs:
+                    if shown >= max_rows:
+                        lines.append(f"... ({len(self.violations) - shown} "
+                                     f"more suppressed)")
+                        break
+                    ctx = f"`{v.context}` " if v.context else ""
+                    lines.append(f"* {ctx}{v.message}")
+                    shown += 1
+                lines.append("")
+                if shown >= max_rows:
+                    break
+        if self.waived:
+            lines.append("## Waived")
+            lines.append("")
+            for v in self.waived:
+                reason = v.waived_by.reason if v.waived_by else ""
+                lines.append(f"* {v.rule_id}: {v.message} — {reason}")
+            lines.append("")
+        return "\n".join(lines)

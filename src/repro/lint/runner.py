@@ -1,0 +1,111 @@
+"""Checker entry points: run the rule deck over contexts.
+
+The runner is artifact-driven: it filters the registered deck down to
+the rules whose required context fields are present, so the same call
+works on a bare netlist, a placed block, a finished block design or a
+whole chip.  ``lint_chip`` fans out over every unique block design plus
+the chip-scope context and merges the reports.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterable, Optional, Sequence
+
+from .context import (LintContext, context_for_block, context_for_chip,
+                      context_for_netlist, context_for_placement)
+from .framework import (LintConfig, LintError, LintReport, Violation,
+                        all_rules)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..core.flow import BlockDesign
+    from ..core.fullchip import ChipDesign
+    from ..netlist.core import Netlist
+
+
+def run_rules(ctx: LintContext, config: Optional[LintConfig] = None,
+              rules: Optional[Sequence[str]] = None) -> LintReport:
+    """Run every applicable registered rule on one context.
+
+    Args:
+        ctx: the artifact bundle to check.
+        config: disabled rules and waivers (default: check everything).
+        rules: optional explicit rule-id subset (exact ids).
+
+    Returns:
+        The sorted report for this context.
+    """
+    config = config or LintConfig()
+    wanted = set(rules) if rules is not None else None
+    report = LintReport(contexts=[ctx.name])
+    for r in all_rules():
+        if wanted is not None and r.id not in wanted:
+            continue
+        if wanted is None and config.is_disabled(r.id):
+            continue
+        if not ctx.has(r.requires):
+            continue
+        for message, obj in r.check(ctx):
+            v = Violation(rule_id=r.id, severity=r.severity,
+                          message=message, obj=obj, context=ctx.name)
+            v.waived_by = config.waiver_for(v)
+            report.violations.append(v)
+    return report.sort()
+
+
+def run_on_contexts(contexts: Iterable[LintContext],
+                    config: Optional[LintConfig] = None,
+                    rules: Optional[Sequence[str]] = None) -> LintReport:
+    """Run the deck over several contexts and merge the reports."""
+    total = LintReport()
+    for ctx in contexts:
+        total.merge(run_rules(ctx, config=config, rules=rules))
+    return total.sort()
+
+
+def lint_netlist(netlist: "Netlist",
+                 config: Optional[LintConfig] = None,
+                 rules: Optional[Sequence[str]] = None) -> LintReport:
+    """Check a bare netlist (electrical rules only)."""
+    return run_rules(context_for_netlist(netlist), config=config,
+                     rules=rules)
+
+
+def lint_placement(netlist: "Netlist", outline,
+                   config: Optional[LintConfig] = None,
+                   bonding: Optional[str] = None, vias=None,
+                   utilization: Optional[float] = None,
+                   x_is_center: bool = True) -> LintReport:
+    """Check a placed netlist (electrical + physical rules)."""
+    ctx = context_for_placement(netlist, outline, bonding=bonding,
+                                vias=vias, utilization=utilization,
+                                x_is_center=x_is_center)
+    return run_rules(ctx, config=config)
+
+
+def lint_block(design: "BlockDesign",
+               config: Optional[LintConfig] = None) -> LintReport:
+    """Check a finished block design (the full deck)."""
+    return run_rules(context_for_block(design), config=config)
+
+
+def lint_chip(chip: "ChipDesign", config: Optional[LintConfig] = None,
+              include_blocks: bool = True) -> LintReport:
+    """Check an assembled chip: chip-scope rules plus each block.
+
+    Block contexts are named ``<style>/<block>`` so violations stay
+    attributable when the merged report is rendered.
+    """
+    contexts = [context_for_chip(chip)]
+    if include_blocks:
+        for name in sorted(chip.block_designs):
+            ctx = context_for_block(chip.block_designs[name])
+            ctx.name = f"{chip.style}/{name}"
+            contexts.append(ctx)
+    return run_on_contexts(contexts, config=config)
+
+
+def assert_clean(report: LintReport, stage: str = "lint") -> LintReport:
+    """Raise :class:`LintError` when the report has unwaived errors."""
+    if not report.clean:
+        raise LintError(report, stage=stage)
+    return report

@@ -366,32 +366,34 @@ class Netlist:
 
     # -- validation ------------------------------------------------------------
 
+    def validate_structured(self, rules: Optional[Tuple[str, ...]] = None):
+        """Run the electrical lint deck and return a structured report.
+
+        Args:
+            rules: optional explicit rule-id subset (e.g.
+                ``("ERC003", "ERC004")`` for the legacy checks only);
+                ``None`` runs every netlist-scope rule.
+
+        Returns:
+            A :class:`repro.lint.LintReport` of
+            :class:`repro.lint.Violation` objects.
+        """
+        # imported lazily: repro.lint imports this module
+        from ..lint import lint_netlist
+        return lint_netlist(self, rules=rules)
+
+    #: the rules whose messages the legacy string validator reported
+    _LEGACY_RULES = ("ERC003", "ERC004")
+
     def validate(self) -> List[str]:
-        """Structural sanity checks; returns a list of problem strings."""
-        problems: List[str] = []
-        for net in self.nets.values():
-            if net.driver.is_port:
-                p = self.ports.get(net.driver.port)
-                if p is None:
-                    problems.append(f"net {net.name}: driver port missing")
-                elif p.direction != INPUT:
-                    problems.append(
-                        f"net {net.name}: driven by non-input port {p.name}")
-            elif net.driver.inst not in self.instances:
-                problems.append(f"net {net.name}: driver instance missing")
-            for s in net.sinks:
-                if s.is_port:
-                    p = self.ports.get(s.port)
-                    if p is None:
-                        problems.append(f"net {net.name}: sink port missing")
-                    elif p.direction != OUTPUT:
-                        problems.append(
-                            f"net {net.name}: sinks non-output port {p.name}")
-                elif s.inst not in self.instances:
-                    problems.append(f"net {net.name}: sink instance missing")
-            if not net.sinks:
-                problems.append(f"net {net.name}: no sinks")
-        return problems
+        """Structural sanity checks; returns a list of problem strings.
+
+        Back-compat wrapper over :meth:`validate_structured`, restricted
+        to the original checks (dangling endpoint references, direction
+        misuse, sinkless nets) with the original message strings.
+        """
+        report = self.validate_structured(rules=self._LEGACY_RULES)
+        return [v.message for v in report.violations]
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (f"Netlist({self.name!r}, cells={self.num_cells}, "

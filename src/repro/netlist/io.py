@@ -13,7 +13,7 @@ For the 2-tier merged view used by the F2F via placement flow, see
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Tuple
 
 from ..place.grid import Rect
 from .core import INPUT, Netlist, PinRef

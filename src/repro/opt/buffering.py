@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import List, Optional, Tuple
 
 from ..netlist.core import Net, Netlist, PinRef
 from ..route.estimate import RoutedNet, RoutingResult

@@ -19,11 +19,10 @@ of every cycle, minus the ICGs' own overhead.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Tuple
 
-from ..netlist.core import Instance, Netlist
+from ..netlist.core import Netlist
 from ..tech.process import ProcessNode
 
 

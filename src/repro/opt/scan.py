@@ -21,8 +21,8 @@ tier crossings.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
 
 from ..netlist.core import INPUT, OUTPUT, Instance, Netlist, PinRef
 

@@ -22,7 +22,7 @@ so estimation errors cannot accumulate.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Optional
 
 from ..netlist.core import Netlist
 from ..route.estimate import RoutingResult

@@ -12,9 +12,43 @@ spreading simply flows around it.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, List, Tuple
+from typing import Iterable, List, Optional, Tuple
 
 import numpy as np
+
+#: geometric slack (um) below which an overlap does not count.  Every
+#: overlap / containment decision in the placer, the legalizer and the
+#: lint checker goes through the predicates below with this tolerance,
+#: so the tools cannot disagree about what "overlapping" or "inside a
+#: macro hole" means.
+GEOM_TOL_UM = 1e-6
+
+
+def interval_overlap(a0: float, a1: float, b0: float, b1: float) -> float:
+    """Signed 1D overlap of ``[a0, a1]`` and ``[b0, b1]``.
+
+    Positive = overlap length, negative = gap width, zero = abutting.
+    """
+    return min(a1, b1) - max(a0, b0)
+
+
+def spans_overlap(a0: float, a1: float, b0: float, b1: float,
+                  tol: float = GEOM_TOL_UM) -> bool:
+    """True when two 1D spans overlap by more than ``tol``."""
+    return interval_overlap(a0, a1, b0, b1) > tol
+
+
+def first_containing(rects: Iterable["Rect"], x: float,
+                     y: float) -> Optional["Rect"]:
+    """The first rectangle containing point ``(x, y)``, or ``None``.
+
+    This is *the* "inside a macro hole" predicate: the density grid, the
+    3D-via legalizer and the lint checker all call it.
+    """
+    for r in rects:
+        if r.contains(x, y):
+            return r
+    return None
 
 
 @dataclass
@@ -112,7 +146,7 @@ class DensityGrid:
 
     def in_obstruction(self, x: float, y: float) -> bool:
         """True if a point lies inside any macro hole."""
-        return any(o.contains(x, y) for o in self._obstructions)
+        return first_containing(self._obstructions, x, y) is not None
 
     def demand_map(self, xs: np.ndarray, ys: np.ndarray,
                    areas: np.ndarray) -> np.ndarray:

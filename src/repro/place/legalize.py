@@ -17,13 +17,12 @@ and the macro keep-out checks rely on.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..netlist.core import Instance
 from ..tech.cells import CELL_HEIGHT_UM
-from .grid import Rect
+from .grid import GEOM_TOL_UM, Rect, spans_overlap
 
 
 @dataclass
@@ -159,16 +158,44 @@ def legalize_cells(cells: Sequence[Instance], outline: Rect,
                           max_displacement_um=max_disp)
 
 
-def check_overlaps(cells: Sequence[Instance],
-                   row_height: float = CELL_HEIGHT_UM) -> int:
-    """Count pairwise overlaps among legalized cells (same row only)."""
+def overlapping_pairs(cells: Sequence[Instance],
+                      row_height: float = CELL_HEIGHT_UM,
+                      x_is_center: bool = False
+                      ) -> List[Tuple[Instance, Instance]]:
+    """Adjacent same-row cell pairs whose x spans overlap.
+
+    Cells are bucketed into rows by their y coordinate and compared
+    against their right neighbor with the shared
+    :func:`~repro.place.grid.spans_overlap` predicate -- the same
+    tolerance the legalizer and the lint checker use, so the two can
+    never disagree about what counts as an overlap.
+
+    Args:
+        cells: placed standard cells.
+        row_height: row pitch (used only for bucketing keys).
+        x_is_center: interpret ``x`` as the cell center (global-place /
+            row-snap convention) instead of the left edge (legalizer
+            convention).
+    """
     by_row: Dict[float, List[Instance]] = {}
     for c in cells:
         by_row.setdefault(round(c.y, 3), []).append(c)
-    overlaps = 0
+    pairs: List[Tuple[Instance, Instance]] = []
     for row_cells in by_row.values():
         row_cells.sort(key=lambda c: c.x)
         for a, b in zip(row_cells, row_cells[1:]):
-            if a.x + a.width_um > b.x + 1e-6:
-                overlaps += 1
-    return overlaps
+            if x_is_center:
+                a0, a1 = a.x - a.width_um / 2, a.x + a.width_um / 2
+                b0, b1 = b.x - b.width_um / 2, b.x + b.width_um / 2
+            else:
+                a0, a1 = a.x, a.x + a.width_um
+                b0, b1 = b.x, b.x + b.width_um
+            if spans_overlap(a0, a1, b0, b1, tol=GEOM_TOL_UM):
+                pairs.append((a, b))
+    return pairs
+
+
+def check_overlaps(cells: Sequence[Instance],
+                   row_height: float = CELL_HEIGHT_UM) -> int:
+    """Count pairwise overlaps among legalized cells (same row only)."""
+    return len(overlapping_pairs(cells, row_height))

@@ -21,14 +21,14 @@ make F2B and F2F designs diverge downstream (Sections 5.2, Fig. 6/7).
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Set, Tuple
 
 import numpy as np
 
 from ..netlist.core import Net, Netlist
 from ..tech.process import ProcessNode
-from .grid import DensityGrid, Rect
+from .grid import DensityGrid, Rect, first_containing
 from .placer2d import (PlacementConfig, hpwl, place_macro_list, place_ports,
                        run_global_place, snap_to_rows)
 from .spreading import spread
@@ -136,7 +136,7 @@ class _ViaLegalizer:
         if (i, j) in self.occupied:
             return False
         x, y = self._site_center(i, j)
-        return not any(k.contains(x, y) for k in self.keepouts)
+        return first_containing(self.keepouts, x, y) is None
 
     def snap(self, x: float, y: float) -> Tuple[float, float]:
         """The nearest free legal site (spiral search)."""

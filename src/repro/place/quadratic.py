@@ -14,7 +14,7 @@ length; two or three refresh rounds are ample for this model's scale.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 from scipy.sparse import coo_matrix

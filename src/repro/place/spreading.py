@@ -10,7 +10,7 @@ macros instead of piling against them.
 
 from __future__ import annotations
 
-from typing import List, Tuple
+from typing import Tuple
 
 import numpy as np
 

@@ -24,8 +24,7 @@ structure the flat default cannot express.  Feed the result to
 from __future__ import annotations
 
 from collections import defaultdict, deque
-from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Tuple
 
 from ..netlist.core import Netlist
 

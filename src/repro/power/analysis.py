@@ -22,8 +22,8 @@ caps what folding can save in memory-dominated blocks (Section 4.4).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Optional
+from dataclasses import dataclass
+from typing import Optional
 
 from ..cts.tree import CTSResult
 from ..netlist.core import Netlist

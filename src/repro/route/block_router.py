@@ -17,13 +17,12 @@ from __future__ import annotations
 
 import heapq
 import math
-from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
-from ..netlist.core import Net, Netlist
+from ..netlist.core import Netlist
 from ..place.grid import Rect
 from ..tech.interconnect3d import Via3D
 from ..tech.layers import MetalStack

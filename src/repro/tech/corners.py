@@ -10,7 +10,7 @@ far more, and the supply tracks the corner.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace as dc_replace
-from typing import Dict, Iterable, List
+from typing import Dict, List
 
 from .cells import CellLibrary, CellMaster
 from .process import ProcessNode

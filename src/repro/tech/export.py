@@ -10,10 +10,9 @@ stack, and the via geometries.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional
+from typing import Iterable, List
 
-from .cells import CELL_HEIGHT_UM, CellLibrary, CellMaster
-from .layers import MetalStack
+from .cells import CELL_HEIGHT_UM, CellMaster
 from .macros import MacroMaster
 from .process import ProcessNode
 

@@ -18,8 +18,7 @@ cells); for netlist surgery (buffer insertion), rebuild.
 from __future__ import annotations
 
 from collections import defaultdict, deque
-from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Set, Tuple
+from typing import Dict, Iterable, List, Set, Tuple
 
 from ..netlist.core import Netlist
 from ..route.estimate import RoutingResult

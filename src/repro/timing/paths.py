@@ -10,10 +10,10 @@ handy for debugging why a block fails its budget.
 from __future__ import annotations
 
 from collections import defaultdict
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
-from ..netlist.core import Netlist, PinRef
+from ..netlist.core import Netlist
 from ..route.estimate import RoutingResult
 from ..tech.process import ProcessNode
 from .sta import MACRO_SETUP_PS, SETUP_PS, STAResult, TimingConfig, run_sta

@@ -17,7 +17,7 @@ module derates wire delays from the block router's usage maps:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
+from typing import Optional, Tuple
 
 import numpy as np
 

@@ -21,7 +21,7 @@ from collections import defaultdict, deque
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
-from ..netlist.core import Net, Netlist, PinRef
+from ..netlist.core import Netlist, PinRef
 from ..route.estimate import RoutingResult
 from ..tech.process import ProcessNode
 

@@ -1,0 +1,79 @@
+"""End-to-end checker tests: the five Fig. 8 chip styles lint clean,
+the flow gates work, and the CLI / report card surface the results."""
+
+import json
+
+import pytest
+
+from repro.__main__ import main
+from repro.core import FlowConfig, FoldSpec, run_block_flow
+from repro.core.fullchip import ChipConfig, build_chip
+from repro.lint import LintConfig, lint_block, lint_chip
+from repro.floorplan.t2_floorplans import STYLES
+
+SCALE = 0.3
+
+
+@pytest.fixture(scope="module", params=sorted(STYLES))
+def styled_chip(request, process):
+    config = ChipConfig(style=request.param, scale=SCALE)
+    return build_chip(config, process)
+
+
+def test_every_style_lints_clean(styled_chip, process):
+    report = lint_chip(styled_chip, config=LintConfig())
+    assert report.clean, (
+        f"{styled_chip.style}: {report.summary()}\n" +
+        "\n".join(str(v) for v in report.errors))
+    # the chip context plus one per unique block design was checked
+    assert f"chip/{styled_chip.style}" in report.contexts
+    assert len(report.contexts) == 1 + len(styled_chip.block_designs)
+
+
+def test_block_flows_lint_clean(process):
+    for fold, bonding in ((None, "F2B"),
+                          (FoldSpec(mode="mincut"), "F2B"),
+                          (FoldSpec(mode="mincut"), "F2F")):
+        config = FlowConfig(scale=0.4, fold=fold, bonding=bonding)
+        design = run_block_flow("ncu", config, process)
+        report = lint_block(design)
+        assert report.clean, f"{fold}/{bonding}: {report.summary()}"
+
+
+def test_flow_gate_accepts_clean_block(process):
+    config = FlowConfig(scale=0.4, assert_clean=True)
+    design = run_block_flow("ncu", config, process)
+    assert design.n_cells > 0
+
+
+def test_chip_gate_accepts_clean_chip(process):
+    config = ChipConfig(style="fold_f2b", scale=SCALE, assert_clean=True)
+    chip = build_chip(config, process)
+    assert chip.router_overflow  # populated for the CHP003 rule
+
+
+def test_cli_lint_block_clean(capsys):
+    rc = main(["lint", "ncu", "--scale", "0.4"])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "lint CLEAN" in out
+
+
+def test_cli_lint_json_and_waive(capsys):
+    rc = main(["lint", "ncu", "--fold", "--scale", "0.4",
+               "--waive", "PHY001", "--json"])
+    data = json.loads(capsys.readouterr().out)
+    assert rc == 0
+    assert data["clean"] is True
+    waived = [v for v in data["violations"] if v.get("waived")]
+    assert all(v["rule"] == "PHY001" for v in waived)
+
+
+def test_report_card_embeds_lint_summary(styled_chip, process):
+    if styled_chip.style != "2d":
+        pytest.skip("one style is enough for the report card")
+    from repro.analysis.report_card import chip_report_card
+    text = chip_report_card(styled_chip, process,
+                            include_integrity=False)
+    assert "## Static checks (lint)" in text
+    assert "lint CLEAN" in text

@@ -1,0 +1,167 @@
+"""Framework-level tests for the static checker: waivers, config,
+reports, registration, and the assert_clean gate."""
+
+import json
+
+import pytest
+
+from repro.lint import (ERROR, INFO, WARNING, LintConfig, LintContext,
+                        LintError, LintReport, Violation, Waiver,
+                        all_rules, assert_clean, rule, run_rules)
+from repro.lint.framework import REGISTRY
+
+
+def _v(rule_id="ERC001", severity=ERROR, message="boom", obj="net n1",
+       context="spc"):
+    return Violation(rule_id=rule_id, severity=severity, message=message,
+                     obj=obj, context=context)
+
+
+# ---- waivers and config -------------------------------------------------
+
+def test_waiver_matches_rule_and_obj_patterns():
+    w = Waiver(rule_id="ERC*", obj="net n*", reason="known")
+    assert w.matches(_v("ERC004", obj="net n9"))
+    assert not w.matches(_v("PHY001", obj="net n9"))
+    assert not w.matches(_v("ERC004", obj="inst u1"))
+
+
+def test_waiver_default_obj_matches_everything():
+    w = Waiver(rule_id="PHY001")
+    assert w.matches(_v("PHY001", obj=""))
+    assert w.matches(_v("PHY001", obj="die 1"))
+
+
+def test_config_disable_uses_fnmatch():
+    cfg = LintConfig(disabled=("ERC*",))
+    assert cfg.is_disabled("ERC001")
+    assert not cfg.is_disabled("PHY001")
+
+
+def test_config_with_waiver_appends():
+    cfg = LintConfig().with_waiver("ERC001", reason="legacy")
+    assert cfg.waiver_for(_v("ERC001")) is not None
+    assert cfg.waiver_for(_v("ERC002")) is None
+    # original untouched (frozen dataclass semantics)
+    assert LintConfig().waiver_for(_v("ERC001")) is None
+
+
+# ---- violations and reports --------------------------------------------
+
+def test_violation_str_and_dict_roundtrip():
+    v = _v()
+    assert "ERC001" in str(v) and "[spc]" in str(v)
+    d = v.to_dict()
+    assert d["rule"] == "ERC001" and d["severity"] == ERROR
+    assert "waived" not in d
+    v.waived_by = Waiver("ERC001", reason="ok")
+    assert v.to_dict()["waiver_reason"] == "ok"
+    assert "(waived)" in str(v)
+
+
+def test_report_counts_and_clean():
+    rep = LintReport(violations=[
+        _v(severity=ERROR), _v("ERC003", WARNING), _v("XYZ", INFO)])
+    c = rep.counts()
+    assert (c[ERROR], c[WARNING], c[INFO]) == (1, 1, 1)
+    assert not rep.clean
+    rep.violations[0].waived_by = Waiver("ERC001")
+    assert rep.clean
+    assert len(rep.waived) == 1
+    assert "CLEAN" in rep.summary() and "1 waived" in rep.summary()
+
+
+def test_report_sort_orders_by_severity_then_rule():
+    rep = LintReport(violations=[
+        _v("ZZZ", INFO), _v("PHY001", WARNING), _v("ERC004", ERROR)])
+    rep.sort()
+    assert [v.rule_id for v in rep.violations] == \
+        ["ERC004", "PHY001", "ZZZ"]
+
+
+def test_report_merge_combines_contexts():
+    a = LintReport(violations=[_v()], contexts=["spc"])
+    b = LintReport(violations=[_v("PHY001", WARNING)],
+                   contexts=["spc", "ccx"])
+    a.merge(b)
+    assert len(a.violations) == 2
+    assert a.contexts == ["spc", "ccx"]
+
+
+def test_report_json_and_markdown_render():
+    rep = LintReport(violations=[_v(), _v("ERC001", message="again")],
+                     contexts=["spc"])
+    d = json.loads(rep.to_json())
+    assert d["clean"] is False
+    assert len(d["violations"]) == 2
+    md = rep.to_markdown()
+    assert "## ERC001" in md and "boom" in md
+    empty = LintReport().to_markdown()
+    assert "No violations" in empty
+
+
+def test_report_by_rule_excludes_waived():
+    rep = LintReport(violations=[_v(), _v("PHY001", WARNING)])
+    rep.violations[1].waived_by = Waiver("PHY001")
+    assert list(rep.by_rule()) == ["ERC001"]
+
+
+# ---- registry -----------------------------------------------------------
+
+def test_builtin_deck_is_registered_and_documented():
+    rules = all_rules()
+    ids = [r.id for r in rules]
+    assert ids == sorted(ids)
+    for expected in ("ERC004", "PHY001", "PHY005", "RTE001", "CTS001",
+                     "STA001", "CHP001"):
+        assert expected in ids
+    for r in rules:
+        assert r.doc, f"rule {r.id} has no catalog docstring"
+        assert r.severity in (ERROR, WARNING, INFO)
+        assert r.requires
+
+
+def test_duplicate_rule_id_rejected():
+    with pytest.raises(ValueError, match="duplicate"):
+        rule("ERC001", "again", ERROR)(lambda ctx: ())
+
+
+def test_bad_severity_rejected():
+    with pytest.raises(ValueError, match="severity"):
+        rule("TST999", "bad", "fatal")
+
+
+def test_run_rules_subset_and_disable():
+    @rule("TST001", "always fires", WARNING, requires=())
+    def _always(ctx):
+        yield "synthetic hit", "obj"
+
+    try:
+        ctx = LintContext(name="t")
+        # explicit subset runs only the named rule
+        rep = run_rules(ctx, rules=("TST001",))
+        assert [v.rule_id for v in rep.violations] == ["TST001"]
+        assert rep.contexts == ["t"]
+        # disabling suppresses it
+        rep = run_rules(ctx, config=LintConfig(disabled=("TST*",)))
+        assert not any(v.rule_id == "TST001" for v in rep.violations)
+        # waiver keeps it in the report but out of the counts
+        rep = run_rules(ctx, config=LintConfig().with_waiver("TST001"))
+        hits = [v for v in rep.violations if v.rule_id == "TST001"]
+        assert hits and hits[0].waived
+    finally:
+        REGISTRY.pop("TST001", None)
+
+
+# ---- gate ---------------------------------------------------------------
+
+def test_assert_clean_passes_and_raises():
+    clean = LintReport(violations=[_v("PHY001", WARNING)])
+    assert assert_clean(clean, stage="x") is clean
+
+    dirty = LintReport(violations=[_v()])
+    with pytest.raises(LintError) as exc:
+        assert_clean(dirty, stage="spc/place")
+    assert "spc/place" in str(exc.value)
+    assert exc.value.report is dirty
+    assert exc.value.stage == "spc/place"

@@ -1,0 +1,268 @@
+"""Mutation tests for the rule deck: seed one specific defect into an
+otherwise-legal design and assert the checker flags it with exactly the
+expected rule id."""
+
+import pytest
+
+from repro.lint import lint_netlist, lint_placement
+from repro.netlist.core import INPUT, OUTPUT, Netlist, PinRef
+from repro.place.grid import Rect
+from repro.place.placer3d import ViaSite
+from repro.tech.cells import CELL_HEIGHT_UM
+from repro.tech.macros import sram_macro
+
+
+def row_y(outline, k):
+    """y of standard-cell row k inside the outline."""
+    return outline.y0 + (k + 0.5) * CELL_HEIGHT_UM
+
+
+def tiny_netlist(library):
+    """in -> INV -> NAND2(+tied 2nd pin) -> out: a minimal legal block."""
+    nl = Netlist("tiny")
+    inv = nl.add_instance("inv0", library.master("INV_X1"))
+    nand = nl.add_instance("nand0", library.master("NAND2_X1"))
+    nl.add_port("in_a", INPUT)
+    nl.add_port("in_b", INPUT)
+    nl.add_port("out_z", OUTPUT)
+    nl.add_net("n_in", PinRef(port="in_a"), [PinRef(inst=inv.id, pin=0)])
+    nl.add_net("n_mid", PinRef(inst=inv.id),
+               [PinRef(inst=nand.id, pin=0)])
+    nl.add_net("n_tie", PinRef(port="in_b"),
+               [PinRef(inst=nand.id, pin=1)])
+    nl.add_net("n_out", PinRef(inst=nand.id), [PinRef(port="out_z")])
+    return nl
+
+
+@pytest.fixture()
+def tiny(library):
+    return tiny_netlist(library)
+
+
+def rule_ids(report):
+    return set(report.by_rule())
+
+
+# ---- baseline: the un-mutated design is error-clean ---------------------
+
+def test_tiny_netlist_is_clean(tiny):
+    report = lint_netlist(tiny)
+    assert report.clean, report.summary()
+    assert not rule_ids(report)
+
+
+# ---- electrical mutations ----------------------------------------------
+
+def test_deleted_driver_flags_erc004(tiny):
+    inv_id = next(i.id for i in tiny.instances.values()
+                  if i.name == "inv0")
+    del tiny.instances[inv_id]  # simulate a botched ECO
+
+    report = lint_netlist(tiny)
+    assert not report.clean
+    hits = report.by_rule()["ERC004"]
+    assert any("driver instance missing" in v.message for v in hits)
+    # the legacy string API reports the same defect
+    assert any("driver instance missing" in m for m in tiny.validate())
+
+
+def test_deleted_sink_instance_flags_erc004_without_crashing(tiny):
+    # nand0 is the sink of a cell-driven net (n_mid): deleting it must
+    # not crash load-based rules (ERC007) that walk sink endpoints
+    nand_id = next(i.id for i in tiny.instances.values()
+                   if i.name == "nand0")
+    del tiny.instances[nand_id]
+    report = lint_netlist(tiny)
+    assert not report.clean
+    assert any("sink instance missing" in v.message
+               for v in report.by_rule()["ERC004"])
+
+
+def test_deleted_driver_port_flags_erc004(tiny):
+    del tiny.ports["in_a"]
+    report = lint_netlist(tiny)
+    assert any("driver port missing" in v.message
+               for v in report.by_rule()["ERC004"])
+
+
+def test_multi_driven_pin_flags_erc002(tiny, library):
+    # a second net converging on nand0 pin 0
+    nand_id = next(i.id for i in tiny.instances.values()
+                   if i.name == "nand0")
+    tiny.add_net("n_contend", PinRef(port="in_b"),
+                 [PinRef(inst=nand_id, pin=0)])
+    report = lint_netlist(tiny)
+    assert not report.clean
+    assert "ERC002" in rule_ids(report)
+
+
+def test_disconnected_input_pin_flags_erc001(tiny):
+    # drop NAND2 pin 1: the cell's output becomes undefined
+    for net in tiny.nets.values():
+        net.sinks = [s for s in net.sinks if s.pin != 1 or s.is_port]
+    report = lint_netlist(tiny)
+    assert "ERC001" in rule_ids(report)
+    assert any("pin(s) [1]" in v.message
+               for v in report.by_rule()["ERC001"])
+
+
+def test_sinkless_net_flags_erc003(tiny):
+    for net in tiny.nets.values():
+        if net.name == "n_out":
+            net.sinks = []
+    report = lint_netlist(tiny)
+    assert any(v.message == "net n_out: no sinks"
+               for v in report.by_rule()["ERC003"])
+
+
+def test_combinational_loop_flags_erc005(tiny, library):
+    inv = library.master("INV_X1")
+    a = tiny.add_instance("loop_a", inv)
+    b = tiny.add_instance("loop_b", inv)
+    tiny.add_net("n_ab", PinRef(inst=a.id), [PinRef(inst=b.id, pin=0)])
+    tiny.add_net("n_ba", PinRef(inst=b.id), [PinRef(inst=a.id, pin=0)])
+    report = lint_netlist(tiny)
+    assert not report.clean
+    assert any("combinational loop" in v.message
+               for v in report.by_rule()["ERC005"])
+
+
+def test_self_loop_flags_erc005(tiny, library):
+    g = tiny.add_instance("selfy", library.master("INV_X1"))
+    tiny.add_net("n_self", PinRef(inst=g.id), [PinRef(inst=g.id, pin=0)])
+    assert any("drives its own input" in v.message
+               for v in lint_netlist(tiny).by_rule()["ERC005"])
+
+
+def test_unsynchronized_cdc_flags_erc006(tiny, library):
+    dff = library.master("DFF_X1")
+    fa = tiny.add_instance("ff_a", dff)
+    fb = tiny.add_instance("ff_b", dff)
+    tiny.add_net("clk_a", PinRef(port="in_a"),
+                 [PinRef(inst=fa.id, pin=1)],
+                 is_clock=True, clock_domain="cpu")
+    tiny.add_net("clk_b", PinRef(port="in_b"),
+                 [PinRef(inst=fb.id, pin=1)],
+                 is_clock=True, clock_domain="dram")
+    tiny.add_net("n_cross", PinRef(inst=fa.id),
+                 [PinRef(inst=fb.id, pin=0)])
+    report = lint_netlist(tiny)
+    assert any("cpu -> dram" in v.message
+               for v in report.by_rule()["ERC006"])
+
+
+def test_unclocked_flop_flags_cts001(tiny, library):
+    tiny.add_instance("ff_lost", library.master("DFF_X1"))
+    report = lint_netlist(tiny)
+    assert not report.clean
+    assert any("ff_lost" in v.message
+               for v in report.by_rule()["CTS001"])
+
+
+# ---- physical mutations -------------------------------------------------
+
+def placed_tiny(library, outline=Rect(0.0, 0.0, 200.0, 200.0)):
+    """The tiny netlist with both cells legally placed on row 2."""
+    nl = tiny_netlist(library)
+    y = row_y(outline, 2)
+    for i, inst in enumerate(nl.instances.values()):
+        inst.x, inst.y = 50.0 + 30.0 * i, y
+    return nl, outline
+
+
+def test_legal_placement_is_clean(library):
+    nl, outline = placed_tiny(library)
+    report = lint_placement(nl, outline)
+    assert report.clean and not rule_ids(report), report.summary()
+
+
+def test_overlapping_cells_flag_phy001(library):
+    nl, outline = placed_tiny(library)
+    cells = nl.cells
+    cells[1].x, cells[1].y = cells[0].x, cells[0].y  # stack them
+    report = lint_placement(nl, outline)
+    assert "PHY001" in rule_ids(report)
+    assert any("overlapping cell pair" in v.message
+               for v in report.by_rule()["PHY001"])
+
+
+def test_cell_outside_outline_flags_phy002(library):
+    nl, outline = placed_tiny(library)
+    nl.cells[0].x = outline.x1 + 40.0
+    report = lint_placement(nl, outline)
+    assert not report.clean
+    assert "PHY002" in rule_ids(report)
+
+
+def test_cell_inside_macro_hole_flags_phy003(library):
+    nl, outline = placed_tiny(library)
+    macro = nl.add_instance("sram0", sram_macro(16))
+    macro.x, macro.y = 100.0, 100.0   # centered footprint
+    nl.add_net("n_mac", PinRef(inst=macro.id),
+               [PinRef(inst=nl.cells[0].id, pin=99)])
+    nl.cells[0].x, nl.cells[0].y = 100.0, 100.0  # inside the hole
+    report = lint_placement(nl, outline)
+    assert "PHY003" in rule_ids(report)
+
+
+def test_off_row_cell_flags_phy004(library):
+    nl, outline = placed_tiny(library)
+    # the NAND: INV/BUF cells are repeater-exempt from this rule
+    nand = next(c for c in nl.cells if c.name == "nand0")
+    nand.y = row_y(outline, 2) + 5.0  # between rows
+    report = lint_placement(nl, outline)
+    assert "PHY004" in rule_ids(report)
+
+
+def test_off_row_repeater_is_exempt_from_phy004(library):
+    nl, outline = placed_tiny(library)
+    rep = nl.add_instance("rep_0", library.master("BUF_X4"))
+    rep.x, rep.y = 80.0, row_y(outline, 1) + 5.0
+    nl.add_net("n_rep", PinRef(inst=rep.id),
+               [PinRef(port="out_z")])
+    # the repeater needs an input to stay ERC001-clean
+    for net in nl.nets.values():
+        if net.name == "n_out":
+            net.sinks = [PinRef(inst=rep.id, pin=0)]
+    report = lint_placement(nl, outline)
+    assert "PHY004" not in rule_ids(report)
+
+
+def test_tsv_over_macro_flags_phy005_for_f2b_only(library):
+    nl, outline = placed_tiny(library)
+    macro = nl.add_instance("sram0", sram_macro(16), die=1)
+    macro.x, macro.y = 140.0, 140.0
+    nl.add_net("n_mac", PinRef(inst=macro.id),
+               [PinRef(inst=nl.cells[0].id, pin=99)])
+    nl.add_net("clk", PinRef(port="in_b"),
+               [PinRef(inst=macro.id, pin=macro.master.n_io)],
+               is_clock=True, clock_domain="cpu")
+    vias = [ViaSite(net_id=0, x=macro.x, y=macro.y)]  # on the macro
+
+    f2b = lint_placement(nl, outline, bonding="F2B", vias=vias)
+    assert not f2b.clean
+    assert any("lands on a macro" in v.message
+               for v in f2b.by_rule()["PHY005"])
+
+    # the same geometry is legal with F2F bonding (paper Section 5)
+    f2f = lint_placement(nl, outline, bonding="F2F", vias=vias)
+    assert "PHY005" not in rule_ids(f2f)
+    assert f2f.clean
+
+
+def test_via_outside_outline_flags_phy006(library):
+    nl, outline = placed_tiny(library)
+    vias = [ViaSite(net_id=1, x=outline.x1 + 10.0, y=50.0)]
+    report = lint_placement(nl, outline, bonding="F2F", vias=vias)
+    assert not report.clean
+    assert "PHY006" in rule_ids(report)
+
+
+def test_overloaded_die_flags_phy007(library):
+    nl, outline = placed_tiny(library, outline=Rect(0, 0, 4.0, 12.0))
+    # two ~1 um2 cells on a 48 um2 outline is fine; shrink further
+    tiny_outline = Rect(0.0, 0.0, 1.0, 1.0)
+    for inst in nl.cells:
+        inst.x = inst.y = 0.5
+    report = lint_placement(nl, tiny_outline)
+    assert "PHY007" in rule_ids(report)
