@@ -4,6 +4,9 @@ Subcommands:
 
 * ``experiments``               -- list every paper table/figure runner;
 * ``run <id> [--scale S]``      -- regenerate one artifact and print it;
+* ``bench [--parallel N] [--cache-dir D]`` -- run the whole experiment
+  set, optionally fanned across worker processes with a persistent
+  design cache;
 * ``block <name> [options]``    -- design one T2 block (optionally folded);
 * ``chip <style> [options]``    -- build a full chip in one design style;
 * ``lint <block|style>``        -- run the static design checker.
@@ -34,6 +37,45 @@ def _cmd_run(args) -> int:
     print(result.summary())
     print(f"\n({time.time() - t0:.1f}s, scale {args.scale})")
     return 0 if result.all_passed else 1
+
+
+def _cmd_bench(args) -> int:
+    from .parallel.engine import run_experiments
+    ids = [i.strip() for i in args.ids.split(",") if i.strip()] \
+        if args.ids else None
+    try:
+        report = run_experiments(ids=ids, parallel=args.parallel,
+                                 scale=args.scale, seed=args.seed,
+                                 cache_dir=args.cache_dir)
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    print(report.summary())
+    if args.json_out:
+        with open(args.json_out, "w") as f:
+            f.write(report.results_json() + "\n")
+        print(f"wrote {args.json_out}")
+    if args.timing_out:
+        with open(args.timing_out, "w") as f:
+            f.write(report.timing_json() + "\n")
+        print(f"wrote {args.timing_out}")
+    if args.write_golden:
+        from .analysis.golden import (GOLDEN_IDS, golden_metrics,
+                                      save_golden)
+        results = report.results_dict()
+        missing = [i for i in GOLDEN_IDS if i not in results]
+        if missing:
+            print(f"cannot write golden file: missing experiments "
+                  f"{', '.join(missing)} (run with --ids "
+                  f"{','.join(GOLDEN_IDS)})", file=sys.stderr)
+            return 2
+        if args.scale != 1.0:
+            print("cannot write golden file: golden values are frozen "
+                  "at scale 1.0", file=sys.stderr)
+            return 2
+        save_golden(args.write_golden, golden_metrics(results))
+        print(f"wrote {args.write_golden}")
+    return 0 if report.all_passed else 1
 
 
 def _cmd_block(args) -> int:
@@ -154,6 +196,29 @@ def main(argv=None) -> int:
     p_run.add_argument("id")
     p_run.add_argument("--scale", type=float, default=1.0)
     p_run.set_defaults(func=_cmd_run)
+
+    p_bench = sub.add_parser(
+        "bench", help="run the experiment set (parallel workers, "
+                      "persistent design cache, timing report)")
+    p_bench.add_argument("--ids", default=None,
+                         help="comma-separated experiment ids "
+                              "(default: all)")
+    p_bench.add_argument("--parallel", type=int, default=0, metavar="N",
+                         help="worker processes (0/1 = serial)")
+    p_bench.add_argument("--cache-dir", default=None, metavar="DIR",
+                         help="persistent design-cache directory "
+                              "(shared by all workers)")
+    p_bench.add_argument("--scale", type=float, default=1.0)
+    p_bench.add_argument("--seed", type=int, default=1)
+    p_bench.add_argument("--json-out", default=None, metavar="FILE",
+                         help="write key-sorted results JSON "
+                              "(byte-comparable across runs)")
+    p_bench.add_argument("--timing-out", default=None, metavar="FILE",
+                         help="write per-experiment wall-clock JSON")
+    p_bench.add_argument("--write-golden", default=None, metavar="FILE",
+                         help="refresh the golden regression fixtures "
+                              "(requires fig2,fig6,table5 at scale 1.0)")
+    p_bench.set_defaults(func=_cmd_bench)
 
     p_block = sub.add_parser("block", help="design one T2 block")
     p_block.add_argument("name")

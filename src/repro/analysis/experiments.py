@@ -5,12 +5,21 @@ it built, the formatted table text, and the *shape checks* -- the
 qualitative claims of the paper the run is expected to reproduce (who
 wins, roughly by how much, in which direction).  The benchmark suite and
 EXPERIMENTS.md are generated from this registry.
+
+Every runner accepts an optional :class:`repro.core.cache.DesignCache`
+(block designs recur across experiments -- with a persistent
+``cache_dir`` a warm rerun is near-free) and a ``seed`` so sweeps can
+reseed deterministically.  :func:`result_to_dict` /
+:func:`experiment_json` serialize a result into key-sorted JSON whose
+bytes are identical for identical (code, seed, scale) -- the determinism
+and golden-regression test layers compare those bytes.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Tuple
+import json
+from dataclasses import dataclass, field, fields as dataclass_fields, is_dataclass
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from ..core.bonding import bonding_power_sweep
 from ..core.flow import BlockDesign, FlowConfig, run_block_flow
@@ -61,12 +70,21 @@ def _check(name: str, passed: bool, measured: str,
                       paper=paper)
 
 
+def _flow(block: str, config: FlowConfig, process: ProcessNode,
+          cache) -> BlockDesign:
+    """Run one block flow, through the cache when one is provided."""
+    if cache is not None:
+        return cache.get_or_run(block, config, process)
+    return run_block_flow(block, config, process)
+
+
 # ---------------------------------------------------------------------------
 # Table 1: 3D interconnect settings
 # ---------------------------------------------------------------------------
 
 def run_table1(process: Optional[ProcessNode] = None,
-               scale: float = 1.0) -> ExperimentResult:
+               scale: float = 1.0, cache=None,
+               seed: int = 1) -> ExperimentResult:
     """Table 1: TSV and F2F via geometry and parasitics (Katti model)."""
     process = process or make_process()
     tsv, f2f = process.tsv, process.f2f_via
@@ -108,11 +126,13 @@ def run_table1(process: Optional[ProcessNode] = None,
 # ---------------------------------------------------------------------------
 
 def run_table2(process: Optional[ProcessNode] = None,
-               scale: float = 1.0) -> ExperimentResult:
+               scale: float = 1.0, cache=None,
+               seed: int = 1) -> ExperimentResult:
     """Table 2: block-level 2D vs the two 3D floorplans (RVT only)."""
     process = process or make_process()
     designs = {
-        style: build_chip(ChipConfig(style=style, scale=scale), process)
+        style: build_chip(ChipConfig(style=style, scale=scale, seed=seed),
+                          process, cache=cache)
         for style in ("2d", "core_cache", "core_core")
     }
     cols = ["2D", "3D core/cache", "3D core/core"]
@@ -151,14 +171,15 @@ def run_table2(process: Optional[ProcessNode] = None,
 # ---------------------------------------------------------------------------
 
 def run_table3(process: Optional[ProcessNode] = None,
-               scale: float = 1.0) -> ExperimentResult:
+               scale: float = 1.0, cache=None,
+               seed: int = 1) -> ExperimentResult:
     """Table 3: 2D block characteristics for fold-candidate selection."""
     process = process or make_process()
     designs: Dict[str, BlockDesign] = {}
     counts: Dict[str, int] = {}
     for bt in t2_block_types():
-        designs[bt.name] = run_block_flow(
-            bt.name, FlowConfig(scale=scale), process)
+        designs[bt.name] = _flow(
+            bt.name, FlowConfig(scale=scale, seed=seed), process, cache)
         counts[bt.name] = bt.count
     rows = folding_candidates(designs, counts)
     lines = ["Table 3: 2D design characteristics for block folding "
@@ -202,15 +223,16 @@ def run_table3(process: Optional[ProcessNode] = None,
 # ---------------------------------------------------------------------------
 
 def run_table4(process: Optional[ProcessNode] = None,
-               scale: float = 1.0) -> ExperimentResult:
+               scale: float = 1.0, cache=None,
+               seed: int = 1) -> ExperimentResult:
     """Table 4: folding the memory-dominated L2 data bank barely helps."""
     process = process or make_process()
-    d2 = run_block_flow("l2d", FlowConfig(scale=scale), process)
-    d3 = run_block_flow("l2d", FlowConfig(
-        scale=scale,
+    d2 = _flow("l2d", FlowConfig(scale=scale, seed=seed), process, cache)
+    d3 = _flow("l2d", FlowConfig(
+        scale=scale, seed=seed,
         fold=FoldSpec(mode="regions",
                       die1_regions=("subbank2", "subbank3")),
-        bonding="F2B"), process)
+        bonding="F2B"), process, cache)
     table = format_table("Table 4: 2D vs 3D (folded) L2 data bank",
                          ["2D", "3D"], design_metric_rows([d2, d3]))
     p = relative(d3.power.total_uw, d2.power.total_uw)
@@ -234,16 +256,19 @@ def run_table4(process: Optional[ProcessNode] = None,
 # ---------------------------------------------------------------------------
 
 def run_fig2(process: Optional[ProcessNode] = None,
-             scale: float = 1.0) -> ExperimentResult:
+             scale: float = 1.0, cache=None,
+             seed: int = 1) -> ExperimentResult:
     """Fig. 2: the CCX's natural PCX/CPX fold, plus the TSV-count sweep."""
     process = process or make_process()
-    d2 = run_block_flow("ccx", FlowConfig(scale=scale), process)
-    natural = run_block_flow("ccx", FlowConfig(
-        scale=scale, fold=FoldSpec(mode="regions", die1_regions=("cpx",)),
-        bonding="F2B"), process)
-    many_tsv = run_block_flow("ccx", FlowConfig(
-        scale=scale, fold=FoldSpec(mode="interleave", interleave_period=1),
-        bonding="F2B"), process)
+    d2 = _flow("ccx", FlowConfig(scale=scale, seed=seed), process, cache)
+    natural = _flow("ccx", FlowConfig(
+        scale=scale, seed=seed,
+        fold=FoldSpec(mode="regions", die1_regions=("cpx",)),
+        bonding="F2B"), process, cache)
+    many_tsv = _flow("ccx", FlowConfig(
+        scale=scale, seed=seed,
+        fold=FoldSpec(mode="interleave", interleave_period=1),
+        bonding="F2B"), process, cache)
     table = format_table(
         "Fig. 2: CCX folding (2D vs natural fold vs many-TSV fold)",
         ["2D", "3D natural", "3D interleaved"],
@@ -278,10 +303,12 @@ def run_fig2(process: Optional[ProcessNode] = None,
 # ---------------------------------------------------------------------------
 
 def run_fig3(process: Optional[ProcessNode] = None,
-             scale: float = 1.0) -> ExperimentResult:
+             scale: float = 1.0, cache=None,
+             seed: int = 1) -> ExperimentResult:
     """Fig. 3: second-level (FUB) folding of the SPARC core."""
     process = process or make_process()
-    study = spc_folding_study(process, FlowConfig(scale=scale))
+    study = spc_folding_study(process, FlowConfig(scale=scale, seed=seed),
+                              cache=cache)
     table = format_table(
         "Fig. 3: SPC second-level folding",
         ["2D", "block-level 3D", "second-level 3D"],
@@ -319,17 +346,18 @@ def run_fig3(process: Optional[ProcessNode] = None,
 # ---------------------------------------------------------------------------
 
 def run_fig6(process: Optional[ProcessNode] = None,
-             scale: float = 1.0) -> ExperimentResult:
+             scale: float = 1.0, cache=None,
+             seed: int = 1) -> ExperimentResult:
     """Fig. 6: F2F vias over macros shrink folded footprints vs TSVs."""
     from ..core.bonding import compare_bonding
     process = process or make_process()
-    base = FlowConfig(scale=scale)
+    base = FlowConfig(scale=scale, seed=seed)
     l2t = compare_bonding("l2t", FoldSpec(mode="mincut"), process, base,
-                          label="l2t")
+                          label="l2t", cache=cache)
     l2d = compare_bonding(
         "l2d", FoldSpec(mode="regions",
                         die1_regions=("subbank2", "subbank3")),
-        process, base, label="l2d")
+        process, base, label="l2d", cache=cache)
     rows = [
         MetricRow("l2t footprint (mm^2)",
                   [l2t.f2b.footprint_um2, l2t.f2f.footprint_um2],
@@ -375,11 +403,14 @@ def run_fig6(process: Optional[ProcessNode] = None,
 # ---------------------------------------------------------------------------
 
 def run_fig7(process: Optional[ProcessNode] = None,
-             scale: float = 1.0) -> ExperimentResult:
+             scale: float = 1.0, cache=None,
+             seed: int = 1) -> ExperimentResult:
     """Fig. 7: five L2T partitions, F2B vs F2F, power vs 3D connections."""
     process = process or make_process()
-    sweep = bonding_power_sweep("l2t", process, FlowConfig(scale=scale))
-    d2 = run_block_flow("l2t", FlowConfig(scale=scale), process)
+    sweep = bonding_power_sweep("l2t", process,
+                                FlowConfig(scale=scale, seed=seed),
+                                cache=cache)
+    d2 = _flow("l2t", FlowConfig(scale=scale, seed=seed), process, cache)
     lines = ["Fig. 7: bonding style impact on power (l2t fold)",
              f"{'case':>5s} {'#3D conn':>9s} {'F2B pwr/2D':>11s} "
              f"{'F2F pwr/2D':>11s} {'F2F vs F2B':>11s}"]
@@ -416,11 +447,13 @@ def run_fig7(process: Optional[ProcessNode] = None,
 # ---------------------------------------------------------------------------
 
 def run_fig8(process: Optional[ProcessNode] = None,
-             scale: float = 1.0) -> ExperimentResult:
+             scale: float = 1.0, cache=None,
+             seed: int = 1) -> ExperimentResult:
     """Fig. 8: GDSII-style comparison of the five full-chip layouts."""
     process = process or make_process()
     styles = ("2d", "core_cache", "core_core", "fold_f2b", "fold_f2f")
-    chips = {s: build_chip(ChipConfig(style=s, scale=scale), process)
+    chips = {s: build_chip(ChipConfig(style=s, scale=scale, seed=seed),
+                           process, cache=cache)
              for s in styles}
     lines = ["Fig. 8: full-chip design styles",
              f"{'style':>12s} {'footprint mm^2':>15s} {'dies':>5s} "
@@ -460,15 +493,18 @@ def run_fig8(process: Optional[ProcessNode] = None,
 # ---------------------------------------------------------------------------
 
 def run_table5(process: Optional[ProcessNode] = None,
-               scale: float = 1.0) -> ExperimentResult:
+               scale: float = 1.0, cache=None,
+               seed: int = 1) -> ExperimentResult:
     """Table 5: 2D vs 3D w/o folding vs 3D w/ folding, dual-Vth."""
     process = process or make_process()
-    d2 = build_chip(ChipConfig(style="2d", dual_vth=True, scale=scale),
-                    process)
+    d2 = build_chip(ChipConfig(style="2d", dual_vth=True, scale=scale,
+                               seed=seed), process, cache=cache)
     nf = build_chip(ChipConfig(style="core_cache", dual_vth=True,
-                               scale=scale), process)
+                               scale=scale, seed=seed), process,
+                    cache=cache)
     wf = build_chip(ChipConfig(style="fold_f2f", dual_vth=True,
-                               scale=scale), process)
+                               scale=scale, seed=seed), process,
+                    cache=cache)
     table = format_table(
         "Table 5: full-chip comparison with dual-Vth",
         ["2D", "3D w/o folding", "3D w/ folding"],
@@ -505,15 +541,19 @@ def run_table5(process: Optional[ProcessNode] = None,
 # ---------------------------------------------------------------------------
 
 def run_dvt_claim(process: Optional[ProcessNode] = None,
-                  scale: float = 1.0) -> ExperimentResult:
+                  scale: float = 1.0, cache=None,
+                  seed: int = 1) -> ExperimentResult:
     """Section 6.2: dual-Vth saves ~10% vs the RVT-only twin designs."""
     process = process or make_process()
-    rvt2d = build_chip(ChipConfig(style="2d", scale=scale), process)
-    dvt2d = build_chip(ChipConfig(style="2d", dual_vth=True, scale=scale),
-                       process)
-    rvtf = build_chip(ChipConfig(style="fold_f2f", scale=scale), process)
+    rvt2d = build_chip(ChipConfig(style="2d", scale=scale, seed=seed),
+                       process, cache=cache)
+    dvt2d = build_chip(ChipConfig(style="2d", dual_vth=True, scale=scale,
+                                  seed=seed), process, cache=cache)
+    rvtf = build_chip(ChipConfig(style="fold_f2f", scale=scale,
+                                 seed=seed), process, cache=cache)
     dvtf = build_chip(ChipConfig(style="fold_f2f", dual_vth=True,
-                                 scale=scale), process)
+                                 scale=scale, seed=seed), process,
+                      cache=cache)
     g2 = relative(dvt2d.power.total_uw, rvt2d.power.total_uw)
     gf = relative(dvtf.power.total_uw, rvtf.power.total_uw)
     rows = [
@@ -555,7 +595,94 @@ EXPERIMENTS: Dict[str, Tuple[Callable[..., ExperimentResult], str]] = {
 
 def run_experiment(experiment_id: str,
                    process: Optional[ProcessNode] = None,
-                   scale: float = 1.0) -> ExperimentResult:
-    """Run one registered experiment by id."""
+                   scale: float = 1.0, cache=None,
+                   seed: int = 1) -> ExperimentResult:
+    """Run one registered experiment by id.
+
+    Args:
+        experiment_id: key in :data:`EXPERIMENTS`.
+        process: technology node (default: :func:`make_process`).
+        scale: model-scale multiplier.
+        cache: optional :class:`repro.core.cache.DesignCache`; block
+            designs recur across experiments, and with a persistent
+            ``cache_dir`` a warm rerun skips the flows entirely.
+        seed: generation/placement seed threaded into every flow.
+    """
     runner, _ = EXPERIMENTS[experiment_id]
-    return runner(process=process, scale=scale)
+    return runner(process=process, scale=scale, cache=cache, seed=seed)
+
+
+# ---------------------------------------------------------------------------
+# Deterministic JSON serialization
+# ---------------------------------------------------------------------------
+
+class _Skip:
+    """Sentinel: value has no deterministic JSON form; drop it."""
+
+
+_SKIP = _Skip()
+
+
+def _json_value(obj: Any) -> Any:
+    """Recursively convert experiment payloads to JSON-ready values.
+
+    Designs go through the export_json converters (sign-off metrics, not
+    netlists); other dataclasses (bonding comparisons, fold-candidate
+    rows, study results) are walked field by field; values with no
+    stable serialization (and wall-clock timings) are dropped so the
+    output bytes depend only on (code, seed, scale).
+    """
+    from ..core.fullchip import ChipDesign
+    from .export_json import block_to_dict, chip_to_dict
+    if isinstance(obj, BlockDesign):
+        return block_to_dict(obj)
+    if isinstance(obj, ChipDesign):
+        return chip_to_dict(obj)
+    if isinstance(obj, bool) or obj is None:
+        return obj
+    if isinstance(obj, (int, float, str)):
+        return obj
+    if isinstance(obj, dict):
+        out = {}
+        for k, v in obj.items():
+            jv = _json_value(v)
+            if not isinstance(jv, _Skip):
+                out[str(k)] = jv
+        return out
+    if isinstance(obj, (list, tuple)):
+        return [jv for jv in (_json_value(v) for v in obj)
+                if not isinstance(jv, _Skip)]
+    if is_dataclass(obj) and not isinstance(obj, type):
+        out = {}
+        for f in dataclass_fields(obj):
+            jv = _json_value(getattr(obj, f.name))
+            if not isinstance(jv, _Skip):
+                out[f.name] = jv
+        return out
+    return _SKIP
+
+
+def result_to_dict(result: ExperimentResult) -> Dict[str, Any]:
+    """Serialize an :class:`ExperimentResult` into plain JSON-ready data.
+
+    Two runs of the same experiment with the same code, seed and scale
+    produce byte-identical :func:`experiment_json` output -- regardless
+    of serial vs parallel execution or cold vs warm caches.  The
+    determinism test layer relies on this.
+    """
+    return {
+        "experiment_id": result.experiment_id,
+        "description": result.description,
+        "all_passed": result.all_passed,
+        "table": result.table,
+        "checks": [{"name": c.name, "passed": c.passed,
+                    "measured": c.measured, "paper": c.paper}
+                   for c in result.checks],
+        "data": _json_value(result.data),
+    }
+
+
+def experiment_json(result: ExperimentResult, indent: int = 2) -> str:
+    """Key-sorted JSON text of one experiment result."""
+    return json.dumps(result_to_dict(result), sort_keys=True,
+                      indent=indent)

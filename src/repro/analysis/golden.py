@@ -1,0 +1,139 @@
+"""Golden regression fixtures for the reproduced headline numbers.
+
+The perf-oriented layers (parallel engine, persistent cache, future
+kernel work) must never silently drift the physics.  This module
+freezes the reproduction's headline numbers -- the CCX folding power
+saving (paper: -32.8%), the full-chip F2F+dual-Vth saving (paper:
+-20.3%) and the F2F-vs-F2B bonding gap (Fig. 6) -- as toleranced
+fixtures.
+
+Workflow:
+
+* ``tests/golden/golden.json`` stores the frozen metrics (produced at
+  :data:`GOLDEN_SCALE` / :data:`GOLDEN_SEED`);
+* ``tests/test_golden_experiments.py`` recomputes them on every run and
+  fails when any metric moves by more than its tolerance;
+* to *intentionally* refresh after a model change, run
+  ``python -m repro bench --ids fig2,fig6,table5 --write-golden
+  tests/golden/golden.json`` and commit the diff with an explanation.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Union
+
+#: the configuration the golden numbers are frozen at
+GOLDEN_SCALE = 1.0
+GOLDEN_SEED = 1
+#: experiments the golden metrics are extracted from
+GOLDEN_IDS = ("fig2", "fig6", "table5")
+#: default absolute tolerance on relative (fractional) metrics: two
+#: percentage points of drift fails the regression
+DEFAULT_ATOL = 0.02
+
+
+def _rel(value: float, base: float) -> float:
+    return value / base - 1.0
+
+
+def golden_metrics(results: Dict[str, Dict[str, Any]]
+                   ) -> Dict[str, float]:
+    """Extract the headline metrics from serialized experiment results.
+
+    Args:
+        results: experiment id -> ``result_to_dict`` payload, for (at
+            least) the ids in :data:`GOLDEN_IDS`.
+
+    Returns:
+        Metric name -> measured value (relative power/footprint changes
+        as signed fractions, e.g. ``-0.328`` for -32.8%).
+    """
+    metrics: Dict[str, float] = {}
+    if "fig2" in results:
+        d = results["fig2"]["data"]
+        p2d = d["2d"]["power"]["total_uw"]
+        metrics["ccx_fold_power_rel"] = \
+            _rel(d["natural"]["power"]["total_uw"], p2d)
+        metrics["ccx_fold_footprint_rel"] = \
+            _rel(d["natural"]["footprint_um2"], d["2d"]["footprint_um2"])
+        metrics["ccx_fold_buffer_rel"] = \
+            _rel(d["natural"]["n_buffers"], d["2d"]["n_buffers"])
+        metrics["ccx_interleave_power_rel"] = \
+            _rel(d["many_tsv"]["power"]["total_uw"], p2d)
+    if "fig6" in results:
+        d = results["fig6"]["data"]
+        metrics["l2t_f2f_vs_f2b_power_rel"] = \
+            _rel(d["l2t"]["f2f"]["power"]["total_uw"],
+                 d["l2t"]["f2b"]["power"]["total_uw"])
+        metrics["l2t_f2f_vs_f2b_footprint_rel"] = \
+            _rel(d["l2t"]["f2f"]["footprint_um2"],
+                 d["l2t"]["f2b"]["footprint_um2"])
+        metrics["l2d_f2f_vs_f2b_power_rel"] = \
+            _rel(d["l2d"]["f2f"]["power"]["total_uw"],
+                 d["l2d"]["f2b"]["power"]["total_uw"])
+    if "table5" in results:
+        d = results["table5"]["data"]
+        p2d = d["2d"]["power"]["total_uw"]
+        metrics["chip_dvt_nofold_power_rel"] = \
+            _rel(d["no_fold"]["power"]["total_uw"], p2d)
+        metrics["chip_dvt_fold_f2f_power_rel"] = \
+            _rel(d["fold"]["power"]["total_uw"], p2d)
+        metrics["chip_fold_vs_nofold_power_rel"] = \
+            _rel(d["fold"]["power"]["total_uw"],
+                 d["no_fold"]["power"]["total_uw"])
+        metrics["chip_dvt_fold_hvt_fraction"] = \
+            float(d["fold"]["hvt_fraction"])
+    return metrics
+
+
+def make_golden_payload(metrics: Dict[str, float],
+                        atol: float = DEFAULT_ATOL) -> Dict[str, Any]:
+    """The on-disk fixture format."""
+    return {
+        "scale": GOLDEN_SCALE,
+        "seed": GOLDEN_SEED,
+        "atol": atol,
+        "metrics": {k: metrics[k] for k in sorted(metrics)},
+    }
+
+
+def save_golden(path: Union[str, Path], metrics: Dict[str, float],
+                atol: float = DEFAULT_ATOL) -> None:
+    """Write the golden fixture file (key-sorted, newline-terminated)."""
+    payload = make_golden_payload(metrics, atol=atol)
+    Path(path).write_text(json.dumps(payload, indent=2, sort_keys=True)
+                          + "\n")
+
+
+def load_golden(path: Union[str, Path]) -> Dict[str, Any]:
+    return json.loads(Path(path).read_text())
+
+
+def compare_to_golden(measured: Dict[str, float],
+                      golden: Dict[str, Any]) -> List[str]:
+    """Check measured metrics against a loaded fixture.
+
+    Returns a list of human-readable mismatch descriptions (empty when
+    the regression passes).  Metrics missing on either side count as
+    mismatches: the fixture must track the extractor exactly.
+    """
+    problems: List[str] = []
+    atol = float(golden.get("atol", DEFAULT_ATOL))
+    frozen = golden.get("metrics", {})
+    for name in sorted(set(frozen) | set(measured)):
+        if name not in measured:
+            problems.append(f"{name}: frozen but no longer measured")
+            continue
+        if name not in frozen:
+            problems.append(f"{name}: measured but not frozen "
+                            f"(refresh the golden file)")
+            continue
+        diff = abs(measured[name] - float(frozen[name]))
+        if diff > atol:
+            problems.append(
+                f"{name}: measured {measured[name]:+.4f} vs frozen "
+                f"{float(frozen[name]):+.4f} (|diff| {diff:.4f} > "
+                f"atol {atol})")
+    return problems

@@ -79,6 +79,37 @@ def chip_report_card(chip: ChipDesign, process: ProcessNode,
         lines.append(f"| {bt.name} | {bt.count} | "
                      f"{d.power.total_uw * bt.count / 1e3:.1f} | "
                      f"{d.footprint_um2 / 1e6:.3f} | {d.n_vias} |")
+    if chip.phase_times_ms:
+        lines.append("")
+        lines.append("## Runtime")
+        lines.append("")
+        lines.append("| build phase | wall clock |")
+        lines.append("|---|---|")
+        for phase in ("budget", "blocks", "assemble", "aggregate"):
+            if phase in chip.phase_times_ms:
+                lines.append(f"| {phase} | "
+                             f"{chip.phase_times_ms[phase] / 1e3:.2f} s |")
+        lines.append(f"| **total** | "
+                     f"**{sum(chip.phase_times_ms.values()) / 1e3:.2f} s**"
+                     f" |")
+        stage_names = ("generate", "place", "optimize", "detailed_route",
+                       "power")
+        timed = [(name, d) for name, d in chip.block_designs.items()
+                 if d.stage_times_ms]
+        if timed:
+            lines.append("")
+            lines.append("Per block flow (cached blocks carry the times "
+                         "of their original run):")
+            lines.append("")
+            lines.append("| block | " + " | ".join(stage_names) +
+                         " | total ms |")
+            lines.append("|---" * (len(stage_names) + 2) + "|")
+            for name, d in timed:
+                cells = [f"{d.stage_times_ms.get(s, 0.0):.0f}"
+                         for s in stage_names]
+                total = sum(d.stage_times_ms.values())
+                lines.append(f"| {name} | " + " | ".join(cells) +
+                             f" | {total:.0f} |")
     if include_integrity:
         lines.append("")
         lines.append("## Physical integrity")

@@ -52,19 +52,27 @@ class BondingComparison:
 
 def compare_bonding(block: str, fold: FoldSpec, process: ProcessNode,
                     base: Optional[FlowConfig] = None,
-                    label: str = "") -> BondingComparison:
-    """Implement one fold in F2B and F2F and compare."""
+                    label: str = "", cache=None) -> BondingComparison:
+    """Implement one fold in F2B and F2F and compare.
+
+    Pass a :class:`repro.core.cache.DesignCache` to reuse designs across
+    repeated comparisons (sweeps, warm benchmark runs).
+    """
     base = base or FlowConfig()
-    f2b = run_block_flow(block, replace(base, fold=fold, bonding="F2B"),
-                         process)
-    f2f = run_block_flow(block, replace(base, fold=fold, bonding="F2F"),
-                         process)
+
+    def flow(cfg: FlowConfig):
+        if cache is not None:
+            return cache.get_or_run(block, cfg, process)
+        return run_block_flow(block, cfg, process)
+
+    f2b = flow(replace(base, fold=fold, bonding="F2B"))
+    f2f = flow(replace(base, fold=fold, bonding="F2F"))
     return BondingComparison(label=label or fold.mode, f2b=f2b, f2f=f2f)
 
 
 def bonding_power_sweep(block: str, process: ProcessNode,
-                        base: Optional[FlowConfig] = None
-                        ) -> List[BondingComparison]:
+                        base: Optional[FlowConfig] = None,
+                        cache=None) -> List[BondingComparison]:
     """The Fig. 7 sweep: five partition cases, both bonding styles.
 
     Returns comparisons in partition-case order (#1..#5, increasing 3D
@@ -75,5 +83,6 @@ def bonding_power_sweep(block: str, process: ProcessNode,
                         seed=base.seed, scale=base.scale)
     out: List[BondingComparison] = []
     for label, fold in partition_case_sweep(gb):
-        out.append(compare_bonding(block, fold, process, base, label=label))
+        out.append(compare_bonding(block, fold, process, base, label=label,
+                                   cache=cache))
     return out

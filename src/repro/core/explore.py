@@ -88,10 +88,29 @@ def pareto_front(points: Sequence[DesignPoint]) -> List[DesignPoint]:
             if not any(q.dominates(p) for q in points if q is not p)]
 
 
+def evaluate_point(process: ProcessNode, style: str, dual_vth: bool,
+                   scale: float = 0.7, seed: int = 1,
+                   cache=None) -> DesignPoint:
+    """Build and measure one grid configuration."""
+    chip = build_chip(ChipConfig(style=style, dual_vth=dual_vth,
+                                 scale=scale, seed=seed), process,
+                      cache=cache)
+    thermal = analyze_chip_thermal(chip)
+    return DesignPoint(
+        style=style, dual_vth=dual_vth,
+        power_mw=chip.power.total_uw / 1e3,
+        footprint_mm2=chip.footprint_um2 / 1e6,
+        max_temp_c=thermal.max_c,
+        n_3d_connections=chip.n_3d_connections,
+        wns_ps=chip.wns_ps)
+
+
 def explore_design_space(process: ProcessNode,
                          grid: Iterable[Tuple[str, bool]] = DEFAULT_GRID,
                          scale: float = 0.7,
-                         seed: int = 1) -> ExplorationResult:
+                         seed: int = 1,
+                         parallel: int = 0,
+                         cache_dir=None) -> ExplorationResult:
     """Evaluate every configuration in ``grid``.
 
     Args:
@@ -99,23 +118,24 @@ def explore_design_space(process: ProcessNode,
         grid: (style, dual_vth) pairs to build.
         scale: model scale (the default keeps the sweep to minutes).
         seed: generation seed.
+        parallel: worker count; ``0``/``1`` evaluates in-process,
+            anything higher fans the grid points out across a
+            ``multiprocessing`` pool (same numbers, same order).
+        cache_dir: optional persistent design-cache directory (shared
+            by all workers when parallel).
 
     Returns:
         The evaluated points and their Pareto front.
     """
-    from .cache import DesignCache
-    cache = DesignCache()
-    points: List[DesignPoint] = []
-    for style, dual_vth in grid:
-        chip = build_chip(ChipConfig(style=style, dual_vth=dual_vth,
-                                     scale=scale, seed=seed), process,
-                          cache=cache)
-        thermal = analyze_chip_thermal(chip)
-        points.append(DesignPoint(
-            style=style, dual_vth=dual_vth,
-            power_mw=chip.power.total_uw / 1e3,
-            footprint_mm2=chip.footprint_um2 / 1e6,
-            max_temp_c=thermal.max_c,
-            n_3d_connections=chip.n_3d_connections,
-            wns_ps=chip.wns_ps))
+    grid = list(grid)
+    if parallel > 1 and len(grid) > 1:
+        from ..parallel.engine import explore_points
+        points = explore_points(grid, scale=scale, seed=seed,
+                                parallel=parallel, cache_dir=cache_dir)
+    else:
+        from .cache import DesignCache
+        cache = DesignCache(cache_dir=cache_dir)
+        points = [evaluate_point(process, style, dual_vth, scale=scale,
+                                 seed=seed, cache=cache)
+                  for style, dual_vth in grid]
     return ExplorationResult(points=points, pareto=pareto_front(points))

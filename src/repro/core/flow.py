@@ -18,7 +18,8 @@ statistics, HVT usage and the cell/net/leakage power split.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import time
+from dataclasses import dataclass, field
 from typing import Dict, Optional, Tuple
 
 from ..cts.tree import CTSResult
@@ -95,6 +96,9 @@ class BlockDesign:
     generated: Optional[GeneratedBlock] = None
     #: congestion report when the flow ran the detailed router
     congestion: Optional[object] = None
+    #: wall-clock per flow stage (generate/place/optimize/route/power),
+    #: in milliseconds; excluded from JSON exports (non-deterministic)
+    stage_times_ms: Dict[str, float] = field(default_factory=dict)
 
     @property
     def is_folded(self) -> bool:
@@ -135,9 +139,13 @@ def run_block_flow(block: str, config: FlowConfig,
         The finished :class:`BlockDesign`.
     """
     block_type = block_type_by_name(block)
+    t0 = time.perf_counter()
     gb = generate_block(block_type, process.library, seed=config.seed,
                         scale=config.scale)
-    return run_flow_on(gb, config, process)
+    gen_ms = (time.perf_counter() - t0) * 1e3
+    design = run_flow_on(gb, config, process)
+    design.stage_times_ms["generate"] = gen_ms
+    return design
 
 
 def run_flow_on(gb: GeneratedBlock, config: FlowConfig,
@@ -157,6 +165,8 @@ def run_flow_on(gb: GeneratedBlock, config: FlowConfig,
     via_sites: Dict[int, Tuple[float, float]] = {}
     via = None
     extra_clock_vias = 0
+    stage_times_ms: Dict[str, float] = {}
+    t_stage = time.perf_counter()
 
     if config.fold is None:
         placement = place_block_2d(netlist, pc)
@@ -186,6 +196,10 @@ def run_flow_on(gb: GeneratedBlock, config: FlowConfig,
             via_sites = {v.net_id: (v.x, v.y) for v in fold_result.vias}
         n_vias = fold_result.n_vias
 
+    now = time.perf_counter()
+    stage_times_ms["place"] = (now - t_stage) * 1e3
+    t_stage = now
+
     if config.assert_clean:
         # gate the placement (and legalized via sites) before routing
         from ..lint import assert_clean as _gate, lint_placement
@@ -206,6 +220,9 @@ def run_flow_on(gb: GeneratedBlock, config: FlowConfig,
     opt = optimize_block(netlist, process, timing, route_fn,
                          OptimizeConfig(rounds=config.opt_rounds,
                                         dual_vth=config.dual_vth))
+    now = time.perf_counter()
+    stage_times_ms["optimize"] = (now - t_stage) * 1e3
+    t_stage = now
 
     congestion = None
     if config.detailed_route:
@@ -232,9 +249,13 @@ def run_flow_on(gb: GeneratedBlock, config: FlowConfig,
             sta = run_sta(netlist, detailed, process, timing)
         opt.routing = detailed
         opt.sta = sta
+        now = time.perf_counter()
+        stage_times_ms["detailed_route"] = (now - t_stage) * 1e3
+        t_stage = now
 
     power = analyze_power(netlist, opt.routing, process,
                           block_type.logic.clock_domain, cts=opt.cts)
+    stage_times_ms["power"] = (time.perf_counter() - t_stage) * 1e3
     from ..opt.dualvth import hvt_fraction
 
     n_vias += opt.cts.via_crossings
@@ -259,6 +280,7 @@ def run_flow_on(gb: GeneratedBlock, config: FlowConfig,
         fold_result=fold_result,
         generated=gb,
         congestion=congestion,
+        stage_times_ms=stage_times_ms,
     )
     if config.assert_clean:
         from ..lint import assert_clean as _gate, lint_block

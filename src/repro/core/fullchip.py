@@ -20,7 +20,8 @@ F2F bonding -- and rolls block-level designs up into chip-level metrics:
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
+import time
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from ..designgen.t2 import Bundle, t2_block_types, t2_bundles, t2_instances
@@ -120,6 +121,9 @@ class ChipDesign:
     router_overflow: Tuple[float, ...] = ()
     #: chip-level TSV array plan (F2B 3D styles only)
     tsv_plan: Optional[object] = None
+    #: wall-clock per build phase (budget/blocks/assemble/aggregate) in
+    #: milliseconds; block flows served from a cache report ~0 here
+    phase_times_ms: Dict[str, float] = field(default_factory=dict)
 
     @property
     def style(self) -> str:
@@ -195,6 +199,8 @@ def build_chip(config: ChipConfig, process: ProcessNode,
     gap_um = 35.0 if config.is_3d and config.bonding == "F2B" else 8.0
 
     # ---- phase 1: budgets from the estimated floorplan -----------------
+    phase_times_ms: Dict[str, float] = {}
+    t_phase = time.perf_counter()
     est_dims = _estimate_dims(process, config)
     est_fp = t2_floorplan(config.style, est_dims, gap=gap_um)
     budget_of: Dict[str, float] = {}
@@ -215,6 +221,9 @@ def build_chip(config: ChipConfig, process: ProcessNode,
         budget_of[tname] = max(budget_of.get(tname, 0.0), floor)
     bucket = max(config.budget_bucket_ps, 1.0)
     budget_of = {k: round(v / bucket) * bucket for k, v in budget_of.items()}
+    now = time.perf_counter()
+    phase_times_ms["budget"] = (now - t_phase) * 1e3
+    t_phase = now
 
     # ---- phase 2: block flows ------------------------------------------
     block_designs: Dict[str, BlockDesign] = {}
@@ -230,6 +239,9 @@ def build_chip(config: ChipConfig, process: ProcessNode,
                                                       process)
         else:
             block_designs[bt.name] = run_block_flow(bt.name, fc, process)
+    now = time.perf_counter()
+    phase_times_ms["blocks"] = (now - t_phase) * 1e3
+    t_phase = now
 
     # ---- phase 3: real floorplan + global routing ----------------------
     dims = {}
@@ -301,6 +313,10 @@ def build_chip(config: ChipConfig, process: ProcessNode,
             chip_repeaters_cpu += reps * b.n_wires
         else:
             chip_repeaters_io += reps * b.n_wires
+
+    now = time.perf_counter()
+    phase_times_ms["assemble"] = (now - t_phase) * 1e3
+    t_phase = now
 
     # ---- phase 4: aggregation -------------------------------------------
     power = PowerReport()
@@ -379,7 +395,9 @@ def build_chip(config: ChipConfig, process: ProcessNode,
         wns_ps=wns,
         router_overflow=tuple(r.overflow() for r in routers),
         tsv_plan=tsv_plan,
+        phase_times_ms=phase_times_ms,
     )
+    phase_times_ms["aggregate"] = (time.perf_counter() - t_phase) * 1e3
     if config.assert_clean:
         # block flows were gated individually; this pass adds the
         # chip-scope rules (floorplan geometry, router capacity, TSVs)

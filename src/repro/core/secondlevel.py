@@ -67,15 +67,22 @@ def second_level_spec(folded_fubs: Tuple[str, ...] = SPC_FOLDED_FUBS
 
 def spc_folding_study(process: ProcessNode,
                       base: Optional[FlowConfig] = None,
-                      bonding: str = "F2F") -> SpcStudyResult:
-    """Run the Fig. 3 study: 2D vs block-level 3D vs second-level 3D."""
+                      bonding: str = "F2F",
+                      cache=None) -> SpcStudyResult:
+    """Run the Fig. 3 study: 2D vs block-level 3D vs second-level 3D.
+
+    Pass a :class:`repro.core.cache.DesignCache` to reuse the three SPC
+    designs across repeated runs.
+    """
     base = base or FlowConfig()
-    flat = run_block_flow("spc", replace(base, fold=None), process)
-    block3d = run_block_flow(
-        "spc", replace(base, fold=fub_assign_spec(), bonding=bonding),
-        process)
-    second = run_block_flow(
-        "spc", replace(base, fold=second_level_spec(), bonding=bonding),
-        process)
+
+    def flow(cfg: FlowConfig) -> BlockDesign:
+        if cache is not None:
+            return cache.get_or_run("spc", cfg, process)
+        return run_block_flow("spc", cfg, process)
+
+    flat = flow(replace(base, fold=None))
+    block3d = flow(replace(base, fold=fub_assign_spec(), bonding=bonding))
+    second = flow(replace(base, fold=second_level_spec(), bonding=bonding))
     return SpcStudyResult(flat_2d=flat, block_level_3d=block3d,
                           second_level_3d=second)

@@ -1,0 +1,7 @@
+"""Parallel experiment execution and design-space fan-out."""
+
+from .engine import (BenchReport, ExperimentRun, explore_points,
+                     run_experiments)
+
+__all__ = ["BenchReport", "ExperimentRun", "explore_points",
+           "run_experiments"]

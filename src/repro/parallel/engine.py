@@ -1,0 +1,226 @@
+"""Process-pool experiment engine.
+
+The paper's artifacts are eleven independent tables/figures; the
+design-space explorer walks an independent grid of chip configurations.
+Both are embarrassingly parallel, so this module fans them out across
+``multiprocessing`` workers:
+
+* each worker builds its own :class:`~repro.tech.process.ProcessNode`
+  and :class:`~repro.core.cache.DesignCache` (pointing every worker at
+  one shared ``cache_dir`` makes warm reruns near-free -- disk writes
+  are atomic, so concurrent workers can share the directory safely);
+* tasks carry an explicit ``(experiment id, scale, seed)`` triple, so
+  scheduling order cannot influence the numbers: a parallel run is
+  byte-identical (after key-sorted serialization) to the serial run;
+* workers return plain dictionaries (via
+  :func:`~repro.analysis.experiments.result_to_dict`), never live
+  design objects, keeping the pickles small and the results
+  backend-agnostic.
+
+The default start method is ``spawn``: workers import a fresh
+interpreter instead of forking accumulated parent state, which keeps
+runs reproducible no matter what the parent process did before.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..analysis.experiments import (EXPERIMENTS, result_to_dict,
+                                    run_experiment)
+from ..core.cache import DesignCache
+from ..tech.process import make_process
+
+#: worker-local state built once per pool worker by the initializer
+_WORKER: Dict[str, Any] = {}
+
+
+def _init_worker(cache_dir: Optional[str]) -> None:
+    _WORKER["process"] = make_process()
+    _WORKER["cache"] = DesignCache(cache_dir=cache_dir)
+
+
+@dataclass
+class ExperimentRun:
+    """One experiment's outcome plus its wall-clock cost."""
+
+    experiment_id: str
+    wall_s: float
+    all_passed: bool
+    result: Dict[str, Any]
+
+
+@dataclass
+class BenchReport:
+    """The full bench run: per-experiment results and timings."""
+
+    runs: List[ExperimentRun]
+    total_wall_s: float
+    parallel: int
+    scale: float
+    seed: int
+    cache_stats: Optional[Dict[str, float]] = None
+    #: per-worker cache statistics (parallel runs)
+    worker_cache_stats: List[Dict[str, float]] = field(default_factory=list)
+
+    @property
+    def all_passed(self) -> bool:
+        return all(r.all_passed for r in self.runs)
+
+    def results_dict(self) -> Dict[str, Any]:
+        """Experiment id -> serialized result (timings excluded, so the
+        bytes are comparable across serial/parallel and cold/warm)."""
+        return {r.experiment_id: r.result for r in self.runs}
+
+    def results_json(self, indent: int = 2) -> str:
+        return json.dumps(self.results_dict(), sort_keys=True,
+                          indent=indent)
+
+    def timing_dict(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {
+            "parallel": self.parallel,
+            "scale": self.scale,
+            "seed": self.seed,
+            "total_wall_s": self.total_wall_s,
+            "experiments": {r.experiment_id: r.wall_s for r in self.runs},
+        }
+        if self.cache_stats is not None:
+            out["cache"] = self.cache_stats
+        return out
+
+    def timing_json(self, indent: int = 2) -> str:
+        return json.dumps(self.timing_dict(), sort_keys=True,
+                          indent=indent)
+
+    def summary(self) -> str:
+        lines = [f"{'experiment':10s} {'checks':>6s} {'wall':>8s}"]
+        for r in self.runs:
+            mark = "PASS" if r.all_passed else "FAIL"
+            lines.append(f"{r.experiment_id:10s} {mark:>6s} "
+                         f"{r.wall_s:7.2f}s")
+        mode = (f"{self.parallel} workers" if self.parallel > 1
+                else "serial")
+        lines.append(f"{'total':10s} {'':6s} {self.total_wall_s:7.2f}s "
+                     f"({mode})")
+        if self.cache_stats is not None:
+            cs = self.cache_stats
+            lines.append(f"cache: {cs['hits']:.0f} memory hits, "
+                         f"{cs['disk_hits']:.0f} disk hits, "
+                         f"{cs['misses']:.0f} misses "
+                         f"({cs['hit_rate']:.0%} hit rate)")
+        return "\n".join(lines)
+
+
+def _run_one(task: Tuple[str, float, int]) -> Tuple[ExperimentRun, Dict]:
+    """Pool worker body: run one experiment against worker-local state."""
+    experiment_id, scale, seed = task
+    t0 = time.perf_counter()
+    result = run_experiment(experiment_id, process=_WORKER["process"],
+                            scale=scale, seed=seed,
+                            cache=_WORKER["cache"])
+    run = ExperimentRun(experiment_id=experiment_id,
+                        wall_s=time.perf_counter() - t0,
+                        all_passed=result.all_passed,
+                        result=result_to_dict(result))
+    return run, _WORKER["cache"].stats.as_dict()
+
+
+def run_experiments(ids: Optional[Iterable[str]] = None,
+                    parallel: int = 0,
+                    scale: float = 1.0,
+                    seed: int = 1,
+                    cache_dir: Optional[str] = None,
+                    process=None,
+                    mp_context: str = "spawn") -> BenchReport:
+    """Run a set of registered experiments, serially or in a pool.
+
+    Args:
+        ids: experiment ids (default: the whole registry, in registry
+            order -- the output order is always the request order, not
+            completion order).
+        parallel: worker count; ``0``/``1`` runs serially in-process.
+        scale: model-scale multiplier for every experiment.
+        seed: generation/placement seed for every experiment.
+        cache_dir: optional persistent design-cache directory, shared
+            by all workers.
+        process: technology node for the serial path (workers always
+            build their own).
+        mp_context: multiprocessing start method.
+
+    Returns:
+        A :class:`BenchReport`; ``results_json()`` is byte-identical
+        across serial and parallel runs of the same request.
+    """
+    ids = list(ids) if ids is not None else list(EXPERIMENTS)
+    unknown = [i for i in ids if i not in EXPERIMENTS]
+    if unknown:
+        raise ValueError(f"unknown experiment ids: {', '.join(unknown)}; "
+                         f"known: {', '.join(EXPERIMENTS)}")
+    tasks = [(eid, scale, seed) for eid in ids]
+    t0 = time.perf_counter()
+    worker_stats: List[Dict[str, float]] = []
+    if parallel > 1 and len(ids) > 1:
+        ctx = multiprocessing.get_context(mp_context)
+        with ctx.Pool(processes=min(parallel, len(ids)),
+                      initializer=_init_worker,
+                      initargs=(cache_dir,)) as pool:
+            pairs = pool.map(_run_one, tasks)
+        runs = [run for run, _ in pairs]
+        worker_stats = [stats for _, stats in pairs]
+        cache_stats = None
+    else:
+        proc = process if process is not None else make_process()
+        cache = DesignCache(cache_dir=cache_dir)
+        runs = []
+        for eid, s, sd in tasks:
+            t1 = time.perf_counter()
+            result = run_experiment(eid, process=proc, scale=s, seed=sd,
+                                    cache=cache)
+            runs.append(ExperimentRun(
+                experiment_id=eid,
+                wall_s=time.perf_counter() - t1,
+                all_passed=result.all_passed,
+                result=result_to_dict(result)))
+        cache_stats = cache.stats.as_dict()
+    return BenchReport(runs=runs,
+                       total_wall_s=time.perf_counter() - t0,
+                       parallel=max(parallel, 1) if len(ids) > 1 else 1,
+                       scale=scale, seed=seed,
+                       cache_stats=cache_stats,
+                       worker_cache_stats=worker_stats)
+
+
+# ---------------------------------------------------------------------------
+# Design-space exploration fan-out
+# ---------------------------------------------------------------------------
+
+def _run_point(task: Tuple[str, bool, float, int]):
+    """Pool worker body: evaluate one design-space grid point."""
+    from ..core.explore import evaluate_point
+    style, dual_vth, scale, seed = task
+    return evaluate_point(_WORKER["process"], style, dual_vth,
+                          scale=scale, seed=seed,
+                          cache=_WORKER["cache"])
+
+
+def explore_points(grid: Sequence[Tuple[str, bool]],
+                   scale: float = 0.7,
+                   seed: int = 1,
+                   parallel: int = 2,
+                   cache_dir: Optional[str] = None,
+                   mp_context: str = "spawn") -> List:
+    """Evaluate design-space grid points across a worker pool.
+
+    Returns :class:`~repro.core.explore.DesignPoint` objects in grid
+    order (identical to the serial explorer's output for the same seed).
+    """
+    tasks = [(style, dual_vth, scale, seed) for style, dual_vth in grid]
+    ctx = multiprocessing.get_context(mp_context)
+    with ctx.Pool(processes=min(max(parallel, 1), max(len(tasks), 1)),
+                  initializer=_init_worker,
+                  initargs=(cache_dir,)) as pool:
+        return pool.map(_run_point, tasks)

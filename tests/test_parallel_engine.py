@@ -1,0 +1,89 @@
+"""Tests for the process-pool experiment engine."""
+
+import json
+
+import pytest
+
+from repro.analysis.experiments import EXPERIMENTS
+from repro.core.explore import explore_design_space
+from repro.parallel.engine import run_experiments
+
+
+def test_unknown_id_raises():
+    with pytest.raises(ValueError, match="unknown experiment ids"):
+        run_experiments(ids=["table1", "nope"], scale=0.5)
+
+
+def test_default_ids_cover_registry():
+    """Requesting nothing means the whole registry, in registry order."""
+    tasks = list(EXPERIMENTS)
+    assert len(tasks) >= 11
+    with pytest.raises(ValueError):
+        run_experiments(ids=["definitely-not-registered"])
+    # cheap smoke on one real id instead of the full registry
+    report = run_experiments(ids=["table1"], scale=0.5)
+    assert [r.experiment_id for r in report.runs] == ["table1"]
+
+
+def test_serial_report_shape(process):
+    report = run_experiments(ids=["table1", "table4"], scale=0.5,
+                             process=process)
+    assert [r.experiment_id for r in report.runs] == \
+        ["table1", "table4"]
+    assert report.parallel == 1
+    assert report.scale == 0.5
+    assert report.seed == 1
+    assert all(r.wall_s >= 0 for r in report.runs)
+    assert report.total_wall_s >= max(r.wall_s for r in report.runs)
+    assert report.cache_stats is not None
+    assert "hit_rate" in report.cache_stats
+    # table4's shape check fails at half scale: propagation matters
+    assert report.all_passed == all(r.all_passed for r in report.runs)
+    summary = report.summary()
+    assert "table1" in summary and "serial" in summary
+
+
+def test_results_json_is_key_sorted_and_parseable(process):
+    report = run_experiments(ids=["table1"], scale=0.5, process=process)
+    payload = json.loads(report.results_json())
+    assert set(payload) == {"table1"}
+    assert set(payload["table1"]) >= {"experiment_id", "description",
+                                      "all_passed", "checks"}
+    # key-sorted serialization: re-dumping sorted is a fixed point
+    assert report.results_json() == json.dumps(payload, sort_keys=True,
+                                               indent=2)
+
+
+def test_timing_json_round_trips(process):
+    report = run_experiments(ids=["table1"], scale=0.5, process=process)
+    timing = json.loads(report.timing_json())
+    assert timing["parallel"] == 1
+    assert timing["scale"] == 0.5
+    assert set(timing["experiments"]) == {"table1"}
+    assert timing["total_wall_s"] >= 0
+    assert "cache" in timing
+
+
+@pytest.mark.slow
+def test_parallel_pool_matches_serial_and_reports_workers(process,
+                                                          tmp_path):
+    ids = ["table1", "table4"]
+    serial = run_experiments(ids=ids, scale=0.5, process=process)
+    par = run_experiments(ids=ids, scale=0.5, parallel=2,
+                          cache_dir=tmp_path)
+    assert par.parallel == 2
+    assert [r.experiment_id for r in par.runs] == ids
+    assert par.results_json() == serial.results_json()
+    assert par.cache_stats is None
+    assert len(par.worker_cache_stats) == len(ids)
+    assert "2 workers" in par.summary()
+
+
+@pytest.mark.slow
+def test_explore_parallel_matches_serial(process, tmp_path):
+    grid = [("2d", False), ("fold_f2f", True)]
+    serial = explore_design_space(process, grid=grid, scale=0.4)
+    par = explore_design_space(process, grid=grid, scale=0.4,
+                               parallel=2, cache_dir=tmp_path)
+    assert par.points == serial.points
+    assert par.pareto == serial.pareto
