@@ -4,12 +4,17 @@ Subcommands:
 
 * ``experiments``               -- list every paper table/figure runner;
 * ``run <id> [--scale S]``      -- regenerate one artifact and print it;
-* ``bench [--parallel N] [--cache-dir D]`` -- run the whole experiment
-  set, optionally fanned across worker processes with a persistent
-  design cache;
+* ``bench [--parallel N] [--cache-dir D] [--trace-out T]`` -- run the
+  whole experiment set, optionally fanned across worker processes with
+  a persistent design cache, exporting the merged span/metrics trace;
+* ``trace summarize <file>``    -- roll a trace file up per span name;
 * ``block <name> [options]``    -- design one T2 block (optionally folded);
 * ``chip <style> [options]``    -- build a full chip in one design style;
 * ``lint <block|style>``        -- run the static design checker.
+
+The data-producing subcommands share their flag vocabulary: ``--scale``,
+``--seed``, ``--cache-dir``, ``--json-out`` and ``--trace-out`` mean the
+same thing wherever they appear.
 """
 
 from __future__ import annotations
@@ -27,15 +32,32 @@ def _cmd_experiments(_args) -> int:
 
 
 def _cmd_run(args) -> int:
-    from .analysis.experiments import EXPERIMENTS, run_experiment
-    if args.id not in EXPERIMENTS:
-        print(f"unknown experiment {args.id!r}; see "
-              f"'python -m repro experiments'", file=sys.stderr)
-        return 2
+    from .analysis.experiments import (ExperimentOptions,
+                                       UnknownExperimentError,
+                                       run_experiment)
+    cache = None
+    if args.cache_dir:
+        from .core.cache import DesignCache
+        cache = DesignCache(cache_dir=args.cache_dir)
     t0 = time.time()
-    result = run_experiment(args.id, scale=args.scale)
+    try:
+        result = run_experiment(args.id, ExperimentOptions(
+            scale=args.scale, seed=args.seed, cache=cache))
+    except UnknownExperimentError as exc:
+        print(f"{exc.args[0]}; see 'python -m repro experiments'",
+              file=sys.stderr)
+        return 2
     print(result.summary())
     print(f"\n({time.time() - t0:.1f}s, scale {args.scale})")
+    if args.trace_out:
+        from .obs import trace
+        from .obs.export import write_trace
+        from .obs.metrics import metrics
+        write_trace(args.trace_out, trace.get_tracer().spans,
+                    metrics=metrics().snapshot(),
+                    meta={"experiment": args.id, "scale": args.scale,
+                          "seed": args.seed})
+        print(f"wrote {args.trace_out}")
     return 0 if result.all_passed else 1
 
 
@@ -59,6 +81,9 @@ def _cmd_bench(args) -> int:
         with open(args.timing_out, "w") as f:
             f.write(report.timing_json() + "\n")
         print(f"wrote {args.timing_out}")
+    if args.trace_out:
+        report.write_trace(args.trace_out)
+        print(f"wrote {args.trace_out}")
     if args.write_golden:
         from .analysis.golden import (GOLDEN_IDS, golden_metrics,
                                       save_golden)
@@ -76,6 +101,31 @@ def _cmd_bench(args) -> int:
         save_golden(args.write_golden, golden_metrics(results))
         print(f"wrote {args.write_golden}")
     return 0 if report.all_passed else 1
+
+
+def _cmd_trace(args) -> int:
+    from .obs.export import format_summary, read_trace, summarize_spans
+    from .obs.metrics import format_snapshot
+    try:
+        tf = read_trace(args.file)
+    except FileNotFoundError:
+        print(f"no such trace file: {args.file}", file=sys.stderr)
+        return 2
+    except ValueError as exc:
+        print(f"unreadable trace file {args.file}: {exc}",
+              file=sys.stderr)
+        return 2
+    if tf.meta:
+        keys = ", ".join(f"{k}={tf.meta[k]}" for k in sorted(tf.meta))
+        print(f"meta: {keys}")
+    print(f"{len(tf.spans)} spans")
+    if tf.spans:
+        print()
+        print(format_summary(summarize_spans(tf.spans)))
+    if args.metrics and tf.metrics is not None:
+        print()
+        print(format_snapshot(tf.metrics))
+    return 0
 
 
 def _cmd_block(args) -> int:
@@ -137,11 +187,15 @@ def _cmd_lint(args) -> int:
         waivers=tuple(Waiver(rule_id=w, reason="waived on command line")
                       for w in (args.waive or ())))
     process = make_process()
+    cache = None
+    if args.cache_dir:
+        from .core.cache import DesignCache
+        cache = DesignCache(cache_dir=args.cache_dir)
     if args.target in ("2d", "core_cache", "core_core", "fold_f2b",
                        "fold_f2f") or args.style:
         style = args.style or args.target
         chip = build_chip(ChipConfig(style=style, scale=args.scale),
-                          process)
+                          process, cache=cache)
         report = lint_chip(chip, config=config)
     else:
         from .designgen.t2 import t2_block_types
@@ -154,9 +208,16 @@ def _cmd_lint(args) -> int:
         fold = FoldSpec(mode=args.fold_mode) if args.fold else None
         fc = FlowConfig(scale=args.scale, seed=args.seed, fold=fold,
                         bonding=args.bonding)
-        design = run_block_flow(args.target, fc, process)
+        if cache is not None:
+            design = cache.get_or_run(args.target, fc, process)
+        else:
+            design = run_block_flow(args.target, fc, process)
         report = lint_block(design, config=config)
 
+    if args.json_out:
+        with open(args.json_out, "w") as f:
+            f.write(report.to_json() + "\n")
+        print(f"wrote {args.json_out}")
     if args.json:
         print(report.to_json())
     elif args.markdown:
@@ -195,6 +256,11 @@ def main(argv=None) -> int:
     p_run = sub.add_parser("run", help="regenerate one table/figure")
     p_run.add_argument("id")
     p_run.add_argument("--scale", type=float, default=1.0)
+    p_run.add_argument("--seed", type=int, default=1)
+    p_run.add_argument("--cache-dir", default=None, metavar="DIR",
+                       help="persistent design-cache directory")
+    p_run.add_argument("--trace-out", default=None, metavar="FILE",
+                       help="write the run's span/metrics trace (JSONL)")
     p_run.set_defaults(func=_cmd_run)
 
     p_bench = sub.add_parser(
@@ -215,10 +281,24 @@ def main(argv=None) -> int:
                               "(byte-comparable across runs)")
     p_bench.add_argument("--timing-out", default=None, metavar="FILE",
                          help="write per-experiment wall-clock JSON")
+    p_bench.add_argument("--trace-out", default=None, metavar="FILE",
+                         help="write the merged span/metrics trace "
+                              "(JSONL; workers included)")
     p_bench.add_argument("--write-golden", default=None, metavar="FILE",
                          help="refresh the golden regression fixtures "
                               "(requires fig2,fig6,table5 at scale 1.0)")
     p_bench.set_defaults(func=_cmd_bench)
+
+    p_trace = sub.add_parser(
+        "trace", help="inspect a JSONL trace file")
+    trace_sub = p_trace.add_subparsers(dest="trace_command",
+                                       required=True)
+    p_tsum = trace_sub.add_parser(
+        "summarize", help="per-span-name rollup (count/total/self/max)")
+    p_tsum.add_argument("file")
+    p_tsum.add_argument("--metrics", action="store_true",
+                        help="also print the trace's metrics snapshot")
+    p_tsum.set_defaults(func=_cmd_trace)
 
     p_block = sub.add_parser("block", help="design one T2 block")
     p_block.add_argument("name")
@@ -270,8 +350,13 @@ def main(argv=None) -> int:
     p_lint.add_argument("--waive", action="append", metavar="RULE",
                         help="waive violations of a rule id (fnmatch "
                              "pattern, repeatable)")
+    p_lint.add_argument("--cache-dir", default=None, metavar="DIR",
+                        help="persistent design-cache directory")
     p_lint.add_argument("--json", action="store_true",
                         help="emit the machine-readable report")
+    p_lint.add_argument("--json-out", default=None, metavar="FILE",
+                        help="write the machine-readable report to a "
+                             "file")
     p_lint.add_argument("--markdown", action="store_true",
                         help="emit the markdown report")
     p_lint.set_defaults(func=_cmd_lint)

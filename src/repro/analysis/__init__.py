@@ -9,8 +9,9 @@ from .cost import (CostModel, DieCost, cost_2d, cost_3d, cost_comparison,
 from .coupling import CouplingResult, coupling_power, coupling_study
 from .irdrop import (IrDropResult, PdnConfig, analyze_chip_ir_drop,
                      solve_ir_drop)
-from .experiments import (EXPERIMENTS, ExperimentResult, ShapeCheck,
-                          run_experiment)
+from .experiments import (EXPERIMENTS, REGISTRY, Experiment,
+                          ExperimentOptions, ExperimentResult, ShapeCheck,
+                          UnknownExperimentError, run_experiment)
 from .layout_svg import render_block_svg, render_chip_svg
 from .report import MetricRow, design_metric_rows, format_table, relative
 from .export_json import block_to_dict, chip_to_dict, dump_json
@@ -23,7 +24,9 @@ from .stability import (StabilityResult, compare_stability,
 __all__ = [
     "CriteriaAblation", "MacroHoleAblation", "TsvPitchPoint",
     "ablate_folding_criteria", "ablate_macro_holes", "sweep_tsv_pitch",
-    "EXPERIMENTS", "ExperimentResult", "ShapeCheck", "run_experiment",
+    "EXPERIMENTS", "REGISTRY", "Experiment", "ExperimentOptions",
+    "ExperimentResult", "ShapeCheck", "UnknownExperimentError",
+    "run_experiment",
     "CornerReport", "analyze_corners", "signoff_summary",
     "CostModel", "DieCost", "cost_2d", "cost_3d", "cost_comparison",
     "die_yield", "dies_per_wafer", "format_cost_table",

@@ -6,18 +6,35 @@ qualitative claims of the paper the run is expected to reproduce (who
 wins, roughly by how much, in which direction).  The benchmark suite and
 EXPERIMENTS.md are generated from this registry.
 
-Every runner accepts an optional :class:`repro.core.cache.DesignCache`
+Experiments register themselves with the :func:`experiment` decorator
+(the same pattern as ``repro.lint``'s rule deck) and all share one
+options object and one entry point::
+
+    from repro.analysis.experiments import ExperimentOptions, run_experiment
+
+    result = run_experiment("fig2", ExperimentOptions(scale=0.7,
+                                                      cache=my_cache))
+
+:class:`ExperimentOptions` carries everything a runner may need --
+``process``, ``scale``, ``seed``, ``cache``, ``trace`` -- so adding an
+option never touches eleven signatures again.  The pre-registry
+module-level runners (``run_table1`` ... ``run_dvt_claim``) survive as
+thin deprecated wrappers.
+
+Every run accepts an optional :class:`repro.core.cache.DesignCache`
 (block designs recur across experiments -- with a persistent
 ``cache_dir`` a warm rerun is near-free) and a ``seed`` so sweeps can
 reseed deterministically.  :func:`result_to_dict` /
 :func:`experiment_json` serialize a result into key-sorted JSON whose
 bytes are identical for identical (code, seed, scale) -- the determinism
-and golden-regression test layers compare those bytes.
+and golden-regression test layers compare those bytes.  Observability
+spans and timings never enter that JSON.
 """
 
 from __future__ import annotations
 
 import json
+import warnings
 from dataclasses import dataclass, field, fields as dataclass_fields, is_dataclass
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
@@ -27,8 +44,86 @@ from ..core.folding import FoldSpec, folding_candidates
 from ..core.fullchip import ChipConfig, build_chip
 from ..core.secondlevel import spc_folding_study
 from ..designgen.t2 import t2_block_types
+from ..obs import trace
 from ..tech.process import ProcessNode, make_process
 from .report import MetricRow, design_metric_rows, format_table, relative
+
+
+@dataclass(frozen=True)
+class ExperimentOptions:
+    """Shared options for every experiment runner.
+
+    Attributes:
+        process: technology node (default: :func:`make_process`).
+        scale: model-scale multiplier threaded into every flow.
+        seed: generation/placement seed threaded into every flow.
+        cache: optional :class:`repro.core.cache.DesignCache`; block
+            designs recur across experiments, and with a persistent
+            ``cache_dir`` a warm rerun skips the flows entirely.
+        trace: record observability spans for this run (timing still
+            happens when off; only recording stops).
+    """
+
+    process: Optional[ProcessNode] = None
+    scale: float = 1.0
+    seed: int = 1
+    cache: Optional[Any] = None
+    trace: bool = True
+
+    def resolved_process(self) -> ProcessNode:
+        """The technology node to run against."""
+        return self.process if self.process is not None else make_process()
+
+
+@dataclass(frozen=True)
+class Experiment:
+    """One registered paper artifact: id, description, runner."""
+
+    id: str
+    description: str
+    fn: Callable[[ExperimentOptions], "ExperimentResult"]
+
+
+#: experiment id -> :class:`Experiment`; populated by :func:`experiment`
+REGISTRY: Dict[str, Experiment] = {}
+
+
+def experiment(experiment_id: str, description: str
+               ) -> Callable[[Callable[[ExperimentOptions],
+                                       "ExperimentResult"]],
+                             Callable[[ExperimentOptions],
+                                      "ExperimentResult"]]:
+    """Register a runner in the experiment registry (decorator).
+
+    The decorated function takes one :class:`ExperimentOptions` and
+    returns an :class:`ExperimentResult`; :func:`run_experiment`
+    dispatches to it by id.
+    """
+    def wrap(fn: Callable[[ExperimentOptions], "ExperimentResult"]
+             ) -> Callable[[ExperimentOptions], "ExperimentResult"]:
+        if experiment_id in REGISTRY:
+            raise ValueError(f"duplicate experiment id {experiment_id!r}")
+        REGISTRY[experiment_id] = Experiment(id=experiment_id,
+                                             description=description,
+                                             fn=fn)
+        return fn
+
+    return wrap
+
+
+class UnknownExperimentError(KeyError):
+    """An experiment id that is not in the registry.
+
+    Subclasses :class:`KeyError` for backward compatibility with the
+    pre-registry dict lookup, but carries a message listing every valid
+    id.
+    """
+
+    def __init__(self, experiment_id: str) -> None:
+        self.experiment_id = experiment_id
+        super().__init__(
+            f"unknown experiment {experiment_id!r}; valid ids: "
+            f"{', '.join(REGISTRY)}")
 
 
 @dataclass
@@ -82,11 +177,10 @@ def _flow(block: str, config: FlowConfig, process: ProcessNode,
 # Table 1: 3D interconnect settings
 # ---------------------------------------------------------------------------
 
-def run_table1(process: Optional[ProcessNode] = None,
-               scale: float = 1.0, cache=None,
-               seed: int = 1) -> ExperimentResult:
+@experiment("table1", "3D interconnect settings (Katti model)")
+def _table1(opts: ExperimentOptions) -> ExperimentResult:
     """Table 1: TSV and F2F via geometry and parasitics (Katti model)."""
-    process = process or make_process()
+    process = opts.resolved_process()
     tsv, f2f = process.tsv, process.f2f_via
     rows = [
         MetricRow("diameter (um)", [tsv.diameter_um, f2f.diameter_um],
@@ -125,11 +219,11 @@ def run_table1(process: Optional[ProcessNode] = None,
 # Table 2: 2D vs core/cache vs core/core
 # ---------------------------------------------------------------------------
 
-def run_table2(process: Optional[ProcessNode] = None,
-               scale: float = 1.0, cache=None,
-               seed: int = 1) -> ExperimentResult:
+@experiment("table2", "2D vs 3D floorplanning (core/cache, core/core)")
+def _table2(opts: ExperimentOptions) -> ExperimentResult:
     """Table 2: block-level 2D vs the two 3D floorplans (RVT only)."""
-    process = process or make_process()
+    process = opts.resolved_process()
+    scale, seed, cache = opts.scale, opts.seed, opts.cache
     designs = {
         style: build_chip(ChipConfig(style=style, scale=scale, seed=seed),
                           process, cache=cache)
@@ -170,11 +264,11 @@ def run_table2(process: Optional[ProcessNode] = None,
 # Table 3: folding candidates
 # ---------------------------------------------------------------------------
 
-def run_table3(process: Optional[ProcessNode] = None,
-               scale: float = 1.0, cache=None,
-               seed: int = 1) -> ExperimentResult:
+@experiment("table3", "folding candidate selection")
+def _table3(opts: ExperimentOptions) -> ExperimentResult:
     """Table 3: 2D block characteristics for fold-candidate selection."""
-    process = process or make_process()
+    process = opts.resolved_process()
+    scale, seed, cache = opts.scale, opts.seed, opts.cache
     designs: Dict[str, BlockDesign] = {}
     counts: Dict[str, int] = {}
     for bt in t2_block_types():
@@ -222,11 +316,11 @@ def run_table3(process: Optional[ProcessNode] = None,
 # Table 4: L2 data bank folding
 # ---------------------------------------------------------------------------
 
-def run_table4(process: Optional[ProcessNode] = None,
-               scale: float = 1.0, cache=None,
-               seed: int = 1) -> ExperimentResult:
+@experiment("table4", "L2 data bank folding")
+def _table4(opts: ExperimentOptions) -> ExperimentResult:
     """Table 4: folding the memory-dominated L2 data bank barely helps."""
-    process = process or make_process()
+    process = opts.resolved_process()
+    scale, seed, cache = opts.scale, opts.seed, opts.cache
     d2 = _flow("l2d", FlowConfig(scale=scale, seed=seed), process, cache)
     d3 = _flow("l2d", FlowConfig(
         scale=scale, seed=seed,
@@ -255,11 +349,11 @@ def run_table4(process: Optional[ProcessNode] = None,
 # Fig. 2: CCX folding
 # ---------------------------------------------------------------------------
 
-def run_fig2(process: Optional[ProcessNode] = None,
-             scale: float = 1.0, cache=None,
-             seed: int = 1) -> ExperimentResult:
+@experiment("fig2", "CCX folding and TSV-count sweep")
+def _fig2(opts: ExperimentOptions) -> ExperimentResult:
     """Fig. 2: the CCX's natural PCX/CPX fold, plus the TSV-count sweep."""
-    process = process or make_process()
+    process = opts.resolved_process()
+    scale, seed, cache = opts.scale, opts.seed, opts.cache
     d2 = _flow("ccx", FlowConfig(scale=scale, seed=seed), process, cache)
     natural = _flow("ccx", FlowConfig(
         scale=scale, seed=seed,
@@ -302,11 +396,11 @@ def run_fig2(process: Optional[ProcessNode] = None,
 # Fig. 3: SPC second-level folding
 # ---------------------------------------------------------------------------
 
-def run_fig3(process: Optional[ProcessNode] = None,
-             scale: float = 1.0, cache=None,
-             seed: int = 1) -> ExperimentResult:
+@experiment("fig3", "SPC second-level folding")
+def _fig3(opts: ExperimentOptions) -> ExperimentResult:
     """Fig. 3: second-level (FUB) folding of the SPARC core."""
-    process = process or make_process()
+    process = opts.resolved_process()
+    scale, seed, cache = opts.scale, opts.seed, opts.cache
     study = spc_folding_study(process, FlowConfig(scale=scale, seed=seed),
                               cache=cache)
     table = format_table(
@@ -345,12 +439,12 @@ def run_fig3(process: Optional[ProcessNode] = None,
 # Fig. 6: bonding style impact on placement/footprint
 # ---------------------------------------------------------------------------
 
-def run_fig6(process: Optional[ProcessNode] = None,
-             scale: float = 1.0, cache=None,
-             seed: int = 1) -> ExperimentResult:
+@experiment("fig6", "bonding style placement impact")
+def _fig6(opts: ExperimentOptions) -> ExperimentResult:
     """Fig. 6: F2F vias over macros shrink folded footprints vs TSVs."""
     from ..core.bonding import compare_bonding
-    process = process or make_process()
+    process = opts.resolved_process()
+    scale, seed, cache = opts.scale, opts.seed, opts.cache
     base = FlowConfig(scale=scale, seed=seed)
     l2t = compare_bonding("l2t", FoldSpec(mode="mincut"), process, base,
                           label="l2t", cache=cache)
@@ -402,11 +496,11 @@ def run_fig6(process: Optional[ProcessNode] = None,
 # Fig. 7: bonding style power sweep over partitions
 # ---------------------------------------------------------------------------
 
-def run_fig7(process: Optional[ProcessNode] = None,
-             scale: float = 1.0, cache=None,
-             seed: int = 1) -> ExperimentResult:
+@experiment("fig7", "bonding style power sweep")
+def _fig7(opts: ExperimentOptions) -> ExperimentResult:
     """Fig. 7: five L2T partitions, F2B vs F2F, power vs 3D connections."""
-    process = process or make_process()
+    process = opts.resolved_process()
+    scale, seed, cache = opts.scale, opts.seed, opts.cache
     sweep = bonding_power_sweep("l2t", process,
                                 FlowConfig(scale=scale, seed=seed),
                                 cache=cache)
@@ -446,11 +540,11 @@ def run_fig7(process: Optional[ProcessNode] = None,
 # Fig. 8: the five full-chip styles
 # ---------------------------------------------------------------------------
 
-def run_fig8(process: Optional[ProcessNode] = None,
-             scale: float = 1.0, cache=None,
-             seed: int = 1) -> ExperimentResult:
+@experiment("fig8", "five full-chip design styles")
+def _fig8(opts: ExperimentOptions) -> ExperimentResult:
     """Fig. 8: GDSII-style comparison of the five full-chip layouts."""
-    process = process or make_process()
+    process = opts.resolved_process()
+    scale, seed, cache = opts.scale, opts.seed, opts.cache
     styles = ("2d", "core_cache", "core_core", "fold_f2b", "fold_f2f")
     chips = {s: build_chip(ChipConfig(style=s, scale=scale, seed=seed),
                            process, cache=cache)
@@ -492,11 +586,11 @@ def run_fig8(process: Optional[ProcessNode] = None,
 # Table 5: dual-Vth full-chip comparison
 # ---------------------------------------------------------------------------
 
-def run_table5(process: Optional[ProcessNode] = None,
-               scale: float = 1.0, cache=None,
-               seed: int = 1) -> ExperimentResult:
+@experiment("table5", "full-chip dual-Vth comparison")
+def _table5(opts: ExperimentOptions) -> ExperimentResult:
     """Table 5: 2D vs 3D w/o folding vs 3D w/ folding, dual-Vth."""
-    process = process or make_process()
+    process = opts.resolved_process()
+    scale, seed, cache = opts.scale, opts.seed, opts.cache
     d2 = build_chip(ChipConfig(style="2d", dual_vth=True, scale=scale,
                                seed=seed), process, cache=cache)
     nf = build_chip(ChipConfig(style="core_cache", dual_vth=True,
@@ -540,11 +634,11 @@ def run_table5(process: Optional[ProcessNode] = None,
 # Section 6.2 claim: DVT vs RVT twins
 # ---------------------------------------------------------------------------
 
-def run_dvt_claim(process: Optional[ProcessNode] = None,
-                  scale: float = 1.0, cache=None,
-                  seed: int = 1) -> ExperimentResult:
+@experiment("dvt", "dual-Vth benefit (Section 6.2)")
+def _dvt_claim(opts: ExperimentOptions) -> ExperimentResult:
     """Section 6.2: dual-Vth saves ~10% vs the RVT-only twin designs."""
-    process = process or make_process()
+    process = opts.resolved_process()
+    scale, seed, cache = opts.scale, opts.seed, opts.cache
     rvt2d = build_chip(ChipConfig(style="2d", scale=scale, seed=seed),
                        process, cache=cache)
     dvt2d = build_chip(ChipConfig(style="2d", dual_vth=True, scale=scale,
@@ -577,39 +671,152 @@ def run_dvt_claim(process: Optional[ProcessNode] = None,
     return ExperimentResult("dvt_claim", "dual-Vth benefit", table, checks)
 
 
-#: experiment id -> (runner, description)
-EXPERIMENTS: Dict[str, Tuple[Callable[..., ExperimentResult], str]] = {
-    "table1": (run_table1, "3D interconnect settings (Katti model)"),
-    "table2": (run_table2, "2D vs 3D floorplanning (core/cache, core/core)"),
-    "table3": (run_table3, "folding candidate selection"),
-    "table4": (run_table4, "L2 data bank folding"),
-    "table5": (run_table5, "full-chip dual-Vth comparison"),
-    "fig2": (run_fig2, "CCX folding and TSV-count sweep"),
-    "fig3": (run_fig3, "SPC second-level folding"),
-    "fig6": (run_fig6, "bonding style placement impact"),
-    "fig7": (run_fig7, "bonding style power sweep"),
-    "fig8": (run_fig8, "five full-chip design styles"),
-    "dvt": (run_dvt_claim, "dual-Vth benefit (Section 6.2)"),
-}
-
+# ---------------------------------------------------------------------------
+# Dispatch and backward compatibility
+# ---------------------------------------------------------------------------
 
 def run_experiment(experiment_id: str,
+                   opts: Optional[ExperimentOptions] = None,
+                   *,
                    process: Optional[ProcessNode] = None,
-                   scale: float = 1.0, cache=None,
-                   seed: int = 1) -> ExperimentResult:
-    """Run one registered experiment by id.
+                   scale: Optional[float] = None, cache=None,
+                   seed: Optional[int] = None) -> ExperimentResult:
+    """Run one registered experiment by id -- the single entry point.
 
     Args:
-        experiment_id: key in :data:`EXPERIMENTS`.
+        experiment_id: key in :data:`REGISTRY` (see :data:`EXPERIMENTS`).
+        opts: the options bundle.  Building one explicitly is the
+            preferred API; the keyword arguments below survive for
+            pre-registry callers and fill in an options object when
+            ``opts`` is omitted.
         process: technology node (default: :func:`make_process`).
         scale: model-scale multiplier.
-        cache: optional :class:`repro.core.cache.DesignCache`; block
-            designs recur across experiments, and with a persistent
-            ``cache_dir`` a warm rerun skips the flows entirely.
+        cache: optional :class:`repro.core.cache.DesignCache`.
         seed: generation/placement seed threaded into every flow.
+
+    Raises:
+        UnknownExperimentError: when the id is not registered (a
+            :class:`KeyError` subclass whose message lists every valid
+            id).
+        TypeError: when both ``opts`` and legacy keywords are given.
+
+    The run is wrapped in an ``experiment`` span carrying the id, scale
+    and seed; ``opts.trace=False`` suppresses span/metric recording for
+    the duration of the run.
     """
-    runner, _ = EXPERIMENTS[experiment_id]
-    return runner(process=process, scale=scale, cache=cache, seed=seed)
+    exp = REGISTRY.get(experiment_id)
+    if exp is None:
+        raise UnknownExperimentError(experiment_id)
+    if opts is None:
+        opts = ExperimentOptions(
+            process=process,
+            scale=1.0 if scale is None else scale,
+            seed=1 if seed is None else seed,
+            cache=cache)
+    elif (process is not None or scale is not None or cache is not None
+          or seed is not None):
+        raise TypeError("pass either an ExperimentOptions or legacy "
+                        "keyword arguments, not both")
+    if not opts.trace:
+        with trace.disabled():
+            return exp.fn(opts)
+    with trace.span("experiment", id=exp.id, scale=opts.scale,
+                    seed=opts.seed, cached=opts.cache is not None):
+        return exp.fn(opts)
+
+
+def _legacy(experiment_id: str, old_name: str, process, scale, cache,
+            seed) -> ExperimentResult:
+    """Shared body of the deprecated module-level runners."""
+    warnings.warn(
+        f"{old_name}() is deprecated; use "
+        f"run_experiment({experiment_id!r}, ExperimentOptions(...))",
+        DeprecationWarning, stacklevel=3)
+    return run_experiment(experiment_id, ExperimentOptions(
+        process=process, scale=scale, seed=seed, cache=cache))
+
+
+def run_table1(process: Optional[ProcessNode] = None, scale: float = 1.0,
+               cache=None, seed: int = 1) -> ExperimentResult:
+    """Deprecated wrapper; use ``run_experiment("table1", ...)``."""
+    return _legacy("table1", "run_table1", process, scale, cache, seed)
+
+
+def run_table2(process: Optional[ProcessNode] = None, scale: float = 1.0,
+               cache=None, seed: int = 1) -> ExperimentResult:
+    """Deprecated wrapper; use ``run_experiment("table2", ...)``."""
+    return _legacy("table2", "run_table2", process, scale, cache, seed)
+
+
+def run_table3(process: Optional[ProcessNode] = None, scale: float = 1.0,
+               cache=None, seed: int = 1) -> ExperimentResult:
+    """Deprecated wrapper; use ``run_experiment("table3", ...)``."""
+    return _legacy("table3", "run_table3", process, scale, cache, seed)
+
+
+def run_table4(process: Optional[ProcessNode] = None, scale: float = 1.0,
+               cache=None, seed: int = 1) -> ExperimentResult:
+    """Deprecated wrapper; use ``run_experiment("table4", ...)``."""
+    return _legacy("table4", "run_table4", process, scale, cache, seed)
+
+
+def run_table5(process: Optional[ProcessNode] = None, scale: float = 1.0,
+               cache=None, seed: int = 1) -> ExperimentResult:
+    """Deprecated wrapper; use ``run_experiment("table5", ...)``."""
+    return _legacy("table5", "run_table5", process, scale, cache, seed)
+
+
+def run_fig2(process: Optional[ProcessNode] = None, scale: float = 1.0,
+             cache=None, seed: int = 1) -> ExperimentResult:
+    """Deprecated wrapper; use ``run_experiment("fig2", ...)``."""
+    return _legacy("fig2", "run_fig2", process, scale, cache, seed)
+
+
+def run_fig3(process: Optional[ProcessNode] = None, scale: float = 1.0,
+             cache=None, seed: int = 1) -> ExperimentResult:
+    """Deprecated wrapper; use ``run_experiment("fig3", ...)``."""
+    return _legacy("fig3", "run_fig3", process, scale, cache, seed)
+
+
+def run_fig6(process: Optional[ProcessNode] = None, scale: float = 1.0,
+             cache=None, seed: int = 1) -> ExperimentResult:
+    """Deprecated wrapper; use ``run_experiment("fig6", ...)``."""
+    return _legacy("fig6", "run_fig6", process, scale, cache, seed)
+
+
+def run_fig7(process: Optional[ProcessNode] = None, scale: float = 1.0,
+             cache=None, seed: int = 1) -> ExperimentResult:
+    """Deprecated wrapper; use ``run_experiment("fig7", ...)``."""
+    return _legacy("fig7", "run_fig7", process, scale, cache, seed)
+
+
+def run_fig8(process: Optional[ProcessNode] = None, scale: float = 1.0,
+             cache=None, seed: int = 1) -> ExperimentResult:
+    """Deprecated wrapper; use ``run_experiment("fig8", ...)``."""
+    return _legacy("fig8", "run_fig8", process, scale, cache, seed)
+
+
+def run_dvt_claim(process: Optional[ProcessNode] = None,
+                  scale: float = 1.0, cache=None,
+                  seed: int = 1) -> ExperimentResult:
+    """Deprecated wrapper; use ``run_experiment("dvt", ...)``."""
+    return _legacy("dvt", "run_dvt_claim", process, scale, cache, seed)
+
+
+_LEGACY_RUNNERS: Dict[str, Callable[..., ExperimentResult]] = {
+    "table1": run_table1, "table2": run_table2, "table3": run_table3,
+    "table4": run_table4, "table5": run_table5, "fig2": run_fig2,
+    "fig3": run_fig3, "fig6": run_fig6, "fig7": run_fig7,
+    "fig8": run_fig8, "dvt": run_dvt_claim,
+}
+
+#: experiment id -> (runner, description); the pre-registry public
+#: surface, kept as a read view of :data:`REGISTRY` (the runners are the
+#: deprecated keyword-style wrappers).
+EXPERIMENTS: Dict[str, Tuple[Callable[..., ExperimentResult], str]] = {
+    eid: (_LEGACY_RUNNERS[eid], exp.description)
+    for eid, exp in REGISTRY.items()
+}
 
 
 # ---------------------------------------------------------------------------

@@ -10,15 +10,18 @@ chip-level timing sign-off.
 
 from __future__ import annotations
 
-from typing import List
+from typing import Any, Dict, List, Optional
 
 from ..core.fullchip import ChipDesign
+from ..obs.metrics import format_snapshot, metrics
 from ..tech.process import ProcessNode
 
 
 def chip_report_card(chip: ChipDesign, process: ProcessNode,
                      include_integrity: bool = True,
-                     include_signoff: bool = False) -> str:
+                     include_signoff: bool = False,
+                     metrics_snapshot: Optional[Dict[str, Any]] = None
+                     ) -> str:
     """Render the full design report for a built chip.
 
     Args:
@@ -27,6 +30,10 @@ def chip_report_card(chip: ChipDesign, process: ProcessNode,
         include_integrity: add thermal / IR-drop / cost sections.
         include_signoff: run and add the chip-level timing sign-off
             (builds cross-block paths; adds a few seconds).
+        metrics_snapshot: flow-metrics snapshot for the observability
+            section (default: the process-wide registry's current
+            state; pass a :class:`~repro.parallel.engine.BenchReport`'s
+            ``metrics`` to scope it to one run).
 
     Returns:
         A markdown document.
@@ -110,6 +117,20 @@ def chip_report_card(chip: ChipDesign, process: ProcessNode,
                 total = sum(d.stage_times_ms.values())
                 lines.append(f"| {name} | " + " | ".join(cells) +
                              f" | {total:.0f} |")
+    snap = (metrics_snapshot if metrics_snapshot is not None
+            else metrics().snapshot())
+    snap_text = format_snapshot(snap)
+    if snap_text:
+        lines.append("")
+        lines.append("## Observability")
+        lines.append("")
+        lines.append("Flow metrics recorded while this design was "
+                     "built (cache traffic, optimizer moves, via "
+                     "counts):")
+        lines.append("")
+        lines.append("```")
+        lines.append(snap_text)
+        lines.append("```")
     if include_integrity:
         lines.append("")
         lines.append("## Physical integrity")

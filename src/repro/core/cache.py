@@ -40,6 +40,8 @@ from dataclasses import asdict, dataclass
 from pathlib import Path
 from typing import Dict, Optional, Union
 
+from ..obs import trace
+from ..obs.metrics import metrics
 from ..tech.process import ProcessNode
 from .flow import BlockDesign, FlowConfig, run_block_flow
 
@@ -203,6 +205,7 @@ class DesignCache:
                     pass
                 raise
             self.stats.stores += 1
+            metrics().counter("cache.stores").inc()
             self._prune_disk()
         except OSError:
             # an unwritable cache directory degrades to memory-only
@@ -248,22 +251,33 @@ class DesignCache:
         The cached object is shared: treat it as read-only.  Flows that
         intend to mutate the netlist afterwards (ECO sessions) should
         call :func:`run_block_flow` directly.
+
+        Every lookup records a ``cache.lookup`` span whose ``outcome``
+        attribute is ``memory_hit`` / ``disk_hit`` / ``miss``, and
+        increments the matching ``cache.*`` counters.
         """
-        key = design_key(block, config, process)
-        hit = self._store.get(key)
-        if hit is not None:
-            self.stats.hits += 1
-            return hit
-        design = self._load_disk(key)
-        if design is not None:
-            self.stats.disk_hits += 1
+        with trace.span("cache.lookup", block=block) as sp:
+            key = design_key(block, config, process)
+            hit = self._store.get(key)
+            if hit is not None:
+                self.stats.hits += 1
+                metrics().counter("cache.memory_hits").inc()
+                sp.set(outcome="memory_hit")
+                return hit
+            design = self._load_disk(key)
+            if design is not None:
+                self.stats.disk_hits += 1
+                metrics().counter("cache.disk_hits").inc()
+                sp.set(outcome="disk_hit")
+                self._remember(key, design)
+                return design
+            self.stats.misses += 1
+            metrics().counter("cache.misses").inc()
+            sp.set(outcome="miss")
+            design = run_block_flow(block, config, process)
             self._remember(key, design)
+            self._store_disk(key, design)
             return design
-        self.stats.misses += 1
-        design = run_block_flow(block, config, process)
-        self._remember(key, design)
-        self._store_disk(key, design)
-        return design
 
     def clear(self) -> None:
         """Drop the in-memory tier and reset the counters (the disk tier

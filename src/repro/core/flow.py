@@ -18,7 +18,6 @@ statistics, HVT usage and the cell/net/leakage power split.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 from typing import Dict, Optional, Tuple
 
@@ -26,6 +25,8 @@ from ..cts.tree import CTSResult
 from ..designgen.generate import GeneratedBlock, generate_block
 from ..designgen.t2 import BlockType, block_type_by_name
 from ..netlist.core import Netlist
+from ..obs import trace
+from ..obs.metrics import metrics
 from ..opt.flow import OptimizeConfig, OptimizeResult, optimize_block
 from ..place.grid import Rect
 from ..place.placer2d import PlacementConfig, place_block_2d
@@ -97,7 +98,9 @@ class BlockDesign:
     #: congestion report when the flow ran the detailed router
     congestion: Optional[object] = None
     #: wall-clock per flow stage (generate/place/optimize/route/power),
-    #: in milliseconds; excluded from JSON exports (non-deterministic)
+    #: in milliseconds; a thin view over the flow's ``repro.obs`` spans
+    #: (``flow.place`` -> ``"place"``), excluded from JSON exports
+    #: (non-deterministic)
     stage_times_ms: Dict[str, float] = field(default_factory=dict)
 
     @property
@@ -139,12 +142,16 @@ def run_block_flow(block: str, config: FlowConfig,
         The finished :class:`BlockDesign`.
     """
     block_type = block_type_by_name(block)
-    t0 = time.perf_counter()
-    gb = generate_block(block_type, process.library, seed=config.seed,
-                        scale=config.scale)
-    gen_ms = (time.perf_counter() - t0) * 1e3
-    design = run_flow_on(gb, config, process)
-    design.stage_times_ms["generate"] = gen_ms
+    with trace.span("flow", block=block,
+                    folded=config.fold is not None,
+                    fold=config.fold.mode if config.fold else None,
+                    bonding=config.bonding if config.fold else None,
+                    scale=config.scale, seed=config.seed):
+        with trace.span("flow.generate", block=block) as sp_gen:
+            gb = generate_block(block_type, process.library,
+                                seed=config.seed, scale=config.scale)
+        design = run_flow_on(gb, config, process)
+    design.stage_times_ms["generate"] = sp_gen.duration_ms
     return design
 
 
@@ -166,39 +173,44 @@ def run_flow_on(gb: GeneratedBlock, config: FlowConfig,
     via = None
     extra_clock_vias = 0
     stage_times_ms: Dict[str, float] = {}
-    t_stage = time.perf_counter()
 
-    if config.fold is None:
-        placement = place_block_2d(netlist, pc)
-        outline = placement.outline
-        tsv_area = 0.0
-        n_vias = 0
-    else:
-        assignment = make_partition(gb, config.fold)
-        region_of = None
-        if config.fold.mode in ("fub_assign", "fub_fold"):
-            # FUBs are place-and-route regions of their own (Section 4.5)
-            region_of = {
-                inst.id: gb.region_of_cluster(inst.cluster)
-                for inst in netlist.instances.values()
-            }
-        fold_result = fold_place_3d(netlist, process, assignment,
-                                    config.bonding, pc,
-                                    region_of=region_of)
-        outline = fold_result.outline
-        tsv_area = fold_result.tsv_area_um2
-        via = process.via_for(config.bonding)
-        if config.bonding.upper() == "F2F":
-            # the paper's Section 5.1 flow refines via sites by 3D routing
-            plan = place_f2f_vias(netlist, outline, process)
-            via_sites = dict(plan.sites)
+    with trace.span("flow.place", block=block_type.name,
+                    folded=config.fold is not None) as sp_place:
+        if config.fold is None:
+            placement = place_block_2d(netlist, pc)
+            outline = placement.outline
+            tsv_area = 0.0
+            n_vias = 0
         else:
-            via_sites = {v.net_id: (v.x, v.y) for v in fold_result.vias}
-        n_vias = fold_result.n_vias
-
-    now = time.perf_counter()
-    stage_times_ms["place"] = (now - t_stage) * 1e3
-    t_stage = now
+            assignment = make_partition(gb, config.fold)
+            region_of = None
+            if config.fold.mode in ("fub_assign", "fub_fold"):
+                # FUBs are place-and-route regions of their own
+                # (Section 4.5)
+                region_of = {
+                    inst.id: gb.region_of_cluster(inst.cluster)
+                    for inst in netlist.instances.values()
+                }
+            fold_result = fold_place_3d(netlist, process, assignment,
+                                        config.bonding, pc,
+                                        region_of=region_of)
+            outline = fold_result.outline
+            tsv_area = fold_result.tsv_area_um2
+            via = process.via_for(config.bonding)
+            if config.bonding.upper() == "F2F":
+                # the paper's Section 5.1 flow refines via sites by 3D
+                # routing
+                plan = place_f2f_vias(netlist, outline, process)
+                via_sites = dict(plan.sites)
+            else:
+                via_sites = {v.net_id: (v.x, v.y)
+                             for v in fold_result.vias}
+            n_vias = fold_result.n_vias
+            sp_place.set(n_vias=n_vias)
+            metrics().counter(
+                "flow.vias.f2f" if config.bonding.upper() == "F2F"
+                else "flow.vias.tsv").inc(n_vias)
+    stage_times_ms["place"] = sp_place.duration_ms
 
     if config.assert_clean:
         # gate the placement (and legalized via sites) before routing
@@ -217,12 +229,11 @@ def run_flow_on(gb: GeneratedBlock, config: FlowConfig,
 
     timing = TimingConfig(clock_domain=block_type.logic.clock_domain,
                           default_io_delay_ps=config.io_budget_ps)
-    opt = optimize_block(netlist, process, timing, route_fn,
-                         OptimizeConfig(rounds=config.opt_rounds,
-                                        dual_vth=config.dual_vth))
-    now = time.perf_counter()
-    stage_times_ms["optimize"] = (now - t_stage) * 1e3
-    t_stage = now
+    with trace.span("flow.optimize", block=block_type.name) as sp_opt:
+        opt = optimize_block(netlist, process, timing, route_fn,
+                             OptimizeConfig(rounds=config.opt_rounds,
+                                            dual_vth=config.dual_vth))
+    stage_times_ms["optimize"] = sp_opt.duration_ms
 
     congestion = None
     if config.detailed_route:
@@ -236,26 +247,28 @@ def run_flow_on(gb: GeneratedBlock, config: FlowConfig,
                 max_metal=max_metal, via=via, via_sites=via_sites,
                 long_wire_um=process.long_wire_um)
 
-        # post-route repair: measured detours can break paths the
-        # estimate-driven optimization believed were met
-        detailed, congestion = detail_route()
-        sta = run_sta(netlist, detailed, process, timing)
-        for _ in range(3):
-            if sta.wns_ps >= -1.0:
-                break
-            if not fix_timing(netlist, detailed, sta, process.library):
-                break
+        with trace.span("flow.detailed_route",
+                        block=block_type.name) as sp_route:
+            # post-route repair: measured detours can break paths the
+            # estimate-driven optimization believed were met
             detailed, congestion = detail_route()
             sta = run_sta(netlist, detailed, process, timing)
-        opt.routing = detailed
-        opt.sta = sta
-        now = time.perf_counter()
-        stage_times_ms["detailed_route"] = (now - t_stage) * 1e3
-        t_stage = now
+            for _ in range(3):
+                if sta.wns_ps >= -1.0:
+                    break
+                if not fix_timing(netlist, detailed, sta,
+                                  process.library):
+                    break
+                detailed, congestion = detail_route()
+                sta = run_sta(netlist, detailed, process, timing)
+            opt.routing = detailed
+            opt.sta = sta
+        stage_times_ms["detailed_route"] = sp_route.duration_ms
 
-    power = analyze_power(netlist, opt.routing, process,
-                          block_type.logic.clock_domain, cts=opt.cts)
-    stage_times_ms["power"] = (time.perf_counter() - t_stage) * 1e3
+    with trace.span("flow.power", block=block_type.name) as sp_power:
+        power = analyze_power(netlist, opt.routing, process,
+                              block_type.logic.clock_domain, cts=opt.cts)
+    stage_times_ms["power"] = sp_power.duration_ms
     from ..opt.dualvth import hvt_fraction
 
     n_vias += opt.cts.via_crossings

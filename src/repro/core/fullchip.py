@@ -20,13 +20,14 @@ F2F bonding -- and rolls block-level designs up into chip-level metrics:
 from __future__ import annotations
 
 import math
-import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from ..designgen.t2 import Bundle, t2_block_types, t2_bundles, t2_instances
 from ..floorplan.t2_floorplans import (BOTH_DIES, FOLDED_TYPES, STYLES,
                                        ChipFloorplan, t2_floorplan)
+from ..obs import trace
+from ..obs.metrics import metrics
 from ..opt.buffering import optimal_spacing_um
 from ..place.grid import Rect
 from ..power.analysis import PowerReport
@@ -122,7 +123,9 @@ class ChipDesign:
     #: chip-level TSV array plan (F2B 3D styles only)
     tsv_plan: Optional[object] = None
     #: wall-clock per build phase (budget/blocks/assemble/aggregate) in
-    #: milliseconds; block flows served from a cache report ~0 here
+    #: milliseconds; a thin view over the build's ``repro.obs`` spans
+    #: (``chip.blocks`` -> ``"blocks"``).  Block flows served from a
+    #: cache report ~0 here
     phase_times_ms: Dict[str, float] = field(default_factory=dict)
 
     @property
@@ -186,7 +189,19 @@ def build_chip(config: ChipConfig, process: ProcessNode,
     routes the bundles with style-dependent blockages, and aggregates
     chip metrics.  Pass a :class:`repro.core.cache.DesignCache` to share
     identical block designs across multiple builds (sweeps).
+
+    The build records a ``chip`` observability span with one child span
+    per phase (``chip.budget`` / ``chip.blocks`` / ``chip.assemble`` /
+    ``chip.aggregate``); ``ChipDesign.phase_times_ms`` is derived from
+    those spans.
     """
+    with trace.span("chip", style=config.style, scale=config.scale,
+                    seed=config.seed, dual_vth=config.dual_vth):
+        return _build_chip(config, process, cache)
+
+
+def _build_chip(config: ChipConfig, process: ProcessNode,
+                cache=None) -> ChipDesign:
     instances = t2_instances()
     bundles = t2_bundles()
     counts: Dict[str, int] = {}
@@ -200,204 +215,211 @@ def build_chip(config: ChipConfig, process: ProcessNode,
 
     # ---- phase 1: budgets from the estimated floorplan -----------------
     phase_times_ms: Dict[str, float] = {}
-    t_phase = time.perf_counter()
-    est_dims = _estimate_dims(process, config)
-    est_fp = t2_floorplan(config.style, est_dims, gap=gap_um)
-    budget_of: Dict[str, float] = {}
-    for b in bundles:
-        ax, ay = est_fp.center_of(b.a)
-        bx, by = est_fp.center_of(b.b)
-        length = abs(ax - bx) + abs(ay - by)
-        crosses = est_fp.crosses_dies(b.a, b.b)
-        _, delay = _bundle_wire_stats(process, length, b.clock_domain,
-                                      crosses)
-        # each side's budget covers its half of the inter-block wire;
-        # the optional sign-off loop (core.chip_sta) raises per-type
-        # floors where the measured cross paths need more
-        for end in (b.a, b.b):
-            tname = end.rstrip("0123456789")
-            budget_of[tname] = max(budget_of.get(tname, 0.0), delay / 2.0)
-    for tname, floor in config.budget_floor_ps:
-        budget_of[tname] = max(budget_of.get(tname, 0.0), floor)
-    bucket = max(config.budget_bucket_ps, 1.0)
-    budget_of = {k: round(v / bucket) * bucket for k, v in budget_of.items()}
-    now = time.perf_counter()
-    phase_times_ms["budget"] = (now - t_phase) * 1e3
-    t_phase = now
+    with trace.span("chip.budget", style=config.style) as sp_budget:
+        est_dims = _estimate_dims(process, config)
+        est_fp = t2_floorplan(config.style, est_dims, gap=gap_um)
+        budget_of: Dict[str, float] = {}
+        for b in bundles:
+            ax, ay = est_fp.center_of(b.a)
+            bx, by = est_fp.center_of(b.b)
+            length = abs(ax - bx) + abs(ay - by)
+            crosses = est_fp.crosses_dies(b.a, b.b)
+            _, delay = _bundle_wire_stats(process, length,
+                                          b.clock_domain, crosses)
+            # each side's budget covers its half of the inter-block
+            # wire; the optional sign-off loop (core.chip_sta) raises
+            # per-type floors where the measured cross paths need more
+            for end in (b.a, b.b):
+                tname = end.rstrip("0123456789")
+                budget_of[tname] = max(budget_of.get(tname, 0.0),
+                                       delay / 2.0)
+        for tname, floor in config.budget_floor_ps:
+            budget_of[tname] = max(budget_of.get(tname, 0.0), floor)
+        bucket = max(config.budget_bucket_ps, 1.0)
+        budget_of = {k: round(v / bucket) * bucket
+                     for k, v in budget_of.items()}
+    phase_times_ms["budget"] = sp_budget.duration_ms
 
     # ---- phase 2: block flows ------------------------------------------
     block_designs: Dict[str, BlockDesign] = {}
-    for bt in t2_block_types():
-        fold = _fold_for(config, bt.name)
-        fc = FlowConfig(scale=config.scale, seed=config.seed, fold=fold,
-                        bonding=config.bonding, dual_vth=config.dual_vth,
-                        io_budget_ps=budget_of.get(bt.name, 0.0),
-                        opt_rounds=config.opt_rounds,
-                        assert_clean=config.assert_clean)
-        if cache is not None:
-            block_designs[bt.name] = cache.get_or_run(bt.name, fc,
-                                                      process)
-        else:
-            block_designs[bt.name] = run_block_flow(bt.name, fc, process)
-    now = time.perf_counter()
-    phase_times_ms["blocks"] = (now - t_phase) * 1e3
-    t_phase = now
+    with trace.span("chip.blocks", style=config.style,
+                    cached=cache is not None) as sp_blocks:
+        for bt in t2_block_types():
+            fold = _fold_for(config, bt.name)
+            fc = FlowConfig(scale=config.scale, seed=config.seed,
+                            fold=fold, bonding=config.bonding,
+                            dual_vth=config.dual_vth,
+                            io_budget_ps=budget_of.get(bt.name, 0.0),
+                            opt_rounds=config.opt_rounds,
+                            assert_clean=config.assert_clean)
+            if cache is not None:
+                block_designs[bt.name] = cache.get_or_run(bt.name, fc,
+                                                          process)
+            else:
+                block_designs[bt.name] = run_block_flow(bt.name, fc,
+                                                        process)
+    phase_times_ms["blocks"] = sp_blocks.duration_ms
 
     # ---- phase 3: real floorplan + global routing ----------------------
-    dims = {}
-    for inst, tname in instances:
-        d = block_designs[tname]
-        dims[inst] = d.dims
-    floorplan = t2_floorplan(config.style, dims, gap=gap_um)
-    outline = Rect(0.0, 0.0, floorplan.width, floorplan.height)
+    with trace.span("chip.assemble", style=config.style) as sp_asm:
+        dims = {}
+        for inst, tname in instances:
+            d = block_designs[tname]
+            dims[inst] = d.dims
+        floorplan = t2_floorplan(config.style, dims, gap=gap_um)
+        outline = Rect(0.0, 0.0, floorplan.width, floorplan.height)
 
-    n_dies = floorplan.n_dies
-    routers = [GlobalRouter(outline, n_gcells=24,
-                            capacity_per_gcell=3000.0)
-               for _ in range(n_dies)]
-    for inst, rect in floorplan.positions.items():
-        tname = inst.rstrip("0123456789")
-        die = floorplan.die_of[inst]
-        folded = die == BOTH_DIES
-        spc_like = tname == "spc"
-        if folded:
-            if config.style == "fold_f2f" or spc_like:
-                frac = (OTB_BLOCKED, OTB_BLOCKED)
-            else:  # F2B fold: bottom tier keeps M8/M9, top tier does not
-                frac = (OTB_NORMAL, OTB_BLOCKED)
-            for d in range(n_dies):
-                routers[d].add_blockage(rect, frac[d] if d < len(frac)
-                                        else frac[-1])
-        else:
-            frac = OTB_BLOCKED if spc_like else OTB_NORMAL
-            routers[die].add_blockage(rect, frac)
+        n_dies = floorplan.n_dies
+        routers = [GlobalRouter(outline, n_gcells=24,
+                                capacity_per_gcell=3000.0)
+                   for _ in range(n_dies)]
+        for inst, rect in floorplan.positions.items():
+            tname = inst.rstrip("0123456789")
+            die = floorplan.die_of[inst]
+            folded = die == BOTH_DIES
+            spc_like = tname == "spc"
+            if folded:
+                if config.style == "fold_f2f" or spc_like:
+                    frac = (OTB_BLOCKED, OTB_BLOCKED)
+                else:  # F2B fold: bottom tier keeps M8/M9, top does not
+                    frac = (OTB_NORMAL, OTB_BLOCKED)
+                for d in range(n_dies):
+                    routers[d].add_blockage(rect,
+                                            frac[d] if d < len(frac)
+                                            else frac[-1])
+            else:
+                frac = OTB_BLOCKED if spc_like else OTB_NORMAL
+                routers[die].add_blockage(rect, frac)
 
-    # TSV array planning (reference [5]): tier-crossing bundles must
-    # land their TSVs in whitespace, outside every block
-    tsv_plan = None
-    if config.is_3d and config.bonding == "F2B":
-        from ..floorplan.tsv_planning import plan_tsv_arrays
-        crossing = [(b.a, b.b, b.n_wires) for b in bundles
-                    if floorplan.crosses_dies(b.a, b.b)]
-        if crossing:
-            tsv_plan = plan_tsv_arrays(floorplan, crossing, process.tsv)
+        # TSV array planning (reference [5]): tier-crossing bundles must
+        # land their TSVs in whitespace, outside every block
+        tsv_plan = None
+        if config.is_3d and config.bonding == "F2B":
+            from ..floorplan.tsv_planning import plan_tsv_arrays
+            crossing = [(b.a, b.b, b.n_wires) for b in bundles
+                        if floorplan.crosses_dies(b.a, b.b)]
+            if crossing:
+                tsv_plan = plan_tsv_arrays(floorplan, crossing,
+                                           process.tsv)
 
-    routed: List[RoutedBundle] = []
-    interblock_wl = 0.0
-    n_cross_wires = 0
-    chip_repeaters_cpu = 0
-    chip_repeaters_io = 0
-    for b in sorted(bundles, key=lambda x: -x.n_wires):
-        src = floorplan.center_of(b.a)
-        dst = floorplan.center_of(b.b)
-        crosses = floorplan.crosses_dies(b.a, b.b)
-        die_a = floorplan.die_of[b.a]
-        route_die = die_a if die_a not in (BOTH_DIES,) else \
-            (floorplan.die_of[b.b] if floorplan.die_of[b.b] != BOTH_DIES
-             else 0)
-        router = routers[min(route_die, n_dies - 1)]
-        path = router.route(src, dst, n_wires=b.n_wires)
-        length = path.length_um
-        if crosses and tsv_plan is not None:
-            length += tsv_plan.detour_of((b.a, b.b))
-        reps, delay = _bundle_wire_stats(process, length,
-                                         b.clock_domain, crosses)
-        routed.append(RoutedBundle(bundle=b, length_um=length,
-                                   crosses_dies=crosses,
-                                   n_repeaters=reps * b.n_wires,
-                                   delay_ps=delay))
-        interblock_wl += length * b.n_wires
-        if crosses:
-            n_cross_wires += b.n_wires
-        if b.clock_domain == CPU_CLOCK:
-            chip_repeaters_cpu += reps * b.n_wires
-        else:
-            chip_repeaters_io += reps * b.n_wires
-
-    now = time.perf_counter()
-    phase_times_ms["assemble"] = (now - t_phase) * 1e3
-    t_phase = now
+        routed: List[RoutedBundle] = []
+        interblock_wl = 0.0
+        n_cross_wires = 0
+        chip_repeaters_cpu = 0
+        chip_repeaters_io = 0
+        for b in sorted(bundles, key=lambda x: -x.n_wires):
+            src = floorplan.center_of(b.a)
+            dst = floorplan.center_of(b.b)
+            crosses = floorplan.crosses_dies(b.a, b.b)
+            die_a = floorplan.die_of[b.a]
+            route_die = die_a if die_a not in (BOTH_DIES,) else \
+                (floorplan.die_of[b.b]
+                 if floorplan.die_of[b.b] != BOTH_DIES else 0)
+            router = routers[min(route_die, n_dies - 1)]
+            path = router.route(src, dst, n_wires=b.n_wires)
+            length = path.length_um
+            if crosses and tsv_plan is not None:
+                length += tsv_plan.detour_of((b.a, b.b))
+            reps, delay = _bundle_wire_stats(process, length,
+                                             b.clock_domain, crosses)
+            routed.append(RoutedBundle(bundle=b, length_um=length,
+                                       crosses_dies=crosses,
+                                       n_repeaters=reps * b.n_wires,
+                                       delay_ps=delay))
+            interblock_wl += length * b.n_wires
+            if crosses:
+                n_cross_wires += b.n_wires
+            if b.clock_domain == CPU_CLOCK:
+                chip_repeaters_cpu += reps * b.n_wires
+            else:
+                chip_repeaters_io += reps * b.n_wires
+        sp_asm.set(n_bundles=len(routed), cross_wires=n_cross_wires)
+    phase_times_ms["assemble"] = sp_asm.duration_ms
 
     # ---- phase 4: aggregation -------------------------------------------
-    power = PowerReport()
-    n_cells = 0
-    n_buffers = 0
-    n_vias = n_cross_wires
-    wirelength = interblock_wl
-    wns = math.inf
-    hvt_cells = 0.0
-    for bt in t2_block_types():
-        d = block_designs[bt.name]
-        k = counts[bt.name]
-        power = power.plus(d.power.scaled(k))
-        n_cells += d.n_cells * k
-        n_buffers += d.n_buffers * k
-        n_vias += d.n_vias * k
-        wirelength += d.wirelength_um * k
-        wns = min(wns, d.sta.wns_ps)
-        hvt_cells += d.hvt_fraction * d.n_cells * k
+    with trace.span("chip.aggregate", style=config.style) as sp_agg:
+        power = PowerReport()
+        n_cells = 0
+        n_buffers = 0
+        n_vias = n_cross_wires
+        wirelength = interblock_wl
+        wns = math.inf
+        hvt_cells = 0.0
+        for bt in t2_block_types():
+            d = block_designs[bt.name]
+            k = counts[bt.name]
+            power = power.plus(d.power.scaled(k))
+            n_cells += d.n_cells * k
+            n_buffers += d.n_buffers * k
+            n_vias += d.n_vias * k
+            wirelength += d.wirelength_um * k
+            wns = min(wns, d.sta.wns_ps)
+            hvt_cells += d.hvt_fraction * d.n_cells * k
 
-    # chip-level wire + repeater power
-    vdd2 = process.vdd ** 2
-    alpha = process.default_activity
-    r89, c89 = process.metal_stack.effective_rc(8, 9)
-    # chip repeaters sit on multi-millimetre bundles with delay to spare;
-    # a dual-Vth flow implements them in HVT
-    from ..tech.cells import VTH_HVT
-    buf = process.library.buffer(drive=16, vth=VTH_HVT) if config.dual_vth \
-        else process.library.buffer(drive=16)
-    for rb in routed:
-        f = process.clock_freq_ghz[rb.bundle.clock_domain]
-        wire_cap = c89 * rb.length_um * rb.bundle.n_wires
-        if rb.crosses_dies:
-            wire_cap += process.tsv.capacitance_ff * rb.bundle.n_wires
-        power.wire_uw += alpha * wire_cap * vdd2 * f
-        power.net_uw += alpha * wire_cap * vdd2 * f
-        power.cell_uw += alpha * rb.n_repeaters * buf.internal_energy_fj * f
-        power.leakage_uw += rb.n_repeaters * buf.leakage_uw
-    n_buffers += chip_repeaters_cpu + chip_repeaters_io
-    n_cells += chip_repeaters_cpu + chip_repeaters_io
+        # chip-level wire + repeater power
+        vdd2 = process.vdd ** 2
+        alpha = process.default_activity
+        r89, c89 = process.metal_stack.effective_rc(8, 9)
+        # chip repeaters sit on multi-millimetre bundles with delay to
+        # spare; a dual-Vth flow implements them in HVT
+        from ..tech.cells import VTH_HVT
+        buf = process.library.buffer(drive=16, vth=VTH_HVT) \
+            if config.dual_vth else process.library.buffer(drive=16)
+        for rb in routed:
+            f = process.clock_freq_ghz[rb.bundle.clock_domain]
+            wire_cap = c89 * rb.length_um * rb.bundle.n_wires
+            if rb.crosses_dies:
+                wire_cap += process.tsv.capacitance_ff * rb.bundle.n_wires
+            power.wire_uw += alpha * wire_cap * vdd2 * f
+            power.net_uw += alpha * wire_cap * vdd2 * f
+            power.cell_uw += alpha * rb.n_repeaters * \
+                buf.internal_energy_fj * f
+            power.leakage_uw += rb.n_repeaters * buf.leakage_uw
+        n_buffers += chip_repeaters_cpu + chip_repeaters_io
+        n_cells += chip_repeaters_cpu + chip_repeaters_io
 
-    # top-level clock spine: Steiner over block centers, buffered
-    f_cpu = process.clock_freq_ghz[CPU_CLOCK]
-    centers = [floorplan.center_of(i) for i, _ in instances]
-    spine_len = steiner_length(centers)
-    spine_bufs = max(1, int(spine_len / 200.0))
-    clock_cap = c89 * spine_len
-    power.net_uw += clock_cap * vdd2 * f_cpu
-    power.wire_uw += clock_cap * vdd2 * f_cpu
-    power.cell_uw += spine_bufs * buf.internal_energy_fj * f_cpu
-    power.leakage_uw += spine_bufs * buf.leakage_uw
-    power.clock_uw += clock_cap * vdd2 * f_cpu + \
-        spine_bufs * buf.internal_energy_fj * f_cpu
-    wirelength += spine_len
-    n_buffers += spine_bufs
-    n_cells += spine_bufs
-    if config.dual_vth:
-        # chip repeaters and spine buffers are implemented in HVT
-        hvt_cells += n_cells - sum(
-            block_designs[bt.name].n_cells * counts[bt.name]
-            for bt in t2_block_types())
+        # top-level clock spine: Steiner over block centers, buffered
+        f_cpu = process.clock_freq_ghz[CPU_CLOCK]
+        centers = [floorplan.center_of(i) for i, _ in instances]
+        spine_len = steiner_length(centers)
+        spine_bufs = max(1, int(spine_len / 200.0))
+        clock_cap = c89 * spine_len
+        power.net_uw += clock_cap * vdd2 * f_cpu
+        power.wire_uw += clock_cap * vdd2 * f_cpu
+        power.cell_uw += spine_bufs * buf.internal_energy_fj * f_cpu
+        power.leakage_uw += spine_bufs * buf.leakage_uw
+        power.clock_uw += clock_cap * vdd2 * f_cpu + \
+            spine_bufs * buf.internal_energy_fj * f_cpu
+        wirelength += spine_len
+        n_buffers += spine_bufs
+        n_cells += spine_bufs
+        if config.dual_vth:
+            # chip repeaters and spine buffers are implemented in HVT
+            hvt_cells += n_cells - sum(
+                block_designs[bt.name].n_cells * counts[bt.name]
+                for bt in t2_block_types())
 
-    chip = ChipDesign(
-        config=config,
-        floorplan=floorplan,
-        block_designs=block_designs,
-        routed_bundles=routed,
-        power=power,
-        footprint_um2=floorplan.area_um2,
-        wirelength_um=wirelength,
-        interblock_wl_um=interblock_wl,
-        n_cells=n_cells,
-        n_buffers=n_buffers,
-        n_3d_connections=n_vias if config.is_3d else 0,
-        hvt_fraction=hvt_cells / max(n_cells, 1),
-        wns_ps=wns,
-        router_overflow=tuple(r.overflow() for r in routers),
-        tsv_plan=tsv_plan,
-        phase_times_ms=phase_times_ms,
-    )
-    phase_times_ms["aggregate"] = (time.perf_counter() - t_phase) * 1e3
+        chip = ChipDesign(
+            config=config,
+            floorplan=floorplan,
+            block_designs=block_designs,
+            routed_bundles=routed,
+            power=power,
+            footprint_um2=floorplan.area_um2,
+            wirelength_um=wirelength,
+            interblock_wl_um=interblock_wl,
+            n_cells=n_cells,
+            n_buffers=n_buffers,
+            n_3d_connections=n_vias if config.is_3d else 0,
+            hvt_fraction=hvt_cells / max(n_cells, 1),
+            wns_ps=wns,
+            router_overflow=tuple(r.overflow() for r in routers),
+            tsv_plan=tsv_plan,
+            phase_times_ms=phase_times_ms,
+        )
+    phase_times_ms["aggregate"] = sp_agg.duration_ms
+    metrics().counter("chip.builds").inc()
+    metrics().counter("chip.3d_connections").inc(chip.n_3d_connections)
     if config.assert_clean:
         # block flows were gated individually; this pass adds the
         # chip-scope rules (floorplan geometry, router capacity, TSVs)

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Iterable, Optional, Sequence
 
+from ..obs.metrics import metrics
 from .context import (LintContext, context_for_block, context_for_chip,
                       context_for_netlist, context_for_placement)
 from .framework import (LintConfig, LintError, LintReport, Violation,
@@ -49,6 +50,11 @@ def run_rules(ctx: LintContext, config: Optional[LintConfig] = None,
                           message=message, obj=obj, context=ctx.name)
             v.waived_by = config.waiver_for(v)
             report.violations.append(v)
+    m = metrics()
+    m.counter("lint.runs").inc()
+    for kind, n in report.counts().items():
+        if n:
+            m.counter(f"lint.findings.{kind}").inc(n)
     return report.sort()
 
 

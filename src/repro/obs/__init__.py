@@ -1,0 +1,38 @@
+"""Observability for the design flow: spans, metrics, trace export.
+
+Three pieces, all dependency-free and safe to import from anywhere in
+the package (``repro.obs`` imports nothing from the rest of ``repro``):
+
+* :mod:`repro.obs.trace` -- hierarchical span tracing.  The flow wraps
+  its stages (``flow.place``, ``chip.blocks``, ``experiment`` ...) in
+  ``trace.span()`` context managers; the legacy ``stage_times_ms`` /
+  ``phase_times_ms`` dicts are thin views over these spans.
+* :mod:`repro.obs.metrics` -- counters/gauges/histograms for the work
+  the flow does (cache hit rates, optimizer moves, via counts, lint
+  findings), with snapshot/diff/merge semantics so parallel workers
+  aggregate exactly.
+* :mod:`repro.obs.export` -- JSONL trace files, reading them back, and
+  the per-span-name hot-path summary behind
+  ``python -m repro trace summarize``.
+
+See ``docs/observability.md`` for the span/metric taxonomy and the
+trace file schema.
+"""
+
+from . import trace
+from .export import (SpanSummary, TraceFile, format_summary, read_trace,
+                     summarize_spans, trace_lines, write_trace)
+from .metrics import (Counter, Gauge, Histogram, MetricsRegistry,
+                      format_snapshot, merge_snapshots, metrics,
+                      set_registry, use_registry)
+from .trace import (Span, Tracer, current_span, disabled, get_tracer,
+                    set_tracer, span, use_tracer)
+
+__all__ = [
+    "trace", "Span", "Tracer", "span", "current_span", "get_tracer",
+    "set_tracer", "use_tracer", "disabled",
+    "Counter", "Gauge", "Histogram", "MetricsRegistry", "metrics",
+    "set_registry", "use_registry", "merge_snapshots", "format_snapshot",
+    "TraceFile", "SpanSummary", "read_trace", "write_trace",
+    "trace_lines", "summarize_spans", "format_summary",
+]

@@ -1,0 +1,149 @@
+"""Trace export: JSONL files, reading them back, and summarizing.
+
+The trace file is line-delimited JSON so it streams, appends and greps
+naturally.  Line types, one JSON object per line:
+
+* ``{"type": "meta", ...}``    -- one header line: schema version plus
+  free-form run attributes (parallel, scale, seed, ...);
+* ``{"type": "span", ...}``    -- one finished :class:`~repro.obs.trace.Span`
+  (name, span_id, parent_id, depth, start_s, duration_ms, attrs, worker);
+* ``{"type": "metrics", ...}`` -- one metrics snapshot (counters /
+  gauges / histograms), usually the aggregated run total.
+
+Spans from several worker processes share one file: ``start_s`` is
+epoch-based so the merged timeline is coherent, and ``(worker,
+span_id)`` keys parent/child links per process.
+
+:func:`summarize_spans` rolls a span list up per name -- count, total,
+mean, max and *self* time (total minus direct children) -- which is the
+``python -m repro trace summarize`` view used to find the next hot
+stage.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from .trace import Span
+
+#: bumped when the line schema changes incompatibly
+TRACE_SCHEMA = 1
+
+SpanLike = Union[Span, Dict[str, Any]]
+
+
+def _span_dict(sp: SpanLike) -> Dict[str, Any]:
+    return sp.to_dict() if isinstance(sp, Span) else dict(sp)
+
+
+def trace_lines(spans: Iterable[SpanLike],
+                metrics: Optional[Dict[str, Any]] = None,
+                meta: Optional[Dict[str, Any]] = None) -> List[str]:
+    """The trace file's lines (without newlines), meta first."""
+    header: Dict[str, Any] = {"type": "meta", "schema": TRACE_SCHEMA}
+    header.update(meta or {})
+    lines = [json.dumps(header, sort_keys=True)]
+    for sp in spans:
+        d = _span_dict(sp)
+        d["type"] = "span"
+        lines.append(json.dumps(d, sort_keys=True))
+    if metrics is not None:
+        lines.append(json.dumps({"type": "metrics", **metrics},
+                                sort_keys=True))
+    return lines
+
+
+def write_trace(path: Union[str, Path], spans: Iterable[SpanLike],
+                metrics: Optional[Dict[str, Any]] = None,
+                meta: Optional[Dict[str, Any]] = None) -> Path:
+    """Write a JSONL trace file; returns the path written."""
+    path = Path(path)
+    path.write_text(
+        "\n".join(trace_lines(spans, metrics=metrics, meta=meta)) + "\n")
+    return path
+
+
+@dataclass
+class TraceFile:
+    """A parsed trace: header, spans, and the metrics snapshot."""
+
+    meta: Dict[str, Any] = field(default_factory=dict)
+    spans: List[Span] = field(default_factory=list)
+    metrics: Optional[Dict[str, Any]] = None
+
+
+def read_trace(path: Union[str, Path]) -> TraceFile:
+    """Parse a JSONL trace file written by :func:`write_trace`."""
+    out = TraceFile()
+    for raw in Path(path).read_text().splitlines():
+        raw = raw.strip()
+        if not raw:
+            continue
+        obj = json.loads(raw)
+        kind = obj.pop("type", "span")
+        if kind == "meta":
+            out.meta = obj
+        elif kind == "metrics":
+            out.metrics = obj
+        elif kind == "span":
+            out.spans.append(Span.from_dict(obj))
+    return out
+
+
+@dataclass
+class SpanSummary:
+    """Aggregate of every span sharing one name."""
+
+    name: str
+    count: int
+    total_ms: float
+    self_ms: float
+    max_ms: float
+
+    @property
+    def mean_ms(self) -> float:
+        return self.total_ms / self.count if self.count else 0.0
+
+
+def summarize_spans(spans: Sequence[SpanLike]) -> List[SpanSummary]:
+    """Roll spans up per name, ordered by total self time, descending.
+
+    ``self_ms`` is each span's duration minus its *direct* children --
+    the time actually spent in that stage rather than delegated -- so
+    the top of the summary is the hot path.
+    """
+    dicts = [_span_dict(sp) for sp in spans]
+    child_ms: Dict[Tuple[int, Any], float] = {}
+    for d in dicts:
+        if d.get("parent_id") is not None:
+            key = (d.get("worker", 0), d["parent_id"])
+            child_ms[key] = child_ms.get(key, 0.0) + d["duration_ms"]
+    agg: Dict[str, SpanSummary] = {}
+    for d in dicts:
+        own = d["duration_ms"] - child_ms.get(
+            (d.get("worker", 0), d["span_id"]), 0.0)
+        s = agg.get(d["name"])
+        if s is None:
+            agg[d["name"]] = SpanSummary(
+                name=d["name"], count=1, total_ms=d["duration_ms"],
+                self_ms=max(own, 0.0), max_ms=d["duration_ms"])
+        else:
+            s.count += 1
+            s.total_ms += d["duration_ms"]
+            s.self_ms += max(own, 0.0)
+            s.max_ms = max(s.max_ms, d["duration_ms"])
+    return sorted(agg.values(), key=lambda s: (-s.self_ms, s.name))
+
+
+def format_summary(summaries: Sequence[SpanSummary]) -> str:
+    """Render span summaries as an aligned text table."""
+    lines = [f"{'span':24s} {'count':>7s} {'total':>10s} {'self':>10s} "
+             f"{'mean':>9s} {'max':>9s}"]
+    for s in summaries:
+        lines.append(f"{s.name:24s} {s.count:7,d} {s.total_ms:9.0f}ms "
+                     f"{s.self_ms:9.0f}ms {s.mean_ms:8.0f}ms "
+                     f"{s.max_ms:8.0f}ms")
+    return "\n".join(lines)

@@ -1,0 +1,236 @@
+"""Flow metrics: counters, gauges and histograms with merge semantics.
+
+The registry captures the *work* the flow does -- cache hits and
+misses, optimizer moves, buffer insertions, TSV/F2F via counts, lint
+findings -- as named instruments:
+
+* :class:`Counter` -- monotone totals (``cache.misses``);
+* :class:`Gauge` -- last-value-wins readings (``bench.parallel``);
+* :class:`Histogram` -- count/sum/min/max of observations
+  (``opt.buffers_per_block``).
+
+Everything is built around plain-dict *snapshots* so values cross
+process boundaries cheaply:
+
+* ``snapshot()`` freezes the registry;
+* ``diff(base)`` subtracts an earlier snapshot -- a pool worker
+  snapshots before a task, diffs after it, and ships only the task's
+  own contribution (cumulative worker state never double-counts);
+* ``merge_snapshots([...])`` folds many deltas into one total, which is
+  how ``--parallel N`` runs aggregate to correct global numbers.
+
+The module-level default registry (:func:`metrics`) is what the flow
+code increments; tests swap it with :func:`use_registry`.
+"""
+
+from __future__ import annotations
+
+import math
+from contextlib import contextmanager
+from typing import Any, Dict, Iterable, Iterator, List
+
+Snapshot = Dict[str, Dict[str, Any]]
+
+
+class Counter:
+    """A monotone counter."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def inc(self, n: float = 1.0) -> None:
+        self.value += n
+
+
+class Gauge:
+    """A last-value-wins reading."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def set(self, v: float) -> None:
+        self.value = float(v)
+
+
+class Histogram:
+    """Count/sum/min/max summary of observed values."""
+
+    __slots__ = ("count", "total", "min", "max")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+
+    def observe(self, v: float) -> None:
+        v = float(v)
+        self.count += 1
+        self.total += v
+        self.min = min(self.min, v)
+        self.max = max(self.max, v)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def summary(self) -> Dict[str, float]:
+        return {"count": self.count, "sum": self.total,
+                "min": self.min if self.count else 0.0,
+                "max": self.max if self.count else 0.0}
+
+
+class MetricsRegistry:
+    """Named instruments, created on first use."""
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    # -- instruments -----------------------------------------------------
+
+    def counter(self, name: str) -> Counter:
+        """The counter called ``name`` (created on demand)."""
+        c = self._counters.get(name)
+        if c is None:
+            c = self._counters[name] = Counter()
+        return c
+
+    def gauge(self, name: str) -> Gauge:
+        """The gauge called ``name`` (created on demand)."""
+        g = self._gauges.get(name)
+        if g is None:
+            g = self._gauges[name] = Gauge()
+        return g
+
+    def histogram(self, name: str) -> Histogram:
+        """The histogram called ``name`` (created on demand)."""
+        h = self._histograms.get(name)
+        if h is None:
+            h = self._histograms[name] = Histogram()
+        return h
+
+    def reset(self) -> None:
+        """Drop every instrument."""
+        self._counters.clear()
+        self._gauges.clear()
+        self._histograms.clear()
+
+    # -- snapshots -------------------------------------------------------
+
+    def snapshot(self) -> Snapshot:
+        """A plain-dict freeze of every instrument's current value."""
+        return {
+            "counters": {k: c.value for k, c in self._counters.items()},
+            "gauges": {k: g.value for k, g in self._gauges.items()},
+            "histograms": {k: h.summary()
+                           for k, h in self._histograms.items()},
+        }
+
+    def diff(self, base: Snapshot) -> Snapshot:
+        """This registry's change since ``base`` (an earlier snapshot).
+
+        Counters and histogram count/sum subtract; histogram min/max and
+        gauges keep their current values (min/max of the delta window is
+        unrecoverable, current is the honest approximation).
+        """
+        now = self.snapshot()
+        out: Snapshot = {"counters": {}, "gauges": {}, "histograms": {}}
+        base_c = base.get("counters", {})
+        for k, v in now["counters"].items():
+            d = v - base_c.get(k, 0.0)
+            if d:
+                out["counters"][k] = d
+        out["gauges"] = dict(now["gauges"])
+        base_h = base.get("histograms", {})
+        for k, h in now["histograms"].items():
+            b = base_h.get(k, {"count": 0, "sum": 0.0})
+            if h["count"] - b["count"]:
+                out["histograms"][k] = {
+                    "count": h["count"] - b["count"],
+                    "sum": h["sum"] - b["sum"],
+                    "min": h["min"], "max": h["max"],
+                }
+        return out
+
+    def merge_snapshot(self, snap: Snapshot) -> None:
+        """Fold a snapshot (or delta) into this registry's instruments."""
+        for k, v in snap.get("counters", {}).items():
+            self.counter(k).inc(v)
+        for k, v in snap.get("gauges", {}).items():
+            self.gauge(k).set(v)
+        for k, s in snap.get("histograms", {}).items():
+            h = self.histogram(k)
+            h.count += int(s.get("count", 0))
+            h.total += s.get("sum", 0.0)
+            if s.get("count", 0):
+                h.min = min(h.min, s.get("min", math.inf))
+                h.max = max(h.max, s.get("max", -math.inf))
+
+
+def merge_snapshots(snaps: Iterable[Snapshot]) -> Snapshot:
+    """Fold several snapshots/deltas into one combined snapshot."""
+    acc = MetricsRegistry()
+    for s in snaps:
+        acc.merge_snapshot(s)
+    return acc.snapshot()
+
+
+def format_snapshot(snap: Snapshot) -> str:
+    """Render a snapshot as an aligned, name-sorted text table."""
+    lines: List[str] = []
+    counters = snap.get("counters", {})
+    if counters:
+        lines.append(f"{'counter':36s} {'value':>12s}")
+        for k in sorted(counters):
+            lines.append(f"{k:36s} {counters[k]:12,.0f}")
+    hists = snap.get("histograms", {})
+    if hists:
+        if lines:
+            lines.append("")
+        lines.append(f"{'histogram':36s} {'count':>8s} {'mean':>10s} "
+                      f"{'min':>10s} {'max':>10s}")
+        for k in sorted(hists):
+            h = hists[k]
+            mean = h["sum"] / h["count"] if h["count"] else 0.0
+            lines.append(f"{k:36s} {h['count']:8,d} {mean:10.1f} "
+                          f"{h['min']:10.1f} {h['max']:10.1f}")
+    gauges = snap.get("gauges", {})
+    if gauges:
+        if lines:
+            lines.append("")
+        lines.append(f"{'gauge':36s} {'value':>12s}")
+        for k in sorted(gauges):
+            lines.append(f"{k:36s} {gauges[k]:12,.2f}")
+    return "\n".join(lines)
+
+
+#: the process-wide default registry the flow code increments
+_REGISTRY = MetricsRegistry()
+
+
+def metrics() -> MetricsRegistry:
+    """The current process-wide metrics registry."""
+    return _REGISTRY
+
+
+def set_registry(registry: MetricsRegistry) -> MetricsRegistry:
+    """Swap the process-wide registry; returns the previous one."""
+    global _REGISTRY
+    old, _REGISTRY = _REGISTRY, registry
+    return old
+
+
+@contextmanager
+def use_registry(registry: MetricsRegistry) -> Iterator[MetricsRegistry]:
+    """Temporarily install ``registry`` as the process-wide registry."""
+    old = set_registry(registry)
+    try:
+        yield registry
+    finally:
+        set_registry(old)

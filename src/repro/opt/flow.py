@@ -15,6 +15,7 @@ from typing import Callable, Optional
 
 from ..cts.tree import CTSResult, synthesize_clock_tree
 from ..netlist.core import Netlist
+from ..obs.metrics import metrics
 from ..route.estimate import RoutingResult
 from ..tech.process import ProcessNode
 from ..timing.sta import STAResult, TimingConfig, run_sta
@@ -122,6 +123,13 @@ def optimize_block(netlist: Netlist, process: ProcessNode,
 
     sta = run_sta(netlist, routing, process, timing)
     cts = synthesize_clock_tree(netlist, process)
+    m = metrics()
+    m.counter("opt.rounds").inc(max(1, config.rounds))
+    m.counter("opt.buffers_inserted").inc(buffers_added)
+    m.counter("opt.cells_upsized").inc(upsized)
+    m.counter("opt.cells_downsized").inc(downsized)
+    m.counter("opt.hvt_swaps").inc(hvt_swaps)
+    m.histogram("opt.buffers_per_block").observe(buffers_added)
     return OptimizeResult(routing=routing, sta=sta, cts=cts,
                           buffers_added=buffers_added, upsized=upsized,
                           downsized=downsized, hvt_swaps=hvt_swaps)

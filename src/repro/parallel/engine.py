@@ -15,7 +15,13 @@ Both are embarrassingly parallel, so this module fans them out across
 * workers return plain dictionaries (via
   :func:`~repro.analysis.experiments.result_to_dict`), never live
   design objects, keeping the pickles small and the results
-  backend-agnostic.
+  backend-agnostic;
+* observability survives the pool: each task ships back its recorded
+  spans, its metrics *delta* (snapshot-before / diff-after, so a
+  worker's cumulative state never double-counts) and its cache-stat
+  delta; the parent merges everything into one coherent timeline and
+  one aggregated :attr:`BenchReport.cache_stats` -- parallel hit rates
+  are real numbers, not ``None``.
 
 The default start method is ``spawn``: workers import a fresh
 interpreter instead of forking accumulated parent state, which keeps
@@ -28,11 +34,14 @@ import json
 import multiprocessing
 import time
 from dataclasses import dataclass, field
-from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
-from ..analysis.experiments import (EXPERIMENTS, result_to_dict,
-                                    run_experiment)
+from ..analysis.experiments import (EXPERIMENTS, ExperimentOptions,
+                                    result_to_dict, run_experiment)
 from ..core.cache import DesignCache
+from ..obs import export, trace
+from ..obs.metrics import metrics
 from ..tech.process import make_process
 
 #: worker-local state built once per pool worker by the initializer
@@ -42,6 +51,31 @@ _WORKER: Dict[str, Any] = {}
 def _init_worker(cache_dir: Optional[str]) -> None:
     _WORKER["process"] = make_process()
     _WORKER["cache"] = DesignCache(cache_dir=cache_dir)
+
+
+#: the additive CacheStats fields (``hit_rate`` is derived, recomputed
+#: after aggregation)
+_CACHE_FIELDS = ("hits", "disk_hits", "misses", "stores", "evictions",
+                 "corrupt_drops")
+
+
+def _cache_delta(after: Dict[str, float],
+                 before: Dict[str, float]) -> Dict[str, float]:
+    """One task's contribution to a worker's cumulative cache stats."""
+    return {k: after.get(k, 0) - before.get(k, 0) for k in _CACHE_FIELDS}
+
+
+def _aggregate_cache(deltas: Iterable[Dict[str, float]]
+                     ) -> Dict[str, float]:
+    """Fold per-task cache-stat deltas into one stats dict."""
+    total: Dict[str, float] = {k: 0 for k in _CACHE_FIELDS}
+    for d in deltas:
+        for k in _CACHE_FIELDS:
+            total[k] += d.get(k, 0)
+    lookups = total["hits"] + total["disk_hits"] + total["misses"]
+    total["hit_rate"] = ((total["hits"] + total["disk_hits"]) / lookups
+                         if lookups else 0.0)
+    return total
 
 
 @dataclass
@@ -63,9 +97,15 @@ class BenchReport:
     parallel: int
     scale: float
     seed: int
+    #: aggregated across the whole run -- serial *and* parallel (worker
+    #: deltas are summed back; ``None`` only for empty runs)
     cache_stats: Optional[Dict[str, float]] = None
-    #: per-worker cache statistics (parallel runs)
+    #: per-task cache-stat deltas, request order (parallel runs)
     worker_cache_stats: List[Dict[str, float]] = field(default_factory=list)
+    #: every span recorded during the run (dict form; workers merged in)
+    spans: List[Dict[str, Any]] = field(default_factory=list)
+    #: metrics snapshot of the run (this run's delta, workers merged in)
+    metrics: Optional[Dict[str, Any]] = None
 
     @property
     def all_passed(self) -> bool:
@@ -114,19 +154,49 @@ class BenchReport:
                          f"({cs['hit_rate']:.0%} hit rate)")
         return "\n".join(lines)
 
+    def write_trace(self, path: Union[str, Path],
+                    meta: Optional[Dict[str, Any]] = None) -> Path:
+        """Write this run's merged trace (spans + metrics) as JSONL."""
+        header: Dict[str, Any] = {
+            "parallel": self.parallel,
+            "scale": self.scale,
+            "seed": self.seed,
+            "total_wall_s": self.total_wall_s,
+            "experiments": [r.experiment_id for r in self.runs],
+        }
+        header.update(meta or {})
+        return export.write_trace(path, self.spans, metrics=self.metrics,
+                                  meta=header)
+
 
 def _run_one(task: Tuple[str, float, int]) -> Tuple[ExperimentRun, Dict]:
-    """Pool worker body: run one experiment against worker-local state."""
+    """Pool worker body: run one experiment against worker-local state.
+
+    Ships back, besides the serialized result, this *task's* spans and
+    its cache/metrics deltas -- the worker state is cumulative across
+    the tasks it happens to receive, so only before/after differences
+    aggregate correctly in the parent.
+    """
     experiment_id, scale, seed = task
+    tracer = trace.get_tracer()
+    n_spans = len(tracer.spans)
+    metrics_before = metrics().snapshot()
+    cache_before = _WORKER["cache"].stats.as_dict()
     t0 = time.perf_counter()
-    result = run_experiment(experiment_id, process=_WORKER["process"],
-                            scale=scale, seed=seed,
-                            cache=_WORKER["cache"])
+    result = run_experiment(experiment_id, ExperimentOptions(
+        process=_WORKER["process"], scale=scale, seed=seed,
+        cache=_WORKER["cache"]))
     run = ExperimentRun(experiment_id=experiment_id,
                         wall_s=time.perf_counter() - t0,
                         all_passed=result.all_passed,
                         result=result_to_dict(result))
-    return run, _WORKER["cache"].stats.as_dict()
+    payload = {
+        "cache": _cache_delta(_WORKER["cache"].stats.as_dict(),
+                              cache_before),
+        "spans": [sp.to_dict() for sp in tracer.spans[n_spans:]],
+        "metrics": metrics().diff(metrics_before),
+    }
+    return run, payload
 
 
 def run_experiments(ids: Optional[Iterable[str]] = None,
@@ -153,7 +223,10 @@ def run_experiments(ids: Optional[Iterable[str]] = None,
 
     Returns:
         A :class:`BenchReport`; ``results_json()`` is byte-identical
-        across serial and parallel runs of the same request.
+        across serial and parallel runs of the same request.  The
+        report also carries the run's merged spans and metrics
+        (:meth:`BenchReport.write_trace` exports them), which never
+        enter ``results_json()``.
     """
     ids = list(ids) if ids is not None else list(EXPERIMENTS)
     unknown = [i for i in ids if i not in EXPERIMENTS]
@@ -161,37 +234,54 @@ def run_experiments(ids: Optional[Iterable[str]] = None,
         raise ValueError(f"unknown experiment ids: {', '.join(unknown)}; "
                          f"known: {', '.join(EXPERIMENTS)}")
     tasks = [(eid, scale, seed) for eid in ids]
+    tracer = trace.get_tracer()
+    n_spans = len(tracer.spans)
+    metrics_before = metrics().snapshot()
     t0 = time.perf_counter()
     worker_stats: List[Dict[str, float]] = []
     if parallel > 1 and len(ids) > 1:
-        ctx = multiprocessing.get_context(mp_context)
-        with ctx.Pool(processes=min(parallel, len(ids)),
-                      initializer=_init_worker,
-                      initargs=(cache_dir,)) as pool:
-            pairs = pool.map(_run_one, tasks)
+        with trace.span("bench", parallel=parallel, scale=scale,
+                        seed=seed, n_experiments=len(ids)):
+            ctx = multiprocessing.get_context(mp_context)
+            with ctx.Pool(processes=min(parallel, len(ids)),
+                          initializer=_init_worker,
+                          initargs=(cache_dir,)) as pool:
+                pairs = pool.map(_run_one, tasks)
         runs = [run for run, _ in pairs]
-        worker_stats = [stats for _, stats in pairs]
-        cache_stats = None
+        payloads = [payload for _, payload in pairs]
+        worker_stats = [p["cache"] for p in payloads]
+        cache_stats = _aggregate_cache(worker_stats)
+        # fold worker metric deltas into the parent registry so the
+        # run's diff below covers the whole pool
+        for p in payloads:
+            metrics().merge_snapshot(p["metrics"])
+        worker_spans = [d for p in payloads for d in p["spans"]]
     else:
         proc = process if process is not None else make_process()
         cache = DesignCache(cache_dir=cache_dir)
         runs = []
-        for eid, s, sd in tasks:
-            t1 = time.perf_counter()
-            result = run_experiment(eid, process=proc, scale=s, seed=sd,
-                                    cache=cache)
-            runs.append(ExperimentRun(
-                experiment_id=eid,
-                wall_s=time.perf_counter() - t1,
-                all_passed=result.all_passed,
-                result=result_to_dict(result)))
+        with trace.span("bench", parallel=1, scale=scale, seed=seed,
+                        n_experiments=len(ids)):
+            for eid, s, sd in tasks:
+                t1 = time.perf_counter()
+                result = run_experiment(eid, ExperimentOptions(
+                    process=proc, scale=s, seed=sd, cache=cache))
+                runs.append(ExperimentRun(
+                    experiment_id=eid,
+                    wall_s=time.perf_counter() - t1,
+                    all_passed=result.all_passed,
+                    result=result_to_dict(result)))
         cache_stats = cache.stats.as_dict()
+        worker_spans = []
+    spans = [sp.to_dict() for sp in tracer.spans[n_spans:]] + worker_spans
     return BenchReport(runs=runs,
                        total_wall_s=time.perf_counter() - t0,
                        parallel=max(parallel, 1) if len(ids) > 1 else 1,
                        scale=scale, seed=seed,
                        cache_stats=cache_stats,
-                       worker_cache_stats=worker_stats)
+                       worker_cache_stats=worker_stats,
+                       spans=spans,
+                       metrics=metrics().diff(metrics_before))
 
 
 # ---------------------------------------------------------------------------

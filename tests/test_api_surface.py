@@ -9,7 +9,7 @@ PACKAGES = [
     "repro", "repro.tech", "repro.netlist", "repro.designgen",
     "repro.floorplan", "repro.place", "repro.route", "repro.timing",
     "repro.power", "repro.opt", "repro.cts", "repro.core",
-    "repro.thermal", "repro.analysis",
+    "repro.thermal", "repro.analysis", "repro.obs",
 ]
 
 

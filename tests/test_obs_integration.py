@@ -1,0 +1,116 @@
+"""Integration: the flow is instrumented, and traces never leak into
+serialized results."""
+
+import pytest
+
+from repro.analysis.experiments import (ExperimentOptions,
+                                        experiment_json, result_to_dict,
+                                        run_experiment)
+from repro.core.flow import FlowConfig, run_block_flow
+from repro.core.fullchip import ChipConfig, build_chip
+from repro.obs import trace
+from repro.obs.metrics import MetricsRegistry, use_registry
+from repro.obs.trace import Tracer
+
+FLOW_STAGES = {"generate", "place", "optimize", "power"}
+CHIP_PHASES = {"budget", "blocks", "assemble", "aggregate"}
+
+
+class TestFlowInstrumentation:
+    def test_spans_cover_every_flow_stage(self, process):
+        t = Tracer()
+        with trace.use_tracer(t):
+            design = run_block_flow("ncu", FlowConfig(scale=0.5),
+                                    process)
+        names = {s.name for s in t.spans}
+        assert {"flow"} | {f"flow.{s}" for s in FLOW_STAGES} <= names
+        # stage_times_ms is a view over the very same spans
+        assert set(design.stage_times_ms) >= FLOW_STAGES
+        by_name = {s.name: s for s in t.spans}
+        for stage in FLOW_STAGES:
+            assert design.stage_times_ms[stage] == pytest.approx(
+                by_name[f"flow.{stage}"].duration_ms)
+
+    def test_flow_span_carries_block_attrs(self, process):
+        t = Tracer()
+        with trace.use_tracer(t):
+            run_block_flow("ncu", FlowConfig(scale=0.5), process)
+        flow_span = next(s for s in t.spans if s.name == "flow")
+        assert flow_span.attrs["block"] == "ncu"
+        assert flow_span.attrs["folded"] is False
+
+    def test_stage_times_populated_even_when_disabled(self, process):
+        t = Tracer(enabled=False)
+        with trace.use_tracer(t):
+            design = run_block_flow("ncu", FlowConfig(scale=0.5),
+                                    process)
+        assert t.spans == []
+        assert set(design.stage_times_ms) >= FLOW_STAGES
+        assert all(v >= 0.0 for v in design.stage_times_ms.values())
+
+    def test_flow_metrics_count_optimizer_moves(self, process):
+        reg = MetricsRegistry()
+        with use_registry(reg):
+            run_block_flow("ncu", FlowConfig(scale=0.5), process)
+        counters = reg.snapshot()["counters"]
+        assert counters.get("opt.rounds", 0) >= 1
+        assert "opt.buffers_per_block" in \
+            reg.snapshot()["histograms"]
+
+
+class TestChipInstrumentation:
+    def test_spans_cover_every_chip_phase(self, process):
+        t = Tracer()
+        with trace.use_tracer(t):
+            chip = build_chip(ChipConfig(style="2d", scale=0.3), process)
+        names = {s.name for s in t.spans}
+        assert {"chip"} | {f"chip.{p}" for p in CHIP_PHASES} <= names
+        assert set(chip.phase_times_ms) == CHIP_PHASES
+        by_name = {s.name: s for s in t.spans}
+        for phase in CHIP_PHASES:
+            assert chip.phase_times_ms[phase] == pytest.approx(
+                by_name[f"chip.{phase}"].duration_ms)
+
+    def test_chip_metrics_recorded(self, process):
+        reg = MetricsRegistry()
+        with use_registry(reg):
+            build_chip(ChipConfig(style="2d", scale=0.3), process)
+        counters = reg.snapshot()["counters"]
+        assert counters.get("chip.builds") == 1
+        assert "lint.runs" not in counters  # lint only runs on demand
+
+
+class TestNoTraceLeakage:
+    def test_result_json_identical_with_and_without_tracing(self,
+                                                            process):
+        traced = run_experiment("table4", ExperimentOptions(
+            process=process, scale=0.5))
+        untraced = run_experiment("table4", ExperimentOptions(
+            process=process, scale=0.5, trace=False))
+        assert experiment_json(traced) == experiment_json(untraced)
+
+    def test_serialized_results_carry_no_timing_keys(self, process):
+        res = run_experiment("table4", ExperimentOptions(
+            process=process, scale=0.5))
+        text = experiment_json(res)
+        for forbidden in ("stage_times", "phase_times", "duration_ms",
+                          "span", "start_s"):
+            assert forbidden not in text, forbidden
+        d = result_to_dict(res)
+        assert set(d) == {"experiment_id", "description", "all_passed",
+                          "table", "checks", "data"}
+
+    def test_cache_lookup_spans_record_outcomes(self, process,
+                                                tmp_path):
+        from repro.core.cache import DesignCache
+        cache = DesignCache(cache_dir=tmp_path)
+        t = Tracer()
+        cfg = FlowConfig(scale=0.5)
+        with trace.use_tracer(t):
+            cache.get_or_run("ncu", cfg, process)   # miss
+            cache.get_or_run("ncu", cfg, process)   # memory hit
+            cache.clear()
+            cache.get_or_run("ncu", cfg, process)   # disk hit
+        outcomes = [s.attrs["outcome"] for s in t.spans
+                    if s.name == "cache.lookup"]
+        assert outcomes == ["miss", "memory_hit", "disk_hit"]

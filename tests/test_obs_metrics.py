@@ -1,0 +1,99 @@
+"""Tests for the metrics registry: snapshot/diff/merge semantics."""
+
+from repro.obs.metrics import (MetricsRegistry, format_snapshot,
+                               merge_snapshots, metrics, use_registry)
+
+
+class TestInstruments:
+    def test_counter_accumulates(self):
+        r = MetricsRegistry()
+        r.counter("cache.misses").inc()
+        r.counter("cache.misses").inc(4)
+        assert r.snapshot()["counters"]["cache.misses"] == 5
+
+    def test_gauge_last_value_wins(self):
+        r = MetricsRegistry()
+        r.gauge("bench.parallel").set(2)
+        r.gauge("bench.parallel").set(8)
+        assert r.snapshot()["gauges"]["bench.parallel"] == 8.0
+
+    def test_histogram_summary(self):
+        r = MetricsRegistry()
+        h = r.histogram("opt.buffers_per_block")
+        for v in (10, 30, 20):
+            h.observe(v)
+        s = r.snapshot()["histograms"]["opt.buffers_per_block"]
+        assert s == {"count": 3, "sum": 60.0, "min": 10.0, "max": 30.0}
+        assert h.mean == 20.0
+
+    def test_reset_drops_everything(self):
+        r = MetricsRegistry()
+        r.counter("x").inc()
+        r.reset()
+        assert r.snapshot() == {"counters": {}, "gauges": {},
+                                "histograms": {}}
+
+
+class TestSnapshotDelta:
+    def test_diff_ships_only_the_window(self):
+        """The worker pattern: snapshot before, diff after a task."""
+        r = MetricsRegistry()
+        r.counter("cache.misses").inc(10)  # earlier tasks
+        before = r.snapshot()
+        r.counter("cache.misses").inc(3)
+        r.counter("cache.hits").inc(2)
+        delta = r.diff(before)
+        assert delta["counters"] == {"cache.misses": 3, "cache.hits": 2}
+
+    def test_diff_histograms_subtract_count_and_sum(self):
+        r = MetricsRegistry()
+        r.histogram("h").observe(5)
+        before = r.snapshot()
+        r.histogram("h").observe(7)
+        delta = r.diff(before)
+        assert delta["histograms"]["h"]["count"] == 1
+        assert delta["histograms"]["h"]["sum"] == 7.0
+
+    def test_merge_across_workers_never_double_counts(self):
+        """Cumulative worker state summed naively would double-count;
+        per-task deltas merge to the exact total."""
+        worker = MetricsRegistry()
+        deltas = []
+        for task_misses in (2, 3):
+            before = worker.snapshot()
+            worker.counter("cache.misses").inc(task_misses)
+            deltas.append(worker.diff(before))
+        total = merge_snapshots(deltas)
+        assert total["counters"]["cache.misses"] == 5
+
+    def test_merge_histograms_min_max(self):
+        a = MetricsRegistry()
+        a.histogram("h").observe(1)
+        b = MetricsRegistry()
+        b.histogram("h").observe(9)
+        total = merge_snapshots([a.snapshot(), b.snapshot()])
+        assert total["histograms"]["h"] == {"count": 2, "sum": 10.0,
+                                            "min": 1.0, "max": 9.0}
+
+
+class TestGlobalRegistry:
+    def test_use_registry_swaps_and_restores(self):
+        mine = MetricsRegistry()
+        with use_registry(mine):
+            metrics().counter("only.here").inc()
+        assert mine.snapshot()["counters"]["only.here"] == 1
+        assert "only.here" not in metrics().snapshot()["counters"]
+
+
+def test_format_snapshot_lists_counters_and_histograms():
+    r = MetricsRegistry()
+    r.counter("cache.misses").inc(12)
+    r.histogram("opt.buffers_per_block").observe(40)
+    text = format_snapshot(r.snapshot())
+    assert "cache.misses" in text
+    assert "opt.buffers_per_block" in text
+    assert "12" in text
+
+
+def test_format_snapshot_empty_is_empty():
+    assert format_snapshot(MetricsRegistry().snapshot()) == ""

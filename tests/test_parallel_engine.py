@@ -74,9 +74,23 @@ def test_parallel_pool_matches_serial_and_reports_workers(process,
     assert par.parallel == 2
     assert [r.experiment_id for r in par.runs] == ids
     assert par.results_json() == serial.results_json()
-    assert par.cache_stats is None
+    # per-worker cache stats aggregate back to the parent: hit rates
+    # are real numbers under --parallel N, not None
+    assert par.cache_stats is not None
+    assert par.cache_stats["hit_rate"] >= 0.0
     assert len(par.worker_cache_stats) == len(ids)
+    assert par.cache_stats["misses"] == \
+        sum(d["misses"] for d in par.worker_cache_stats)
+    lookups = (par.cache_stats["hits"] + par.cache_stats["disk_hits"]
+               + par.cache_stats["misses"])
+    assert lookups == (serial.cache_stats["hits"]
+                       + serial.cache_stats["disk_hits"]
+                       + serial.cache_stats["misses"])
     assert "2 workers" in par.summary()
+    # worker spans merged into one timeline, keyed by worker pid
+    workers = {d["worker"] for d in par.spans}
+    assert len(workers) >= 2  # parent (bench span) + >=1 pool worker
+    assert {d["name"] for d in par.spans} >= {"bench", "experiment"}
 
 
 @pytest.mark.slow
