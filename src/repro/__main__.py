@@ -7,6 +7,8 @@ Subcommands:
 * ``bench [--parallel N] [--cache-dir D] [--trace-out T]`` -- run the
   whole experiment set, optionally fanned across worker processes with
   a persistent design cache, exporting the merged span/metrics trace;
+* ``chaos [--seed N] [--plan SPECS] [--parallel N]`` -- run the bench
+  under a deterministic fault plan and check it degrades cleanly;
 * ``trace summarize <file>``    -- roll a trace file up per span name;
 * ``block <name> [options]``    -- design one T2 block (optionally folded);
 * ``chip <style> [options]``    -- build a full chip in one design style;
@@ -68,7 +70,9 @@ def _cmd_bench(args) -> int:
     try:
         report = run_experiments(ids=ids, parallel=args.parallel,
                                  scale=args.scale, seed=args.seed,
-                                 cache_dir=args.cache_dir)
+                                 cache_dir=args.cache_dir,
+                                 timeout_s=args.timeout or None,
+                                 retries=args.retries)
     except ValueError as exc:
         print(str(exc), file=sys.stderr)
         return 2
@@ -84,6 +88,11 @@ def _cmd_bench(args) -> int:
     if args.trace_out:
         report.write_trace(args.trace_out)
         print(f"wrote {args.trace_out}")
+    if not report.completed():
+        failed = ", ".join(r.experiment_id for r in report.failed_runs())
+        print(f"bench degraded: no result for {failed}",
+              file=sys.stderr)
+        return 1
     if args.write_golden:
         from .analysis.golden import (GOLDEN_IDS, golden_metrics,
                                       save_golden)
@@ -101,6 +110,103 @@ def _cmd_bench(args) -> int:
         save_golden(args.write_golden, golden_metrics(results))
         print(f"wrote {args.write_golden}")
     return 0 if report.all_passed else 1
+
+
+def _cmd_chaos(args) -> int:
+    """Run the bench under an active fault plan and check that it
+    degrades cleanly: the report always comes back, every injection is
+    observable, and a ``--no-faults`` control run stays byte-identical
+    to a plain bench."""
+    import json
+
+    from .faults import FaultPlan, FaultPlanError, installed
+    from .parallel.engine import run_experiments
+
+    ids = [i.strip() for i in args.ids.split(",") if i.strip()]
+    if args.no_faults:
+        plan = None
+    elif args.plan:
+        try:
+            plan = FaultPlan.parse(args.plan, seed=args.seed)
+        except FaultPlanError as exc:
+            print(f"bad --plan: {exc}", file=sys.stderr)
+            return 2
+    else:
+        plan = FaultPlan.seeded(args.seed, tasks=ids)
+    if plan is not None:
+        print(f"fault plan (seed {args.seed}): {plan.to_text()}")
+    else:
+        print("fault plan: none (control run)")
+
+    # install the resolved plan (or explicitly nothing) so the run is
+    # deterministic even with a stray REPRO_FAULTS in the environment
+    with installed(plan):
+        try:
+            report = run_experiments(
+                ids=ids, parallel=args.parallel, scale=args.scale,
+                seed=args.seed, cache_dir=args.cache_dir,
+                timeout_s=args.timeout or None, retries=args.retries,
+                fault_plan=plan)
+        except ValueError as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
+
+    print()
+    print(report.summary())
+    counters = (report.metrics or {}).get("counters", {})
+    chaos_counters = {k: v for k, v in sorted(counters.items())
+                      if k.startswith(("faults.", "tasks."))
+                      or k == "cache.corrupt_drops"}
+    injected = int(counters.get("faults.injected", 0))
+    if chaos_counters:
+        print()
+        for name, value in chaos_counters.items():
+            print(f"{name}: {value:.0f}")
+
+    if args.json_out:
+        with open(args.json_out, "w") as f:
+            f.write(report.results_json() + "\n")
+        print(f"wrote {args.json_out}")
+    if args.report_out:
+        chaos_report = {
+            "seed": args.seed,
+            "plan": plan.to_text() if plan is not None else None,
+            "parallel": report.parallel,
+            "scale": args.scale,
+            "faults_injected": injected,
+            "counters": chaos_counters,
+            "completed": report.completed(),
+            "runs": [{"id": r.experiment_id, "status": r.status,
+                      "attempts": r.attempts,
+                      **({"error": r.error} if r.error else {})}
+                     for r in report.runs],
+        }
+        with open(args.report_out, "w") as f:
+            json.dump(chaos_report, f, sort_keys=True, indent=2)
+            f.write("\n")
+        print(f"wrote {args.report_out}")
+    if args.trace_out:
+        report.write_trace(args.trace_out)
+        print(f"wrote {args.trace_out}")
+
+    # a killed or crashed worker cannot ship its injection records, so
+    # resilience events count as evidence the plan fired too
+    events = injected + sum(
+        v for k, v in counters.items()
+        if k in ("tasks.retried", "tasks.timed_out", "tasks.crashed",
+                 "tasks.failed"))
+    if plan is not None and events == 0:
+        print("chaos run injected no faults: the plan never matched "
+              "(check task/stage patterns)", file=sys.stderr)
+        return 1
+    degraded = report.failed_runs()
+    if degraded:
+        print(f"\ndegraded cleanly: {len(degraded)} of "
+              f"{len(report.runs)} experiments without a result")
+    elif plan is not None:
+        print(f"\nrecovered fully: {injected} fault(s) injected, "
+              "every experiment produced a result")
+    return 0
 
 
 def _cmd_trace(args) -> int:
@@ -287,7 +393,50 @@ def main(argv=None) -> int:
     p_bench.add_argument("--write-golden", default=None, metavar="FILE",
                          help="refresh the golden regression fixtures "
                               "(requires fig2,fig6,table5 at scale 1.0)")
+    p_bench.add_argument("--timeout", type=float, default=0.0,
+                         metavar="S",
+                         help="per-experiment wall-clock budget per "
+                              "attempt (0 = unlimited)")
+    p_bench.add_argument("--retries", type=int, default=0,
+                         help="extra attempts for failed or timed-out "
+                              "experiments")
     p_bench.set_defaults(func=_cmd_bench)
+
+    p_chaos = sub.add_parser(
+        "chaos", help="run the bench under a seeded fault plan and "
+                      "check it degrades cleanly")
+    p_chaos.add_argument("--seed", type=int, default=1,
+                         help="fault-plan seed (same seed = same "
+                              "injected fault sequence)")
+    p_chaos.add_argument("--plan", default=None, metavar="SPECS",
+                         help="explicit fault plan in REPRO_FAULTS "
+                              "grammar (overrides the seeded plan)")
+    p_chaos.add_argument("--no-faults", action="store_true",
+                         help="control run: no plan active, output "
+                              "must match a plain bench byte for byte")
+    p_chaos.add_argument("--ids", default="fig6,table4",
+                         help="comma-separated experiment ids")
+    p_chaos.add_argument("--scale", type=float, default=0.7)
+    p_chaos.add_argument("--parallel", type=int, default=0, metavar="N",
+                         help="worker processes (0/1 = serial)")
+    p_chaos.add_argument("--timeout", type=float, default=300.0,
+                         metavar="S",
+                         help="per-experiment wall-clock budget per "
+                              "attempt (0 = unlimited)")
+    p_chaos.add_argument("--retries", type=int, default=2,
+                         help="extra attempts for failed or timed-out "
+                              "experiments")
+    p_chaos.add_argument("--cache-dir", default=None, metavar="DIR",
+                         help="persistent design-cache directory")
+    p_chaos.add_argument("--json-out", default=None, metavar="FILE",
+                         help="write key-sorted results JSON (completed "
+                              "experiments only)")
+    p_chaos.add_argument("--report-out", default=None, metavar="FILE",
+                         help="write the chaos report JSON (plan, "
+                              "injections, per-run status)")
+    p_chaos.add_argument("--trace-out", default=None, metavar="FILE",
+                         help="write the merged span/metrics trace")
+    p_chaos.set_defaults(func=_cmd_chaos)
 
     p_trace = sub.add_parser(
         "trace", help="inspect a JSONL trace file")

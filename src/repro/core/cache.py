@@ -40,6 +40,7 @@ from dataclasses import asdict, dataclass
 from pathlib import Path
 from typing import Dict, Optional, Union
 
+from ..faults.inject import corrupt_point
 from ..obs import trace
 from ..obs.metrics import metrics
 from ..tech.process import ProcessNode
@@ -164,6 +165,10 @@ class DesignCache:
         if self.cache_dir is None:
             return None
         path = self._path(key)
+        # chaos hook: an active "corrupt" fault spec garbles the entry
+        # here, immediately before the read, so the tolerant-load path
+        # below is exercised for real (inert without a fault plan)
+        corrupt_point(path)
         try:
             with open(path, "rb") as f:
                 design = pickle.load(f)
@@ -173,6 +178,7 @@ class DesignCache:
             # truncated write, foreign bytes, unpicklable after a code
             # change: drop the entry and recompute
             self.stats.corrupt_drops += 1
+            metrics().counter("cache.corrupt_drops").inc()
             try:
                 path.unlink()
             except OSError:
@@ -180,6 +186,7 @@ class DesignCache:
             return None
         if not isinstance(design, BlockDesign):
             self.stats.corrupt_drops += 1
+            metrics().counter("cache.corrupt_drops").inc()
             try:
                 path.unlink()
             except OSError:

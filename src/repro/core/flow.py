@@ -24,6 +24,7 @@ from typing import Dict, Optional, Tuple
 from ..cts.tree import CTSResult
 from ..designgen.generate import GeneratedBlock, generate_block
 from ..designgen.t2 import BlockType, block_type_by_name
+from ..faults.inject import fault_point
 from ..netlist.core import Netlist
 from ..obs import trace
 from ..obs.metrics import metrics
@@ -148,6 +149,7 @@ def run_block_flow(block: str, config: FlowConfig,
                     bonding=config.bonding if config.fold else None,
                     scale=config.scale, seed=config.seed):
         with trace.span("flow.generate", block=block) as sp_gen:
+            fault_point("generate")
             gb = generate_block(block_type, process.library,
                                 seed=config.seed, scale=config.scale)
         design = run_flow_on(gb, config, process)
@@ -176,6 +178,7 @@ def run_flow_on(gb: GeneratedBlock, config: FlowConfig,
 
     with trace.span("flow.place", block=block_type.name,
                     folded=config.fold is not None) as sp_place:
+        fault_point("place")
         if config.fold is None:
             placement = place_block_2d(netlist, pc)
             outline = placement.outline
@@ -230,6 +233,7 @@ def run_flow_on(gb: GeneratedBlock, config: FlowConfig,
     timing = TimingConfig(clock_domain=block_type.logic.clock_domain,
                           default_io_delay_ps=config.io_budget_ps)
     with trace.span("flow.optimize", block=block_type.name) as sp_opt:
+        fault_point("optimize")
         opt = optimize_block(netlist, process, timing, route_fn,
                              OptimizeConfig(rounds=config.opt_rounds,
                                             dual_vth=config.dual_vth))
@@ -249,6 +253,7 @@ def run_flow_on(gb: GeneratedBlock, config: FlowConfig,
 
         with trace.span("flow.detailed_route",
                         block=block_type.name) as sp_route:
+            fault_point("detailed_route")
             # post-route repair: measured detours can break paths the
             # estimate-driven optimization believed were met
             detailed, congestion = detail_route()
@@ -266,6 +271,7 @@ def run_flow_on(gb: GeneratedBlock, config: FlowConfig,
         stage_times_ms["detailed_route"] = sp_route.duration_ms
 
     with trace.span("flow.power", block=block_type.name) as sp_power:
+        fault_point("power")
         power = analyze_power(netlist, opt.routing, process,
                               block_type.logic.clock_domain, cts=opt.cts)
     stage_times_ms["power"] = sp_power.duration_ms

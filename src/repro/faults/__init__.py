@@ -1,0 +1,51 @@
+"""Deterministic fault injection for chaos-testing the flow.
+
+The package has two halves:
+
+* :mod:`repro.faults.plan` -- the *what*: a :class:`FaultPlan` is a
+  frozen, picklable list of :class:`FaultSpec` entries (raise / hang /
+  slow / corrupt) keyed by task id, stage name and attempt number.
+  Plans parse from the ``REPRO_FAULTS`` environment variable, print
+  back to the same grammar, and can be generated deterministically from
+  a seed (:meth:`FaultPlan.seeded`) -- the same seed always replays the
+  identical fault sequence.
+* :mod:`repro.faults.inject` -- the *where*: tiny hooks
+  (:func:`fault_point`, :func:`corrupt_point`) that the flow's stage
+  boundaries and the design cache's disk loads call.  With no active
+  plan the hooks are a single ``None`` check -- the injected-fault
+  code paths are inert and the production numbers are byte-identical.
+
+Every injected fault is recorded as a ``fault.injected`` span and a
+``faults.injected`` metrics counter, so chaos runs are observable with
+the same tooling as healthy ones.
+"""
+
+from .inject import (FaultContext, InjectedCrash, InjectedFault,
+                     InjectedHang,
+                     active_plan, clear, corrupt_point, fault_point,
+                     injection_log, install, installed, reset,
+                     task_context)
+from .plan import (DEFAULT_HANG_S, DEFAULT_SLOW_S, FAULT_KINDS,
+                   FaultPlan, FaultPlanError, FaultSpec)
+
+__all__ = [
+    "DEFAULT_HANG_S",
+    "DEFAULT_SLOW_S",
+    "FAULT_KINDS",
+    "FaultContext",
+    "FaultPlan",
+    "FaultPlanError",
+    "FaultSpec",
+    "InjectedCrash",
+    "InjectedFault",
+    "InjectedHang",
+    "active_plan",
+    "clear",
+    "corrupt_point",
+    "fault_point",
+    "injection_log",
+    "install",
+    "installed",
+    "reset",
+    "task_context",
+]

@@ -1,7 +1,7 @@
 """Parallel experiment execution and design-space fan-out."""
 
-from .engine import (BenchReport, ExperimentRun, explore_points,
-                     run_experiments)
+from .engine import (BenchReport, EngineError, ExperimentRun,
+                     ResilienceConfig, explore_points, run_experiments)
 
-__all__ = ["BenchReport", "ExperimentRun", "explore_points",
-           "run_experiments"]
+__all__ = ["BenchReport", "EngineError", "ExperimentRun",
+           "ResilienceConfig", "explore_points", "run_experiments"]

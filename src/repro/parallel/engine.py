@@ -1,50 +1,76 @@
-"""Process-pool experiment engine.
+"""Resilient process-pool experiment engine.
 
 The paper's artifacts are eleven independent tables/figures; the
 design-space explorer walks an independent grid of chip configurations.
 Both are embarrassingly parallel, so this module fans them out across
-``multiprocessing`` workers:
+``multiprocessing`` workers -- and, because folding/bonding sweeps are
+exactly the long, restartable batch workloads where one bad task must
+not poison the run, it supervises those workers instead of trusting
+them:
 
-* each worker builds its own :class:`~repro.tech.process.ProcessNode`
-  and :class:`~repro.core.cache.DesignCache` (pointing every worker at
-  one shared ``cache_dir`` makes warm reruns near-free -- disk writes
-  are atomic, so concurrent workers can share the directory safely);
+* every task runs in its own spawned worker process with worker-local
+  state (a fresh :class:`~repro.tech.process.ProcessNode` and
+  :class:`~repro.core.cache.DesignCache`; pointing all workers at one
+  shared ``cache_dir`` makes warm reruns near-free -- disk writes are
+  atomic, so concurrent workers share the directory safely);
+* result collection is timeout-aware: the supervisor multiplexes over
+  worker pipes with bounded waits, so a *crashed* worker is detected
+  by its exit code and a *hung* worker is killed at the per-task
+  ``timeout_s`` deadline -- neither can block :func:`run_experiments`
+  forever (the old ``pool.map`` collection could);
+* failed attempts are retried up to ``retries`` times with exponential
+  backoff plus deterministic jitter (seeded per task/attempt, so a
+  rerun schedules identically), and a killed or crashed worker is
+  replaced by a fresh process for the next attempt;
+* degradation is graceful: tasks that exhaust their attempts land in
+  the :class:`BenchReport` with ``status`` / ``attempts`` / ``error``
+  set instead of raising -- partial results are first-class
+  (:meth:`BenchReport.completed` vs :attr:`BenchReport.all_passed`);
 * tasks carry an explicit ``(experiment id, scale, seed)`` triple, so
   scheduling order cannot influence the numbers: a parallel run is
   byte-identical (after key-sorted serialization) to the serial run;
-* workers return plain dictionaries (via
-  :func:`~repro.analysis.experiments.result_to_dict`), never live
-  design objects, keeping the pickles small and the results
-  backend-agnostic;
 * observability survives the pool: each task ships back its recorded
-  spans, its metrics *delta* (snapshot-before / diff-after, so a
-  worker's cumulative state never double-counts) and its cache-stat
-  delta; the parent merges everything into one coherent timeline and
-  one aggregated :attr:`BenchReport.cache_stats` -- parallel hit rates
-  are real numbers, not ``None``.
+  spans, its metrics *delta* and its cache-stat delta; the parent
+  merges everything into one coherent timeline, and every retry,
+  timeout and crash is recorded as ``tasks.retried`` /
+  ``tasks.timed_out`` / ``tasks.crashed`` counters plus zero-length
+  marker spans.
 
-The default start method is ``spawn``: workers import a fresh
-interpreter instead of forking accumulated parent state, which keeps
-runs reproducible no matter what the parent process did before.
+Deterministic chaos testing plugs in through :mod:`repro.faults`: a
+:class:`~repro.faults.plan.FaultPlan` (from ``REPRO_FAULTS`` or passed
+as ``fault_plan=``) is shipped to every worker, and the same seeded
+plan replays the identical fault sequence -- ``python -m repro chaos``
+drives exactly this path.  With no plan active the fault hooks are
+inert and the engine behaves (and serializes) exactly as before.
+
+The start method is ``spawn``: workers import a fresh interpreter
+instead of forking accumulated parent state, which keeps runs
+reproducible no matter what the parent process did before.
 """
 
 from __future__ import annotations
 
 import json
 import multiprocessing
+import os
+import random
 import time
+from contextlib import ExitStack
 from dataclasses import dataclass, field
+from multiprocessing import connection as mp_connection
 from pathlib import Path
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from ..analysis.experiments import (EXPERIMENTS, ExperimentOptions,
                                     result_to_dict, run_experiment)
 from ..core.cache import DesignCache
+from ..faults import inject as faults
+from ..faults.plan import FaultPlan
 from ..obs import export, trace
 from ..obs.metrics import metrics
 from ..tech.process import make_process
 
-#: worker-local state built once per pool worker by the initializer
+#: worker-local state built once per worker process
 _WORKER: Dict[str, Any] = {}
 
 
@@ -78,19 +104,84 @@ def _aggregate_cache(deltas: Iterable[Dict[str, float]]
     return total
 
 
+class EngineError(RuntimeError):
+    """Unrecoverable engine failure (exploration tasks exhausted their
+    retries and the caller did not opt into partial results)."""
+
+
+@dataclass(frozen=True)
+class ResilienceConfig:
+    """Fault-tolerance knobs for one engine run.
+
+    Attributes:
+        timeout_s: per-task wall-clock budget per attempt; a worker
+            still running at the deadline is killed and the attempt
+            counts as a timeout.  ``None`` disables the deadline
+            (crashed workers are still detected -- collection never
+            blocks forever on a dead process).
+        retries: extra attempts after the first (``0`` = fail fast).
+        backoff_s: base delay before the second attempt.
+        backoff_factor: exponential growth of the delay per attempt.
+        jitter: fractional random spread added to each delay; the
+            randomness is seeded per (task, attempt), so reruns of the
+            same request schedule identically.
+        term_grace_s: how long a killed worker may take to die before
+            escalating from ``terminate`` to ``kill``.
+    """
+
+    timeout_s: Optional[float] = None
+    retries: int = 0
+    backoff_s: float = 0.25
+    backoff_factor: float = 2.0
+    jitter: float = 0.25
+    term_grace_s: float = 2.0
+
+    @property
+    def max_attempts(self) -> int:
+        return max(1, self.retries + 1)
+
+    def backoff_delay(self, task_key: str, attempt: int,
+                      seed: int = 0) -> float:
+        """Delay before retrying ``task_key`` after failed ``attempt``.
+
+        Exponential in the attempt number with deterministic jitter
+        (string-seeded :class:`random.Random` is stable across
+        processes), so the same run replays the same schedule.
+        """
+        base = self.backoff_s * (self.backoff_factor ** (attempt - 1))
+        rng = random.Random(f"repro-backoff:{seed}:{task_key}:{attempt}")
+        return base * (1.0 + self.jitter * rng.random())
+
+
 @dataclass
 class ExperimentRun:
-    """One experiment's outcome plus its wall-clock cost."""
+    """One experiment's outcome plus its wall-clock cost.
+
+    ``status`` is ``"ok"`` (result present), ``"failed"`` (raised on
+    every attempt) or ``"timeout"`` (killed at the deadline on every
+    attempt); ``attempts`` counts how many attempts ran, and ``error``
+    carries the final attempt's failure message.
+    """
 
     experiment_id: str
     wall_s: float
     all_passed: bool
     result: Dict[str, Any]
+    status: str = "ok"
+    attempts: int = 1
+    error: Optional[str] = None
 
 
 @dataclass
 class BenchReport:
-    """The full bench run: per-experiment results and timings."""
+    """The full bench run: per-experiment results and timings.
+
+    Partial results are first-class: a task that exhausted its retries
+    appears with ``status != "ok"`` and an empty ``result`` instead of
+    poisoning the run.  :meth:`completed` says whether every task
+    produced a result; :attr:`all_passed` additionally requires every
+    shape check to pass.
+    """
 
     runs: List[ExperimentRun]
     total_wall_s: float
@@ -111,10 +202,26 @@ class BenchReport:
     def all_passed(self) -> bool:
         return all(r.all_passed for r in self.runs)
 
+    def completed(self) -> bool:
+        """Did every task produce a result (shape checks aside)?"""
+        return all(r.status == "ok" for r in self.runs)
+
+    def completed_runs(self) -> List[ExperimentRun]:
+        """The runs that produced a result."""
+        return [r for r in self.runs if r.status == "ok"]
+
+    def failed_runs(self) -> List[ExperimentRun]:
+        """The runs that exhausted their attempts (failed or timed
+        out)."""
+        return [r for r in self.runs if r.status != "ok"]
+
     def results_dict(self) -> Dict[str, Any]:
         """Experiment id -> serialized result (timings excluded, so the
-        bytes are comparable across serial/parallel and cold/warm)."""
-        return {r.experiment_id: r.result for r in self.runs}
+        bytes are comparable across serial/parallel and cold/warm).
+        Only completed runs serialize: a degraded run's dict is the
+        uninjected dict minus the failed ids, nothing else moves."""
+        return {r.experiment_id: r.result for r in self.runs
+                if r.status == "ok"}
 
     def results_json(self, indent: int = 2) -> str:
         return json.dumps(self.results_dict(), sort_keys=True,
@@ -130,6 +237,13 @@ class BenchReport:
         }
         if self.cache_stats is not None:
             out["cache"] = self.cache_stats
+        degraded = {
+            r.experiment_id: {
+                "status": r.status, "attempts": r.attempts,
+                **({"error": r.error} if r.error else {})}
+            for r in self.runs if r.status != "ok" or r.attempts > 1}
+        if degraded:
+            out["resilience"] = degraded
         return out
 
     def timing_json(self, indent: int = 2) -> str:
@@ -139,9 +253,13 @@ class BenchReport:
     def summary(self) -> str:
         lines = [f"{'experiment':10s} {'checks':>6s} {'wall':>8s}"]
         for r in self.runs:
-            mark = "PASS" if r.all_passed else "FAIL"
+            if r.status == "ok":
+                mark = "PASS" if r.all_passed else "FAIL"
+            else:
+                mark = "TIME" if r.status == "timeout" else "ERR"
+            note = f" (x{r.attempts})" if r.attempts > 1 else ""
             lines.append(f"{r.experiment_id:10s} {mark:>6s} "
-                         f"{r.wall_s:7.2f}s")
+                         f"{r.wall_s:7.2f}s{note}")
         mode = (f"{self.parallel} workers" if self.parallel > 1
                 else "serial")
         lines.append(f"{'total':10s} {'':6s} {self.total_wall_s:7.2f}s "
@@ -152,6 +270,12 @@ class BenchReport:
                          f"{cs['disk_hits']:.0f} disk hits, "
                          f"{cs['misses']:.0f} misses "
                          f"({cs['hit_rate']:.0%} hit rate)")
+        failed = self.failed_runs()
+        if failed:
+            lines.append(
+                f"degraded: {len(failed)} of {len(self.runs)} "
+                f"experiments without a result "
+                f"({', '.join(r.experiment_id for r in failed)})")
         return "\n".join(lines)
 
     def write_trace(self, path: Union[str, Path],
@@ -170,12 +294,11 @@ class BenchReport:
 
 
 def _run_one(task: Tuple[str, float, int]) -> Tuple[ExperimentRun, Dict]:
-    """Pool worker body: run one experiment against worker-local state.
+    """Worker body: run one experiment against worker-local state.
 
     Ships back, besides the serialized result, this *task's* spans and
-    its cache/metrics deltas -- the worker state is cumulative across
-    the tasks it happens to receive, so only before/after differences
-    aggregate correctly in the parent.
+    its cache/metrics deltas -- worker state can be cumulative, so only
+    before/after differences aggregate correctly in the parent.
     """
     experiment_id, scale, seed = task
     tracer = trace.get_tracer()
@@ -199,14 +322,294 @@ def _run_one(task: Tuple[str, float, int]) -> Tuple[ExperimentRun, Dict]:
     return run, payload
 
 
+def _run_point(task: Tuple[str, bool, float, int]):
+    """Worker body: evaluate one design-space grid point."""
+    from ..core.explore import evaluate_point
+    style, dual_vth, scale, seed = task
+    return evaluate_point(_WORKER["process"], style, dual_vth,
+                          scale=scale, seed=seed,
+                          cache=_WORKER["cache"])
+
+
+def _task_label(kind: str, task: Tuple) -> str:
+    """The task id fault specs and backoff jitter key on."""
+    if kind == "experiment":
+        return task[0]
+    style, dual_vth = task[0], task[1]
+    return f"{style}/{'dvt' if dual_vth else 'rvt'}"
+
+
+def _obs_payload(n_spans: int, metrics_before: Dict,
+                 cache_before: Dict[str, float]) -> Dict[str, Any]:
+    """This worker's observability delta since the given snapshots."""
+    tracer = trace.get_tracer()
+    cache = _WORKER.get("cache")
+    after = cache.stats.as_dict() if cache is not None else dict(
+        cache_before)
+    return {
+        "cache": _cache_delta(after, cache_before),
+        "spans": [sp.to_dict() for sp in tracer.spans[n_spans:]],
+        "metrics": metrics().diff(metrics_before),
+    }
+
+
+def _child_main(conn, kind: str, index: int, task: Tuple, attempt: int,
+                cache_dir: Optional[str],
+                plan: Optional[FaultPlan]) -> None:
+    """Entry point of one supervised worker process (spawn target).
+
+    Sends exactly one message back: ``("ok", index, value, payload)``
+    or ``("error", index, message, payload)`` -- the payload carries
+    the worker's spans/metrics/cache deltas either way, so injected
+    faults recorded before a failure still aggregate in the parent.
+    Crashes and hangs send nothing; the supervisor detects those from
+    the outside.
+    """
+    n_spans = len(trace.get_tracer().spans)
+    metrics_before = metrics().snapshot()
+    cache_before = {k: 0.0 for k in _CACHE_FIELDS}
+    try:
+        # the supervisor's resolved plan is authoritative -- installing
+        # None too keeps a control run inert even when the child
+        # inherited a REPRO_FAULTS environment variable
+        faults.install(plan)
+        _init_worker(cache_dir)
+        with faults.task_context(_task_label(kind, task), attempt):
+            faults.fault_point("task")
+            if kind == "experiment":
+                run, payload = _run_one(task)
+                msg = ("ok", index, run, payload)
+            else:
+                value = _run_point(task)
+                msg = ("ok", index, value,
+                       _obs_payload(n_spans, metrics_before,
+                                    cache_before))
+    except faults.InjectedCrash:
+        # die without a word: the supervisor must detect this from the
+        # exit code alone and replace the worker
+        conn.close()
+        os._exit(3)
+    except Exception as exc:
+        msg = ("error", index, f"{type(exc).__name__}: {exc}",
+               _obs_payload(n_spans, metrics_before, cache_before))
+    try:
+        conn.send(msg)
+    except Exception:
+        pass
+    finally:
+        conn.close()
+
+
+@dataclass
+class _Outcome:
+    """Final state of one supervised task."""
+
+    status: str                      # "ok" | "failed" | "timeout"
+    value: Any = None                # ExperimentRun or DesignPoint
+    #: every observability delta the task's attempts shipped, in
+    #: attempt order -- a failed-then-retried attempt's injected
+    #: faults still aggregate in the parent
+    payloads: List[Dict] = field(default_factory=list)
+    attempts: int = 1
+    error: Optional[str] = None
+    wall_s: float = 0.0
+
+
+@dataclass
+class _Live:
+    """One in-flight worker process."""
+
+    proc: Any
+    conn: Any
+    attempt: int
+    deadline: Optional[float]
+    t0: float
+
+
+def _stop_worker(lv: _Live, grace_s: float) -> None:
+    """Kill one worker process, escalating terminate -> kill."""
+    try:
+        lv.proc.terminate()
+        lv.proc.join(grace_s)
+        if lv.proc.is_alive():
+            lv.proc.kill()
+            lv.proc.join(grace_s)
+    except Exception:
+        pass
+    try:
+        lv.conn.close()
+    except Exception:
+        pass
+
+
+def _supervise(kind: str, tasks: Sequence[Tuple], parallel: int,
+               cache_dir: Optional[str], res: ResilienceConfig,
+               seed: int, mp_context: str,
+               plan: Optional[FaultPlan]) -> Dict[int, _Outcome]:
+    """Run every task in its own worker process, resiliently.
+
+    The scheduler keeps at most ``parallel`` workers alive, collects
+    results by multiplexing over their pipes with bounded waits, kills
+    workers that outlive the per-task deadline, detects crashed
+    workers by exit code, and reschedules failed attempts (with
+    backoff) until ``res.max_attempts`` is exhausted.  Always returns
+    one :class:`_Outcome` per task; never raises for task-level
+    failures and never blocks on a dead worker.
+    """
+    ctx = multiprocessing.get_context(mp_context)
+    n = len(tasks)
+    max_workers = max(1, min(parallel, n))
+    #: (not_before monotonic, index, attempt)
+    pending: List[Tuple[float, int, int]] = [(0.0, i, 1)
+                                             for i in range(n)]
+    live: Dict[int, _Live] = {}
+    out: Dict[int, _Outcome] = {}
+    #: wall-clock accumulated by earlier (failed) attempts, per task
+    spent: Dict[int, float] = {}
+    #: observability payloads shipped by earlier attempts, per task
+    shipped: Dict[int, List[Dict]] = {}
+
+    def finish_failure(index: int, attempt: int, status: str,
+                       error: str, elapsed: float,
+                       payload: Optional[Dict]) -> None:
+        """Retry a failed attempt or record the final outcome."""
+        label = _task_label(kind, tasks[index])
+        spent[index] = spent.get(index, 0.0) + elapsed
+        if payload is not None:
+            shipped.setdefault(index, []).append(payload)
+        if attempt < res.max_attempts:
+            metrics().counter("tasks.retried").inc()
+            delay = res.backoff_delay(label, attempt, seed)
+            with trace.span("task.retry", task=label, attempt=attempt,
+                            reason=status, backoff_s=round(delay, 4)):
+                pass
+            pending.append((time.monotonic() + delay, index,
+                            attempt + 1))
+        else:
+            metrics().counter("tasks.failed").inc()
+            with trace.span("task.gave_up", task=label, attempt=attempt,
+                            reason=status):
+                pass
+            out[index] = _Outcome(status=status,
+                                  payloads=shipped.get(index, []),
+                                  attempts=attempt, error=error,
+                                  wall_s=spent[index])
+
+    try:
+        while len(out) < n:
+            now = time.monotonic()
+            # launch every ready pending task while capacity remains
+            pending.sort()
+            while pending and pending[0][0] <= now and \
+                    len(live) < max_workers:
+                _, index, attempt = pending.pop(0)
+                parent_conn, child_conn = ctx.Pipe(duplex=False)
+                proc = ctx.Process(
+                    target=_child_main,
+                    args=(child_conn, kind, index, tasks[index], attempt,
+                          cache_dir, plan))
+                proc.start()
+                child_conn.close()
+                deadline = (now + res.timeout_s
+                            if res.timeout_s else None)
+                live[index] = _Live(proc=proc, conn=parent_conn,
+                                    attempt=attempt, deadline=deadline,
+                                    t0=now)
+            if not live:
+                # nothing running: sleep toward the earliest backoff
+                wake = min(p[0] for p in pending)
+                time.sleep(min(max(wake - time.monotonic(), 0.0), 0.05))
+                continue
+            # bounded multiplexed wait: readable pipes, next deadline,
+            # or the next pending launch -- whichever comes first
+            wait_s = 0.05
+            deadlines = [lv.deadline for lv in live.values()
+                         if lv.deadline is not None]
+            if deadlines:
+                wait_s = min(wait_s,
+                             max(min(deadlines) - time.monotonic(), 0.0))
+            mp_connection.wait([lv.conn for lv in live.values()],
+                               timeout=wait_s)
+            now = time.monotonic()
+            for index in list(live):
+                lv = live[index]
+                msg = None
+                readable = lv.conn.poll(0)
+                if not readable and not lv.proc.is_alive():
+                    # died between sends? give the pipe one last look
+                    readable = lv.conn.poll(0.05)
+                if readable:
+                    try:
+                        msg = lv.conn.recv()
+                    except (EOFError, OSError):
+                        msg = None
+                if msg is not None:
+                    del live[index]
+                    lv.proc.join(res.term_grace_s)
+                    if lv.proc.is_alive():
+                        _stop_worker(lv, res.term_grace_s)
+                    else:
+                        lv.conn.close()
+                    status, _, value, payload = msg
+                    elapsed = now - lv.t0
+                    if status == "ok":
+                        if payload is not None:
+                            shipped.setdefault(index, []).append(payload)
+                        out[index] = _Outcome(
+                            status="ok", value=value,
+                            payloads=shipped.get(index, []),
+                            attempts=lv.attempt,
+                            wall_s=spent.get(index, 0.0) + elapsed)
+                    else:
+                        finish_failure(index, lv.attempt, "failed",
+                                       value, elapsed, payload)
+                elif not lv.proc.is_alive():
+                    del live[index]
+                    lv.conn.close()
+                    metrics().counter("tasks.crashed").inc()
+                    with trace.span(
+                            "task.crash",
+                            task=_task_label(kind, tasks[index]),
+                            attempt=lv.attempt,
+                            exitcode=lv.proc.exitcode):
+                        pass
+                    finish_failure(
+                        index, lv.attempt, "failed",
+                        f"worker crashed (exit code "
+                        f"{lv.proc.exitcode})", now - lv.t0, None)
+                elif lv.deadline is not None and now >= lv.deadline:
+                    del live[index]
+                    _stop_worker(lv, res.term_grace_s)
+                    metrics().counter("tasks.timed_out").inc()
+                    with trace.span(
+                            "task.timeout",
+                            task=_task_label(kind, tasks[index]),
+                            attempt=lv.attempt,
+                            timeout_s=res.timeout_s):
+                        pass
+                    finish_failure(
+                        index, lv.attempt, "timeout",
+                        f"timed out after {res.timeout_s:g}s",
+                        now - lv.t0, None)
+    finally:
+        for lv in live.values():
+            _stop_worker(lv, res.term_grace_s)
+    return out
+
+
 def run_experiments(ids: Optional[Iterable[str]] = None,
                     parallel: int = 0,
                     scale: float = 1.0,
                     seed: int = 1,
                     cache_dir: Optional[str] = None,
                     process=None,
-                    mp_context: str = "spawn") -> BenchReport:
-    """Run a set of registered experiments, serially or in a pool.
+                    mp_context: str = "spawn",
+                    timeout_s: Optional[float] = None,
+                    retries: int = 0,
+                    resilience: Optional[ResilienceConfig] = None,
+                    fault_plan: Optional[FaultPlan] = None
+                    ) -> BenchReport:
+    """Run a set of registered experiments, serially or supervised.
 
     Args:
         ids: experiment ids (default: the whole registry, in registry
@@ -220,19 +623,31 @@ def run_experiments(ids: Optional[Iterable[str]] = None,
         process: technology node for the serial path (workers always
             build their own).
         mp_context: multiprocessing start method.
+        timeout_s: per-task wall-clock budget per attempt (parallel
+            workers are killed at the deadline; the serial path
+            enforces it cooperatively against injected hangs).
+        retries: extra attempts for failed/timed-out tasks.
+        resilience: full :class:`ResilienceConfig`; overrides
+            ``timeout_s``/``retries`` when given.
+        fault_plan: chaos plan to activate for this run (shipped to
+            every worker; the serial path installs it for the run's
+            duration).  Defaults to the ambient plan (``REPRO_FAULTS``
+            or a prior :func:`repro.faults.install`).
 
     Returns:
         A :class:`BenchReport`; ``results_json()`` is byte-identical
-        across serial and parallel runs of the same request.  The
-        report also carries the run's merged spans and metrics
-        (:meth:`BenchReport.write_trace` exports them), which never
-        enter ``results_json()``.
+        across serial and parallel runs of the same request.  Tasks
+        that exhaust their attempts degrade into ``status``-marked
+        runs instead of raising -- the report always comes back.
     """
     ids = list(ids) if ids is not None else list(EXPERIMENTS)
     unknown = [i for i in ids if i not in EXPERIMENTS]
     if unknown:
         raise ValueError(f"unknown experiment ids: {', '.join(unknown)}; "
                          f"known: {', '.join(EXPERIMENTS)}")
+    res = resilience if resilience is not None else \
+        ResilienceConfig(timeout_s=timeout_s, retries=retries)
+    plan = fault_plan if fault_plan is not None else faults.active_plan()
     tasks = [(eid, scale, seed) for eid in ids]
     tracer = trace.get_tracer()
     n_spans = len(tracer.spans)
@@ -242,14 +657,28 @@ def run_experiments(ids: Optional[Iterable[str]] = None,
     if parallel > 1 and len(ids) > 1:
         with trace.span("bench", parallel=parallel, scale=scale,
                         seed=seed, n_experiments=len(ids)):
-            ctx = multiprocessing.get_context(mp_context)
-            with ctx.Pool(processes=min(parallel, len(ids)),
-                          initializer=_init_worker,
-                          initargs=(cache_dir,)) as pool:
-                pairs = pool.map(_run_one, tasks)
-        runs = [run for run, _ in pairs]
-        payloads = [payload for _, payload in pairs]
-        worker_stats = [p["cache"] for p in payloads]
+            outcomes = _supervise("experiment", tasks, parallel,
+                                  cache_dir, res, seed, mp_context, plan)
+        runs = []
+        payloads = []
+        for i, (eid, _, _) in enumerate(tasks):
+            o = outcomes[i]
+            if o.status == "ok":
+                run = o.value
+                run.attempts = o.attempts
+            else:
+                run = ExperimentRun(experiment_id=eid, wall_s=o.wall_s,
+                                    all_passed=False, result={},
+                                    status=o.status, attempts=o.attempts,
+                                    error=o.error)
+            runs.append(run)
+            if o.payloads:
+                payloads.extend(o.payloads)
+                worker_stats.append(_aggregate_cache(
+                    [p["cache"] for p in o.payloads]))
+            else:
+                worker_stats.append(
+                    {k: 0.0 for k in _CACHE_FIELDS})
         cache_stats = _aggregate_cache(worker_stats)
         # fold worker metric deltas into the parent registry so the
         # run's diff below covers the whole pool
@@ -260,17 +689,14 @@ def run_experiments(ids: Optional[Iterable[str]] = None,
         proc = process if process is not None else make_process()
         cache = DesignCache(cache_dir=cache_dir)
         runs = []
-        with trace.span("bench", parallel=1, scale=scale, seed=seed,
-                        n_experiments=len(ids)):
-            for eid, s, sd in tasks:
-                t1 = time.perf_counter()
-                result = run_experiment(eid, ExperimentOptions(
-                    process=proc, scale=s, seed=sd, cache=cache))
-                runs.append(ExperimentRun(
-                    experiment_id=eid,
-                    wall_s=time.perf_counter() - t1,
-                    all_passed=result.all_passed,
-                    result=result_to_dict(result)))
+        with ExitStack() as stack:
+            if fault_plan is not None:
+                stack.enter_context(faults.installed(fault_plan))
+            with trace.span("bench", parallel=1, scale=scale, seed=seed,
+                            n_experiments=len(ids)):
+                for eid, s, sd in tasks:
+                    runs.append(_run_serial_task(
+                        eid, s, sd, proc, cache, res, seed))
         cache_stats = cache.stats.as_dict()
         worker_spans = []
     spans = [sp.to_dict() for sp in tracer.spans[n_spans:]] + worker_spans
@@ -284,33 +710,103 @@ def run_experiments(ids: Optional[Iterable[str]] = None,
                        metrics=metrics().diff(metrics_before))
 
 
+def _run_serial_task(eid: str, scale: float, sd: int, proc, cache,
+                     res: ResilienceConfig,
+                     run_seed: int) -> ExperimentRun:
+    """One experiment, in-process, with the retry/backoff loop.
+
+    Timeouts are cooperative here: the deadline is handed to the fault
+    hooks, so an injected hang raises
+    :class:`~repro.faults.inject.InjectedHang` once the budget is
+    spent (a genuinely slow healthy stage cannot be preempted without
+    a worker process -- use ``parallel`` for hard kills).
+    """
+    t_task = time.perf_counter()
+    status, error, result = "failed", None, None
+    attempt = 0
+    for attempt in range(1, res.max_attempts + 1):
+        deadline = (time.monotonic() + res.timeout_s
+                    if res.timeout_s else None)
+        try:
+            with faults.task_context(eid, attempt, deadline):
+                faults.fault_point("task")
+                result = run_experiment(eid, ExperimentOptions(
+                    process=proc, scale=scale, seed=sd, cache=cache))
+            status = "ok"
+            break
+        except faults.InjectedHang as exc:
+            status, error, result = "timeout", str(exc), None
+            metrics().counter("tasks.timed_out").inc()
+            with trace.span("task.timeout", task=eid, attempt=attempt,
+                            timeout_s=res.timeout_s):
+                pass
+        except Exception as exc:
+            status, error, result = \
+                "failed", f"{type(exc).__name__}: {exc}", None
+        if attempt < res.max_attempts:
+            metrics().counter("tasks.retried").inc()
+            delay = res.backoff_delay(eid, attempt, run_seed)
+            with trace.span("task.retry", task=eid, attempt=attempt,
+                            reason=status, backoff_s=round(delay, 4)):
+                pass
+            time.sleep(delay)
+    if status != "ok":
+        metrics().counter("tasks.failed").inc()
+        with trace.span("task.gave_up", task=eid, attempt=attempt,
+                        reason=status):
+            pass
+        return ExperimentRun(experiment_id=eid,
+                             wall_s=time.perf_counter() - t_task,
+                             all_passed=False, result={}, status=status,
+                             attempts=attempt, error=error)
+    return ExperimentRun(experiment_id=eid,
+                         wall_s=time.perf_counter() - t_task,
+                         all_passed=result.all_passed,
+                         result=result_to_dict(result),
+                         attempts=attempt)
+
+
 # ---------------------------------------------------------------------------
 # Design-space exploration fan-out
 # ---------------------------------------------------------------------------
-
-def _run_point(task: Tuple[str, bool, float, int]):
-    """Pool worker body: evaluate one design-space grid point."""
-    from ..core.explore import evaluate_point
-    style, dual_vth, scale, seed = task
-    return evaluate_point(_WORKER["process"], style, dual_vth,
-                          scale=scale, seed=seed,
-                          cache=_WORKER["cache"])
-
 
 def explore_points(grid: Sequence[Tuple[str, bool]],
                    scale: float = 0.7,
                    seed: int = 1,
                    parallel: int = 2,
                    cache_dir: Optional[str] = None,
-                   mp_context: str = "spawn") -> List:
-    """Evaluate design-space grid points across a worker pool.
+                   mp_context: str = "spawn",
+                   timeout_s: Optional[float] = None,
+                   retries: int = 0,
+                   resilience: Optional[ResilienceConfig] = None,
+                   fault_plan: Optional[FaultPlan] = None,
+                   allow_partial: bool = False) -> List:
+    """Evaluate design-space grid points across supervised workers.
 
     Returns :class:`~repro.core.explore.DesignPoint` objects in grid
-    order (identical to the serial explorer's output for the same seed).
+    order (identical to the serial explorer's output for the same
+    seed).  Runs under the same resilient supervisor as
+    :func:`run_experiments`; a point that exhausts its attempts raises
+    :class:`EngineError` unless ``allow_partial`` is set, in which
+    case its slot holds ``None``.
     """
+    res = resilience if resilience is not None else \
+        ResilienceConfig(timeout_s=timeout_s, retries=retries)
+    plan = fault_plan if fault_plan is not None else faults.active_plan()
     tasks = [(style, dual_vth, scale, seed) for style, dual_vth in grid]
-    ctx = multiprocessing.get_context(mp_context)
-    with ctx.Pool(processes=min(max(parallel, 1), max(len(tasks), 1)),
-                  initializer=_init_worker,
-                  initargs=(cache_dir,)) as pool:
-        return pool.map(_run_point, tasks)
+    outcomes = _supervise("point", tasks, max(parallel, 1), cache_dir,
+                          res, seed, mp_context, plan)
+    # fold worker metric deltas in, so parallel exploration counts work
+    for o in outcomes.values():
+        for p in o.payloads:
+            metrics().merge_snapshot(p["metrics"])
+    failures = [(i, o) for i, o in sorted(outcomes.items())
+                if o.status != "ok"]
+    if failures and not allow_partial:
+        detail = "; ".join(
+            f"{_task_label('point', tasks[i])}: {o.status} "
+            f"after {o.attempts} attempt(s) ({o.error})"
+            for i, o in failures)
+        raise EngineError(f"{len(failures)} of {len(tasks)} grid "
+                          f"points failed: {detail}")
+    return [outcomes[i].value for i in range(len(tasks))]

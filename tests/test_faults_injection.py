@@ -1,0 +1,317 @@
+"""Tests for the deterministic fault-injection layer.
+
+Covers the ``REPRO_FAULTS`` grammar (parse, round-trip, errors), spec
+matching, fire-once semantics, seeded-plan determinism, the flow and
+cache hooks, environment activation, and -- critically -- inertness:
+with no active plan the hooks must not change behavior, metrics or
+bytes.
+"""
+
+import pickle
+
+import pytest
+
+from repro import faults
+from repro.core.cache import DesignCache
+from repro.core.flow import FlowConfig, run_block_flow
+from repro.faults import (DEFAULT_HANG_S, FaultPlan, FaultPlanError,
+                          FaultSpec, InjectedFault, InjectedHang)
+from repro.obs.metrics import metrics
+
+
+@pytest.fixture(autouse=True)
+def _clean_fault_state():
+    """Every test starts and ends with no plan and no fired state."""
+    faults.reset()
+    yield
+    faults.reset()
+
+
+# ---------------------------------------------------------------------------
+# Grammar
+# ---------------------------------------------------------------------------
+
+class TestPlanGrammar:
+    def test_parse_single_spec(self):
+        plan = FaultPlan.parse("raise task=fig6 stage=optimize attempt=1")
+        assert len(plan) == 1
+        spec = plan.specs[0]
+        assert spec.kind == "raise"
+        assert spec.task == "fig6"
+        assert spec.stage == "optimize"
+        assert spec.attempt == 1
+
+    def test_parse_multiple_specs_and_defaults(self):
+        plan = FaultPlan.parse(
+            "raise; slow task=* stage=place seconds=0.05")
+        assert len(plan) == 2
+        assert plan.specs[0].task == "*"
+        assert plan.specs[0].stage == "*"
+        assert plan.specs[0].attempt == 1
+        assert plan.specs[1].seconds == 0.05
+
+    def test_hang_defaults_to_forever(self):
+        plan = FaultPlan.parse("hang task=fig6")
+        assert plan.specs[0].seconds == DEFAULT_HANG_S
+
+    def test_round_trip(self):
+        text = ("raise task=fig6 stage=optimize attempt=1; "
+                "slow task=* stage=place attempt=0 seconds=0.05; "
+                "corrupt task=table4 stage=cache.load attempt=1; "
+                "hang task=fig* stage=task attempt=1 seconds=3600")
+        plan = FaultPlan.parse(text, seed=7)
+        again = FaultPlan.parse(plan.to_text(), seed=7)
+        assert again == plan
+
+    @pytest.mark.parametrize("bad", [
+        "explode task=fig6",                 # unknown kind
+        "raise task=fig6 when=now",          # unknown field
+        "raise attempt=soon",                # non-integer attempt
+        "slow seconds=fast",                 # non-numeric seconds
+        "raise task",                        # bare token, no '='
+        "raise attempt=-1",                  # negative attempt
+        "slow seconds=-1",                   # negative duration
+    ])
+    def test_parse_errors(self, bad):
+        with pytest.raises(FaultPlanError):
+            FaultPlan.parse(bad)
+
+    def test_empty_text_is_empty_plan(self):
+        assert len(FaultPlan.parse("")) == 0
+        assert len(FaultPlan.parse(" ; ; ")) == 0
+
+    def test_plan_is_picklable(self):
+        plan = FaultPlan.seeded(3, tasks=["fig6", "table4"])
+        assert pickle.loads(pickle.dumps(plan)) == plan
+
+
+class TestSpecMatching:
+    def test_exact_match(self):
+        spec = FaultSpec(kind="raise", task="fig6", stage="place")
+        assert spec.matches("fig6", "place", 1)
+        assert not spec.matches("fig7", "place", 1)
+        assert not spec.matches("fig6", "power", 1)
+        assert not spec.matches("fig6", "place", 2)
+
+    def test_fnmatch_patterns(self):
+        spec = FaultSpec(kind="raise", task="fig*", stage="*")
+        assert spec.matches("fig6", "optimize", 1)
+        assert spec.matches("fig2", "task", 1)
+        assert not spec.matches("table4", "optimize", 1)
+
+    def test_attempt_zero_fires_every_attempt(self):
+        spec = FaultSpec(kind="raise", attempt=0)
+        for attempt in (1, 2, 3, 7):
+            assert spec.matches("anything", "anywhere", attempt)
+
+    def test_plan_match_returns_stable_indices(self):
+        plan = FaultPlan.parse("raise task=a; raise task=b; slow task=a")
+        hits = plan.match("a", "place", 1)
+        assert [i for i, _ in hits] == [0, 2]
+
+
+class TestSeededPlans:
+    def test_same_seed_same_plan(self):
+        a = FaultPlan.seeded(4, tasks=["fig6", "table4"])
+        b = FaultPlan.seeded(4, tasks=["fig6", "table4"])
+        assert a == b
+        assert a.to_text() == b.to_text()
+
+    def test_different_seeds_differ(self):
+        texts = {FaultPlan.seeded(s, tasks=["fig6", "table4"]).to_text()
+                 for s in range(8)}
+        assert len(texts) > 1
+
+    def test_always_contains_recoverable_engine_raise(self):
+        for seed in range(10):
+            plan = FaultPlan.seeded(seed, tasks=["fig6", "table4"])
+            first = plan.specs[0]
+            assert first.kind == "raise"
+            assert first.stage == "task"
+            assert first.attempt == 1
+
+    def test_targets_stay_in_task_pool(self):
+        tasks = ["fig6", "table4"]
+        plan = FaultPlan.seeded(11, tasks=tasks, n_faults=6)
+        assert all(s.task in tasks for s in plan.specs)
+
+    def test_seeded_plan_round_trips(self):
+        plan = FaultPlan.seeded(4, tasks=["fig6"])
+        assert FaultPlan.parse(plan.to_text(), seed=4) == plan
+
+
+# ---------------------------------------------------------------------------
+# Hooks
+# ---------------------------------------------------------------------------
+
+class TestFaultPoint:
+    def test_raise_fires_and_is_logged(self):
+        faults.install(FaultPlan.parse("raise task=t stage=place"))
+        with faults.task_context("t", 1):
+            with pytest.raises(InjectedFault):
+                faults.fault_point("place")
+        log = faults.injection_log()
+        assert len(log) == 1
+        assert log[0]["kind"] == "raise"
+        assert log[0]["task"] == "t"
+        assert log[0]["stage"] == "place"
+
+    def test_fires_once_per_task_attempt(self):
+        faults.install(FaultPlan.parse("slow task=t stage=* seconds=0"))
+        with faults.task_context("t", 1):
+            faults.fault_point("generate")
+            faults.fault_point("place")     # same spec: stays quiet
+        assert len(faults.injection_log()) == 1
+        # a retried attempt re-matches from scratch
+        with faults.task_context("t", 2):
+            faults.fault_point("generate")
+        assert len(faults.injection_log()) == 1  # attempt=1 spec only
+        faults.install(FaultPlan.parse("slow task=t attempt=0 seconds=0"))
+        with faults.task_context("t", 1):
+            faults.fault_point("generate")
+        with faults.task_context("t", 2):
+            faults.fault_point("generate")
+        assert len(faults.injection_log()) == 2
+
+    def test_hang_raises_past_deadline(self):
+        import time
+        faults.install(FaultPlan.parse("hang task=t seconds=60"))
+        deadline = time.monotonic() + 0.05
+        t0 = time.monotonic()
+        with faults.task_context("t", 1, deadline):
+            with pytest.raises(InjectedHang):
+                faults.fault_point("place")
+        assert time.monotonic() - t0 < 5.0
+
+    def test_metrics_recorded_per_kind(self):
+        before = metrics().snapshot()
+        faults.install(FaultPlan.parse(
+            "slow task=t stage=a seconds=0; raise task=t stage=b"))
+        with faults.task_context("t", 1):
+            faults.fault_point("a")
+            with pytest.raises(InjectedFault):
+                faults.fault_point("b")
+        diff = metrics().diff(before)["counters"]
+        assert diff["faults.injected"] == 2.0
+        assert diff["faults.injected.slow"] == 1.0
+        assert diff["faults.injected.raise"] == 1.0
+
+    def test_env_activation(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FAULTS", "raise task=t stage=place")
+        faults.reset()   # forget the cached (empty) parse
+        with faults.task_context("t", 1):
+            with pytest.raises(InjectedFault):
+                faults.fault_point("place")
+
+    def test_env_parse_error_surfaces(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FAULTS", "explode everything")
+        faults.reset()
+        with pytest.raises(FaultPlanError):
+            faults.active_plan()
+
+
+class TestCorruptPoint:
+    def test_corrupts_existing_file_once(self, tmp_path):
+        target = tmp_path / "entry.pkl"
+        payload = b"x" * 100
+        target.write_bytes(payload)
+        faults.install(FaultPlan.parse("corrupt task=t stage=cache.load"))
+        with faults.task_context("t", 1):
+            assert faults.corrupt_point(target)
+            assert target.read_bytes() != payload
+            garbled = target.read_bytes()
+            # fire-once: a second load of the same attempt is untouched
+            assert not faults.corrupt_point(target)
+            assert target.read_bytes() == garbled
+        assert faults.injection_log()[0]["kind"] == "corrupt"
+
+    def test_missing_file_keeps_spec_armed(self, tmp_path):
+        target = tmp_path / "entry.pkl"
+        faults.install(FaultPlan.parse("corrupt task=t stage=cache.load"))
+        with faults.task_context("t", 1):
+            assert not faults.corrupt_point(target)
+            target.write_bytes(b"y" * 100)
+            assert faults.corrupt_point(target)
+
+    def test_corruption_bytes_are_seeded(self, tmp_path):
+        blobs = []
+        for _ in range(2):
+            target = tmp_path / "entry.pkl"
+            target.write_bytes(b"z" * 100)
+            faults.install(FaultPlan.parse(
+                "corrupt task=t stage=cache.load", seed=5))
+            with faults.task_context("t", 1):
+                assert faults.corrupt_point(target)
+            blobs.append(target.read_bytes())
+        assert blobs[0] == blobs[1]
+
+
+# ---------------------------------------------------------------------------
+# Flow and cache integration
+# ---------------------------------------------------------------------------
+
+class TestFlowHooks:
+    def test_stage_fault_aborts_the_flow(self, process):
+        faults.install(FaultPlan.parse("raise task=t stage=place"))
+        with faults.task_context("t", 1):
+            with pytest.raises(InjectedFault):
+                run_block_flow("ncu", FlowConfig(scale=0.3), process)
+
+    def test_slow_stage_leaves_the_design_intact(self, process):
+        clean = run_block_flow("ncu", FlowConfig(scale=0.3), process)
+        faults.install(FaultPlan.parse(
+            "slow task=t stage=optimize seconds=0.01"))
+        with faults.task_context("t", 1):
+            slowed = run_block_flow("ncu", FlowConfig(scale=0.3), process)
+        assert len(faults.injection_log()) == 1
+        assert slowed.power.total_uw == clean.power.total_uw
+        assert slowed.wirelength_um == clean.wirelength_um
+
+    def test_cache_survives_injected_corruption(self, tmp_path, process):
+        config = FlowConfig(scale=0.3)
+        warm = DesignCache(cache_dir=tmp_path)
+        baseline = warm.get_or_run("ncu", config, process)
+        assert warm.stats.stores == 1
+
+        faults.install(FaultPlan.parse(
+            "corrupt task=t stage=cache.load"))
+        before = metrics().snapshot()
+        victim = DesignCache(cache_dir=tmp_path)
+        with faults.task_context("t", 1):
+            design = victim.get_or_run("ncu", config, process)
+        # the corrupted entry was dropped, recomputed and re-stored
+        assert victim.stats.corrupt_drops == 1
+        assert victim.stats.misses == 1
+        assert design.power.total_uw == baseline.power.total_uw
+        diff = metrics().diff(before)["counters"]
+        assert diff["cache.corrupt_drops"] == 1.0
+        assert diff["faults.injected.corrupt"] == 1.0
+        # the rewrite healed the disk tier: a fresh cache now disk-hits
+        faults.clear()
+        healed = DesignCache(cache_dir=tmp_path)
+        again = healed.get_or_run("ncu", config, process)
+        assert healed.stats.disk_hits == 1
+        assert again.power.total_uw == baseline.power.total_uw
+
+
+class TestInertness:
+    def test_no_plan_is_a_noop(self, process):
+        before = metrics().snapshot()
+        with faults.task_context("t", 1):
+            faults.fault_point("place")
+            faults.fault_point("task")
+        diff = metrics().diff(before)["counters"]
+        assert not any(k.startswith("faults.") for k in diff)
+        assert faults.injection_log() == []
+
+    def test_cleared_plan_restores_byte_identical_flow(self, process):
+        config = FlowConfig(scale=0.3)
+        clean = run_block_flow("ncu", config, process)
+        with faults.installed(FaultPlan.parse("raise task=t stage=place")):
+            with faults.task_context("t", 1):
+                with pytest.raises(InjectedFault):
+                    run_block_flow("ncu", config, process)
+        after = run_block_flow("ncu", config, process)
+        assert after.power.total_uw == clean.power.total_uw
+        assert after.wirelength_um == clean.wirelength_um
+        assert after.n_cells == clean.n_cells
