@@ -74,3 +74,65 @@ def test_kernel_partition(benchmark, process):
                             seed=1)
         return fm_bipartition(gb.netlist, seed=0)
     benchmark.pedantic(run, rounds=3, iterations=1)
+
+
+def test_kernel_optimize(benchmark, process):
+    """Staged optimization loop on l2t (incremental timing core)."""
+    from repro.opt.flow import OptimizeConfig, optimize_block
+
+    def run():
+        gb = generate_block(block_type_by_name("l2t"), process.library,
+                            seed=1)
+        place_block_2d(gb.netlist, PlacementConfig(seed=1))
+        return optimize_block(
+            gb.netlist, process, TimingConfig("cpu_clk"),
+            lambda nl: route_block(nl, process.metal_stack),
+            OptimizeConfig(dual_vth=True))
+    res = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert res.downsized > 0 and res.hvt_swaps > 0
+    # the incremental loop re-routes only at start + buffer insertion
+    assert res.full_reroutes <= 4
+
+
+def test_kernel_optimize_full_recompute(benchmark, process):
+    """Same loop with the incremental core disabled (the baseline the
+    opt-smoke CI step asserts >=2x against)."""
+    from repro.opt.flow import OptimizeConfig, optimize_block
+
+    def run():
+        gb = generate_block(block_type_by_name("l2t"), process.library,
+                            seed=1)
+        place_block_2d(gb.netlist, PlacementConfig(seed=1))
+        return optimize_block(
+            gb.netlist, process, TimingConfig("cpu_clk"),
+            lambda nl: route_block(nl, process.metal_stack),
+            OptimizeConfig(dual_vth=True, full_recompute=True))
+    res = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert res.full_reroutes > 4
+
+
+def test_kernel_incremental_sta(benchmark, process):
+    """Batched ECO re-timing: ~1k master swaps per frontier walk."""
+    from repro.timing.incremental import IncrementalSTA
+    gb = generate_block(block_type_by_name("l2t"), process.library,
+                        seed=1)
+    place_block_2d(gb.netlist, PlacementConfig(seed=1))
+    routing = route_block(gb.netlist, process.metal_stack)
+    inc = IncrementalSTA(gb.netlist, routing, process,
+                         TimingConfig("cpu_clk"))
+    lib = process.library
+    cells = [c for c in gb.netlist.cells if not c.is_sequential]
+
+    def run():
+        # each call flips ~1k cells between adjacent sizes, so every
+        # round re-times a comparable batch
+        moves = []
+        for c in cells:
+            new = lib.downsize(c.master) or lib.upsize(c.master)
+            if new is not None:
+                moves.append((c.id, new))
+            if len(moves) >= 1000:
+                break
+        return inc.swap_masters(moves)
+    applied = benchmark(run)
+    assert applied >= 500

@@ -1,0 +1,93 @@
+"""Optimizer speedup smoke check (CI gate).
+
+Times ``optimize_block`` on the l2t block with the incremental
+timing/parasitic core against the ``full_recompute=True`` escape hatch
+(same moves, same result -- see ``tests/test_opt_flow.py``), asserts the
+incremental loop is at least ``--min-speedup`` times faster, and writes
+a timing JSON (wall clocks, speedup, reuse counters) for the CI
+artifact trail.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/opt_smoke.py \
+        --out opt_smoke_timing.json --min-speedup 2.0
+"""
+
+import argparse
+import json
+import sys
+import time
+
+from repro.designgen import block_type_by_name, generate_block
+from repro.obs.metrics import metrics
+from repro.opt.flow import OptimizeConfig, optimize_block
+from repro.place import PlacementConfig, place_block_2d
+from repro.route import route_block
+from repro.tech import make_process
+from repro.timing import TimingConfig
+
+
+def time_mode(process, full_recompute: bool, repeats: int) -> dict:
+    """Best-of-N wall clock for one optimizer mode (fresh block each)."""
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        gb = generate_block(block_type_by_name("l2t"), process.library,
+                            seed=1)
+        place_block_2d(gb.netlist, PlacementConfig(seed=1))
+        t0 = time.perf_counter()
+        result = optimize_block(
+            gb.netlist, process, TimingConfig("cpu_clk"),
+            lambda nl: route_block(nl, process.metal_stack),
+            OptimizeConfig(dual_vth=True,
+                           full_recompute=full_recompute))
+        best = min(best, time.perf_counter() - t0)
+    return {"wall_s": best,
+            "full_reroutes": result.full_reroutes,
+            "moves": {"buffers": result.buffers_added,
+                      "upsized": result.upsized,
+                      "downsized": result.downsized,
+                      "hvt_swaps": result.hvt_swaps}}
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--out", default=None, metavar="FILE",
+                    help="write timing JSON here")
+    ap.add_argument("--min-speedup", type=float, default=2.0)
+    ap.add_argument("--repeats", type=int, default=3)
+    args = ap.parse_args(argv)
+
+    process = make_process()
+    inc = time_mode(process, full_recompute=False, repeats=args.repeats)
+    full = time_mode(process, full_recompute=True, repeats=args.repeats)
+    speedup = full["wall_s"] / inc["wall_s"]
+    snap = metrics().snapshot()
+    counters = {k: v for k, v in sorted(snap.get("counters", {}).items())
+                if k.startswith(("sta.", "route.", "opt."))}
+    report = {"block": "l2t", "incremental": inc, "full_recompute": full,
+              "speedup": speedup, "min_speedup": args.min_speedup,
+              "counters": counters}
+    print(f"incremental {inc['wall_s']:.3f}s vs full "
+          f"{full['wall_s']:.3f}s -> {speedup:.2f}x "
+          f"(floor {args.min_speedup:.1f}x)")
+    for k, v in counters.items():
+        print(f"  {k} = {v:.0f}")
+    if args.out:
+        with open(args.out, "w") as f:
+            json.dump(report, f, indent=2, sort_keys=True)
+            f.write("\n")
+        print(f"wrote {args.out}")
+    if inc["moves"] != full["moves"]:
+        print("FAIL: incremental and full_recompute move counts differ",
+              file=sys.stderr)
+        return 1
+    if speedup < args.min_speedup:
+        print(f"FAIL: speedup {speedup:.2f}x below floor "
+              f"{args.min_speedup:.1f}x", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -72,6 +72,10 @@ class FlowConfig:
     #: run the static checker at stage boundaries and raise
     #: :class:`repro.lint.LintError` on any unwaived error
     assert_clean: bool = False
+    #: disable the optimizer's incremental timing/parasitic core and
+    #: fully re-route + re-time after every transform chunk (identical
+    #: results, much slower; baseline / bisection aid)
+    opt_full_recompute: bool = False
 
 
 @dataclass
@@ -235,8 +239,10 @@ def run_flow_on(gb: GeneratedBlock, config: FlowConfig,
     with trace.span("flow.optimize", block=block_type.name) as sp_opt:
         fault_point("optimize")
         opt = optimize_block(netlist, process, timing, route_fn,
-                             OptimizeConfig(rounds=config.opt_rounds,
-                                            dual_vth=config.dual_vth))
+                             OptimizeConfig(
+                                 rounds=config.opt_rounds,
+                                 dual_vth=config.dual_vth,
+                                 full_recompute=config.opt_full_recompute))
     stage_times_ms["optimize"] = sp_opt.duration_ms
 
     congestion = None

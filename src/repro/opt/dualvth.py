@@ -6,18 +6,24 @@ cell whose slack absorbs the slowdown is swapped.  Because 3D designs
 carry more positive slack (shorter wires), they absorb more swaps -- the
 paper measures 87.8% HVT cells in 2D vs. 94.0% in the folded 3D design,
 and that ordering emerges here from the same mechanism.
+
+Like the sizing passes, each transform is a *planner* deciding moves
+against a frozen STA snapshot (loads priced by the shared
+:func:`repro.timing.load.driven_load` model) plus a thin applier, so the
+staged loop can feed whole chunks to the incremental timing core.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import List, Optional
 
 from ..netlist.core import Netlist
 from ..route.estimate import RoutingResult
 from ..tech.cells import VTH_HVT, VTH_RVT, CellLibrary
+from ..timing.load import driven_load
 from ..timing.sta import STAResult
-from .sizing import _driven_load
+from .sizing import Move, apply_moves
 
 
 @dataclass
@@ -31,45 +37,56 @@ class DualVthConfig:
     max_moves_per_pass: int = 100000
 
 
-def assign_hvt(netlist: Netlist, routing: RoutingResult, sta: STAResult,
-               library: CellLibrary,
-               config: Optional[DualVthConfig] = None) -> int:
-    """Swap RVT cells to HVT where slack permits; returns move count."""
+def plan_hvt_swaps(netlist: Netlist, routing: RoutingResult,
+                   sta: STAResult, library: CellLibrary,
+                   config: Optional[DualVthConfig] = None) -> List[Move]:
+    """Plan RVT->HVT swaps where slack absorbs the slowdown."""
     config = config or DualVthConfig()
-    moves = 0
+    moves: List[Move] = []
     candidates = sorted(
         (iid for iid, s in sta.slack.items() if iid in netlist.instances),
         key=lambda i: -sta.slack[i])
     for iid in candidates:
-        if moves >= config.max_moves_per_pass:
+        if len(moves) >= config.max_moves_per_pass:
             break
         inst = netlist.instances[iid]
         if inst.is_macro or inst.master.vth != VTH_RVT:
             continue
         hvt = library.variant(inst.master, vth=VTH_HVT)
-        load = _driven_load(netlist, routing, iid)
+        load = driven_load(netlist, routing, iid)
         delta = hvt.delay_ps(load) - inst.master.delay_ps(load)
         charged = max(delta, 0.0) * config.path_sharing_factor
         if sta.slack_of(iid) - charged >= config.margin_ps:
-            netlist.replace_master(iid, hvt)
-            moves += 1
+            moves.append((iid, hvt))
     return moves
 
 
-def restore_rvt_on_violations(netlist: Netlist, sta: STAResult,
-                              library: CellLibrary) -> int:
-    """Swap violating HVT cells back to RVT (timing recovery)."""
-    moves = 0
+def plan_rvt_restores(netlist: Netlist, sta: STAResult,
+                      library: CellLibrary) -> List[Move]:
+    """Plan HVT->RVT restores for violating cells (timing recovery)."""
+    moves: List[Move] = []
     for iid, s in sta.slack.items():
         if s >= 0 or iid not in netlist.instances:
             continue
         inst = netlist.instances[iid]
         if inst.is_macro or inst.master.vth != VTH_HVT:
             continue
-        netlist.replace_master(iid, library.variant(inst.master,
-                                                    vth=VTH_RVT))
-        moves += 1
+        moves.append((iid, library.variant(inst.master, vth=VTH_RVT)))
     return moves
+
+
+def assign_hvt(netlist: Netlist, routing: RoutingResult, sta: STAResult,
+               library: CellLibrary,
+               config: Optional[DualVthConfig] = None) -> int:
+    """Swap RVT cells to HVT where slack permits; returns move count."""
+    return apply_moves(netlist, plan_hvt_swaps(netlist, routing, sta,
+                                               library, config))
+
+
+def restore_rvt_on_violations(netlist: Netlist, sta: STAResult,
+                              library: CellLibrary) -> int:
+    """Swap violating HVT cells back to RVT (timing recovery)."""
+    return apply_moves(netlist, plan_rvt_restores(netlist, sta, library))
 
 
 def hvt_fraction(netlist: Netlist) -> float:

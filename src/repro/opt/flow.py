@@ -1,29 +1,54 @@
-"""Staged block optimization loop.
+"""Staged block optimization loop on an incremental timing/parasitic core.
 
 Reproduces the paper's Section 2.2 iteration: with the block placed and
 its I/O timing budgets set, run pre-CTS / post-CTS / post-route style
 optimization rounds -- buffer insertion and upsizing for timing, then
-downsizing (and optionally HVT swapping) for power -- re-routing and
-re-timing between transforms so every decision is verified against fresh
-parasitics.
+downsizing (and optionally HVT swapping) for power -- verifying every
+decision against fresh parasitics.
+
+Sizing and Vth moves freeze placement and net topology, so only pin
+capacitances and the touched cells' timing cones actually change between
+transform chunks.  The loop therefore runs against a *live* incremental
+view -- :meth:`repro.route.estimate.RoutingResult.update_instances` for
+parasitics and :class:`repro.timing.incremental.IncrementalSTA` for
+timing -- which reproduces a full re-route + re-STA bit-for-bit at a
+fraction of the cost.  Full recomputation happens only where it must:
+after :func:`insert_buffers` edits the net topology (counted by the
+``opt.full_reroutes`` metric), or when the ``full_recompute=True``
+escape hatch disables the incremental core entirely (the two modes
+produce identical designs; the escape hatch exists as a baseline and a
+bisection aid).
+
+``true_slack=True`` additionally replaces the ``path_sharing_factor``
+acceptance heuristic for downsizes and HVT swaps with exact per-move
+verification: each move is applied to the live view and kept only if
+every touched node still meets its margin.  This changes (improves) the
+optimization result, so it is opt-in -- the default loop is
+move-for-move identical to the historical one.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Optional
+from typing import Callable, List, Optional
 
 from ..cts.tree import CTSResult, synthesize_clock_tree
 from ..netlist.core import Netlist
+from ..obs import trace
 from ..obs.metrics import metrics
 from ..route.estimate import RoutingResult
+from ..tech.cells import VTH_HVT, VTH_RVT
 from ..tech.process import ProcessNode
+from ..timing.incremental import IncrementalSTA
 from ..timing.sta import STAResult, TimingConfig, run_sta
 from .buffering import BufferingConfig, insert_buffers
-from .dualvth import DualVthConfig, assign_hvt, restore_rvt_on_violations
-from .sizing import SizingConfig, fix_timing, recover_power
+from .dualvth import (DualVthConfig, plan_hvt_swaps, plan_rvt_restores)
+from .sizing import (Move, SizingConfig, apply_moves, plan_downsizes,
+                     plan_upsizes)
 
 RouteFn = Callable[[Netlist], RoutingResult]
+
+INF = float("inf")
 
 
 @dataclass
@@ -35,6 +60,12 @@ class OptimizeConfig:
     buffering: BufferingConfig = field(default_factory=BufferingConfig)
     sizing: SizingConfig = field(default_factory=SizingConfig)
     dualvth: DualVthConfig = field(default_factory=DualVthConfig)
+    #: disable the incremental core: full re-route + full STA after
+    #: every transform chunk (decision-identical, much slower)
+    full_recompute: bool = False
+    #: accept power moves on exact post-move slack instead of the
+    #: ``path_sharing_factor`` heuristic (changes the result; opt-in)
+    true_slack: bool = False
 
 
 @dataclass
@@ -48,11 +79,105 @@ class OptimizeResult:
     upsized: int
     downsized: int
     hvt_swaps: int
+    #: times the loop fell back to a full re-route (initial route,
+    #: topology edits, and -- in ``full_recompute`` mode -- every chunk)
+    full_reroutes: int = 0
+
+
+class _TimingCore:
+    """The loop's view of parasitics + timing, incremental or full.
+
+    Both implementations expose the same three operations; the
+    incremental one reuses routed geometry and the live timing graph,
+    the full one re-routes and re-times the whole block.  Their STA
+    snapshots (and hence every optimization decision) are identical.
+    """
+
+    def __init__(self, netlist: Netlist, process: ProcessNode,
+                 timing: TimingConfig, route_fn: RouteFn,
+                 incremental: bool) -> None:
+        self.netlist = netlist
+        self.process = process
+        self.timing = timing
+        self.route_fn = route_fn
+        self.incremental = incremental
+        self.full_reroutes = 0
+        self.routing = self._full_route()
+        self.view: Optional[IncrementalSTA] = None
+        if incremental:
+            self.view = IncrementalSTA(netlist, self.routing, process,
+                                       timing)
+
+    def _full_route(self) -> RoutingResult:
+        self.full_reroutes += 1
+        metrics().counter("opt.full_reroutes").inc()
+        return self.route_fn(self.netlist)
+
+    def sta(self) -> STAResult:
+        """A fresh, frozen STA snapshot of the current state."""
+        if self.view is not None:
+            return self.view.to_result()
+        return run_sta(self.netlist, self.routing, self.process,
+                       self.timing)
+
+    def apply(self, moves: List[Move]) -> int:
+        """Apply a chunk of master swaps and refresh parasitics/timing."""
+        if not moves:
+            return 0
+        if self.view is not None:
+            return self.view.swap_masters(moves)
+        apply_moves(self.netlist, moves)
+        self.routing = self._full_route()
+        return len(moves)
+
+    def rebuild(self) -> None:
+        """Full re-route + fresh timing graph (after netlist surgery)."""
+        self.routing = self._full_route()
+        if self.incremental:
+            self.view = IncrementalSTA(self.netlist, self.routing,
+                                       self.process, self.timing)
+
+    # -- exact per-move acceptance (true_slack mode) -------------------
+
+    def try_swap(self, inst_id: int, master, min_slack_ps: float) -> bool:
+        """Apply one swap; keep it only if true post-move slack holds.
+
+        The acceptance test is the same in both modes: every node whose
+        arrival or required time moved (plus the swapped cell) must
+        keep at least ``min_slack_ps`` of slack.
+        """
+        if self.view is not None:
+            return self.view.try_swap(inst_id, master, min_slack_ps)
+        old = self.netlist.instances[inst_id].master
+        if old is master:
+            return False
+        before = self.sta()
+        self.netlist.replace_master(inst_id, master)
+        routing = self.route_fn(self.netlist)
+        after = run_sta(self.netlist, routing, self.process, self.timing)
+        worst = INF
+        for iid, a in after.arrival.items():
+            if a == before.arrival.get(iid) and \
+                    after.required.get(iid, INF) == \
+                    before.required.get(iid, INF) and iid != inst_id:
+                continue
+            r = after.required.get(iid, INF)
+            if r < INF:
+                worst = min(worst, r - a)
+        if worst < min_slack_ps:
+            self.netlist.replace_master(inst_id, old)
+            return False
+        self.routing = routing
+        self.full_reroutes += 1
+        metrics().counter("opt.full_reroutes").inc()
+        return True
 
 
 def optimize_block(netlist: Netlist, process: ProcessNode,
                    timing: TimingConfig, route_fn: RouteFn,
-                   config: Optional[OptimizeConfig] = None) -> OptimizeResult:
+                   config: Optional[OptimizeConfig] = None,
+                   full_recompute: Optional[bool] = None
+                   ) -> OptimizeResult:
     """Run the staged timing/power optimization on a placed block.
 
     Args:
@@ -61,13 +186,18 @@ def optimize_block(netlist: Netlist, process: ProcessNode,
         timing: clock domain and I/O budgets.
         route_fn: re-routes the netlist (knows layers and 3D via sites).
         config: loop configuration.
+        full_recompute: override ``config.full_recompute`` (the
+            escape hatch disabling the incremental core).
 
     Returns:
         The converged routing, timing and clock tree plus move counters.
     """
     config = config or OptimizeConfig()
+    if full_recompute is None:
+        full_recompute = config.full_recompute
     lib = process.library
-    routing = route_fn(netlist)
+    core = _TimingCore(netlist, process, timing, route_fn,
+                       incremental=not full_recompute)
 
     buffers_added = 0
     upsized = 0
@@ -76,52 +206,97 @@ def optimize_block(netlist: Netlist, process: ProcessNode,
 
     def timing_stage(max_iter: int) -> None:
         """Repeaters + upsizing to convergence (or iteration cap)."""
-        nonlocal routing, buffers_added, upsized
+        nonlocal buffers_added, upsized
         for _ in range(max_iter):
-            sta = run_sta(netlist, routing, process, timing)
-            added = insert_buffers(netlist, routing, lib, config.buffering)
+            sta = core.sta()
+            added = insert_buffers(netlist, core.routing, lib,
+                                   config.buffering)
             if added:
                 buffers_added += added
-                routing = route_fn(netlist)
-                sta = run_sta(netlist, routing, process, timing)
-            ups = fix_timing(netlist, routing, sta, lib, config.sizing)
-            if ups:
-                upsized += ups
-                routing = route_fn(netlist)
+                core.rebuild()  # topology changed: incremental invalid
+                sta = core.sta()
+            ups = core.apply(plan_upsizes(netlist, sta, lib,
+                                          config.sizing))
+            upsized += ups
             if not (added or ups):
                 break
 
-    for _ in range(max(1, config.rounds)):
-        timing_stage(max_iter=3)
+    def downsize_chunk() -> int:
+        sta = core.sta()
+        if not config.true_slack:
+            return core.apply(plan_downsizes(netlist, core.routing, sta,
+                                             lib, config.sizing))
+        cfg = config.sizing
+        moves = 0
+        candidates = sorted(
+            (iid for iid, s in sta.slack.items()
+             if s > cfg.downsize_margin_ps and iid in netlist.instances),
+            key=lambda i: -sta.slack[i])
+        for iid in candidates:
+            if moves >= cfg.max_moves_per_pass:
+                break
+            inst = netlist.instances[iid]
+            if inst.is_macro:
+                continue
+            smaller = lib.downsize(inst.master)
+            if smaller is None:
+                continue
+            if core.try_swap(iid, smaller, cfg.downsize_margin_ps):
+                moves += 1
+        return moves
+
+    def hvt_chunk() -> int:
+        sta = core.sta()
+        if not config.true_slack:
+            return core.apply(plan_hvt_swaps(netlist, core.routing, sta,
+                                             lib, config.dualvth))
+        cfg = config.dualvth
+        moves = 0
+        candidates = sorted(
+            (iid for iid, s in sta.slack.items()
+             if iid in netlist.instances),
+            key=lambda i: -sta.slack[i])
+        for iid in candidates:
+            if moves >= cfg.max_moves_per_pass:
+                break
+            inst = netlist.instances[iid]
+            if inst.is_macro or inst.master.vth != VTH_RVT:
+                continue
+            hvt = lib.variant(inst.master, vth=VTH_HVT)
+            if core.try_swap(iid, hvt, cfg.margin_ps):
+                moves += 1
+        return moves
+
+    for _round in range(max(1, config.rounds)):
+        with trace.span("opt.timing_stage", round=_round):
+            timing_stage(max_iter=3)
 
         # --- power stage: HVT swapping first (leakage is the big lever,
         # and slack not yet consumed by downsizing absorbs the most
         # swaps), then chunked downsizing with fresh STA per chunk ------
-        if config.dual_vth:
-            for _chunk in range(3):
-                sta = run_sta(netlist, routing, process, timing)
-                swaps = assign_hvt(netlist, routing, sta, lib,
-                                   config.dualvth)
-                if not swaps:
-                    break
-                hvt_swaps += swaps
-                routing = route_fn(netlist)
-            sta = run_sta(netlist, routing, process, timing)
-            hvt_swaps -= restore_rvt_on_violations(netlist, sta, lib)
+        with trace.span("opt.power_stage", round=_round,
+                        dual_vth=config.dual_vth):
+            if config.dual_vth:
+                for _chunk in range(3):
+                    swaps = hvt_chunk()
+                    if not swaps:
+                        break
+                    hvt_swaps += swaps
+                hvt_swaps -= core.apply(
+                    plan_rvt_restores(netlist, core.sta(), lib))
 
-        for _chunk in range(4):
-            sta = run_sta(netlist, routing, process, timing)
-            downs = recover_power(netlist, routing, sta, lib, config.sizing)
-            if not downs:
-                break
-            downsized += downs
-            routing = route_fn(netlist)
+            for _chunk in range(4):
+                downs = downsize_chunk()
+                if not downs:
+                    break
+                downsized += downs
 
     # final timing recovery so a power move never ships a violation the
     # sizing engine could have fixed
-    timing_stage(max_iter=2)
+    with trace.span("opt.timing_stage", round=-1):
+        timing_stage(max_iter=2)
 
-    sta = run_sta(netlist, routing, process, timing)
+    sta = core.sta()
     cts = synthesize_clock_tree(netlist, process)
     m = metrics()
     m.counter("opt.rounds").inc(max(1, config.rounds))
@@ -130,6 +305,7 @@ def optimize_block(netlist: Netlist, process: ProcessNode,
     m.counter("opt.cells_downsized").inc(downsized)
     m.counter("opt.hvt_swaps").inc(hvt_swaps)
     m.histogram("opt.buffers_per_block").observe(buffers_added)
-    return OptimizeResult(routing=routing, sta=sta, cts=cts,
+    return OptimizeResult(routing=core.routing, sta=sta, cts=cts,
                           buffers_added=buffers_added, upsized=upsized,
-                          downsized=downsized, hvt_swaps=hvt_swaps)
+                          downsized=downsized, hvt_swaps=hvt_swaps,
+                          full_reroutes=core.full_reroutes)

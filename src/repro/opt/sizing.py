@@ -15,19 +15,31 @@ Two passes over the STA result:
   keeps the path met.  Smaller cells also present less input capacitance
   upstream, so the estimate is conservative.
 
-Both passes are followed by a re-route + re-STA in the optimization loop
-so estimation errors cannot accumulate.
+Each pass is split into a *planner* (:func:`plan_upsizes`,
+:func:`plan_downsizes`) that decides the moves against a frozen STA
+snapshot, and a thin applier.  The staged loop feeds the plans to the
+incremental timing core (one batched cone update per chunk); the
+classic mutate-in-place entry points remain for direct callers and are
+decision-identical.
+
+Loads are priced through the shared :func:`repro.timing.load.driven_load`
+helper -- the same model STA uses, so the optimizer and the verifying
+timer can never disagree about what a move costs.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import List, Optional, Tuple
 
 from ..netlist.core import Netlist
 from ..route.estimate import RoutingResult
-from ..tech.cells import CellLibrary
+from ..tech.cells import CellLibrary, CellMaster
+from ..timing.load import driven_load
 from ..timing.sta import STAResult
+
+#: a planned master change: (instance id, replacement master)
+Move = Tuple[int, CellMaster]
 
 
 @dataclass
@@ -46,33 +58,18 @@ class SizingConfig:
     max_moves_per_pass: int = 100000
 
 
-def _driven_load(netlist: Netlist, routing: RoutingResult,
-                 inst_id: int) -> float:
-    total = 0.0
-    for net in netlist.nets_of(inst_id):
-        if net.is_clock or net.driver.is_port or net.driver.inst != inst_id:
-            continue
-        if net.driver.pin != 0:
-            continue  # auxiliary output pins carry their own load
-        routed = routing.nets.get(net.id)
-        if routed is not None:
-            total += routed.total_cap_ff
-    return total
-
-
-def fix_timing(netlist: Netlist, routing: RoutingResult, sta: STAResult,
-               library: CellLibrary,
-               config: Optional[SizingConfig] = None) -> int:
-    """Upsize cells on violating paths; returns the number of moves."""
+def plan_upsizes(netlist: Netlist, sta: STAResult, library: CellLibrary,
+                 config: Optional[SizingConfig] = None) -> List[Move]:
+    """Plan upsizes for cells on violating paths (worst slack first)."""
     config = config or SizingConfig()
-    moves = 0
+    moves: List[Move] = []
     # worst first so the most critical drivers strengthen earliest
     violators = sorted(
         (iid for iid, s in sta.slack.items()
          if s < config.upsize_target_ps and iid in netlist.instances),
         key=lambda i: sta.slack[i])
     for iid in violators:
-        if moves >= config.max_moves_per_pass:
+        if len(moves) >= config.max_moves_per_pass:
             break
         inst = netlist.instances[iid]
         if inst.is_macro:
@@ -80,28 +77,28 @@ def fix_timing(netlist: Netlist, routing: RoutingResult, sta: STAResult,
         bigger = library.upsize(inst.master)
         if bigger is None:
             continue
-        netlist.replace_master(iid, bigger)
-        moves += 1
+        moves.append((iid, bigger))
     return moves
 
 
-def recover_power(netlist: Netlist, routing: RoutingResult, sta: STAResult,
-                  library: CellLibrary,
-                  config: Optional[SizingConfig] = None) -> int:
-    """Downsize comfortably-met cells; returns the number of moves.
+def plan_downsizes(netlist: Netlist, routing: RoutingResult,
+                   sta: STAResult, library: CellLibrary,
+                   config: Optional[SizingConfig] = None) -> List[Move]:
+    """Plan downsizes of comfortably-met cells (most slack first).
 
-    A move is accepted when the local delay increase (drive resistance
-    and intrinsic delay deltas at the current load) fits inside the
-    cell's slack minus the guard margin.
+    A move is planned when the local delay increase (drive resistance
+    and intrinsic delay deltas at the current load), charged
+    ``path_sharing_factor`` times, fits inside the cell's slack minus
+    the guard margin.
     """
     config = config or SizingConfig()
-    moves = 0
+    moves: List[Move] = []
     candidates = sorted(
         (iid for iid, s in sta.slack.items()
          if s > config.downsize_margin_ps and iid in netlist.instances),
         key=lambda i: -sta.slack[i])
     for iid in candidates:
-        if moves >= config.max_moves_per_pass:
+        if len(moves) >= config.max_moves_per_pass:
             break
         inst = netlist.instances[iid]
         if inst.is_macro:
@@ -109,10 +106,32 @@ def recover_power(netlist: Netlist, routing: RoutingResult, sta: STAResult,
         smaller = library.downsize(inst.master)
         if smaller is None:
             continue
-        load = _driven_load(netlist, routing, iid)
+        load = driven_load(netlist, routing, iid)
         delta = (smaller.delay_ps(load) - inst.master.delay_ps(load))
         charged = max(delta, 0.0) * config.path_sharing_factor
         if sta.slack[iid] - charged >= config.downsize_margin_ps:
-            netlist.replace_master(iid, smaller)
-            moves += 1
+            moves.append((iid, smaller))
     return moves
+
+
+def apply_moves(netlist: Netlist, moves: List[Move]) -> int:
+    """Apply planned master changes to the netlist; returns the count."""
+    for iid, master in moves:
+        netlist.replace_master(iid, master)
+    return len(moves)
+
+
+def fix_timing(netlist: Netlist, routing: RoutingResult, sta: STAResult,
+               library: CellLibrary,
+               config: Optional[SizingConfig] = None) -> int:
+    """Upsize cells on violating paths; returns the number of moves."""
+    return apply_moves(netlist, plan_upsizes(netlist, sta, library,
+                                             config))
+
+
+def recover_power(netlist: Netlist, routing: RoutingResult, sta: STAResult,
+                  library: CellLibrary,
+                  config: Optional[SizingConfig] = None) -> int:
+    """Downsize comfortably-met cells; returns the number of moves."""
+    return apply_moves(netlist, plan_downsizes(netlist, routing, sta,
+                                               library, config))

@@ -16,7 +16,7 @@ This is the model's stand-in for detailed routing + RC extraction.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
 
 from ..netlist.core import Net, Netlist, PinRef
 from ..tech.interconnect3d import Via3D
@@ -172,6 +172,74 @@ class RoutingResult:
 
     def of(self, net_id: int) -> RoutedNet:
         return self.nets[net_id]
+
+    def update_instances(self, netlist: Netlist,
+                         changed_inst_ids: Iterable[int],
+                         reroute: Optional[Callable[[Net], RoutedNet]]
+                         = None) -> List[int]:
+        """Re-extract only the nets incident to changed instances.
+
+        The incremental counterpart of re-running :func:`route_block`
+        after a batch of master swaps: with placement and net topology
+        frozen, tree geometry (lengths, layer classes, via bindings) is
+        reused verbatim and only the electrical values that *can* move
+        -- sink pin capacitances, and with them each net's lumped cap
+        and per-sink Elmore delays -- are refreshed, to values
+        bit-identical with a from-scratch re-route.
+
+        Nets whose endpoint set no longer matches the routed snapshot
+        (netlist surgery: buffer insertion, sink regrouping) fall back
+        to a from-scratch re-route via ``reroute``; without a
+        ``reroute`` callback such *dirty* nets raise ``ValueError`` so
+        a stale electrical model can never be read silently.
+
+        Args:
+            netlist: the (mutated) netlist the routing belongs to.
+            changed_inst_ids: instances whose masters changed.
+            reroute: optional per-net fallback, e.g. a closure over
+                :func:`route_net` with the block's stack/via context.
+
+        Returns:
+            Sorted ids of the nets whose parasitics were re-extracted
+            (including any re-routed dirty nets).
+        """
+        from ..obs.metrics import metrics
+
+        seen: set = set()
+        updated: List[int] = []
+        rerouted = 0
+        for iid in changed_inst_ids:
+            for net in netlist.nets_of(iid):
+                if net.is_clock or net.id in seen:
+                    continue
+                seen.add(net.id)
+                routed = self.nets.get(net.id)
+                if routed is not None and \
+                        [s.ref.key() for s in routed.sinks] == \
+                        [s.key() for s in net.sinks]:
+                    # frozen topology: geometry reused, pin caps only
+                    changed = False
+                    for sp in routed.sinks:
+                        cap = netlist.endpoint_cap_ff(sp.ref)
+                        if cap != sp.pin_cap_ff:
+                            sp.pin_cap_ff = cap
+                            changed = True
+                    if changed:
+                        updated.append(net.id)
+                    continue
+                if reroute is None:
+                    raise ValueError(
+                        f"net {net.name!r} changed topology; "
+                        f"update_instances needs a reroute fallback")
+                self.nets[net.id] = reroute(net)
+                rerouted += 1
+                updated.append(net.id)
+        m = metrics()
+        m.counter("route.nets_reextracted").inc(len(updated))
+        if rerouted:
+            m.counter("route.nets_rerouted").inc(rerouted)
+        updated.sort()
+        return updated
 
 
 def route_block(netlist: Netlist, stack: MetalStack, max_metal: int = 7,

@@ -4,6 +4,7 @@ from .paths import (PathStage, TimingPath, extract_worst_paths,
                     io_path_delays)
 from .hold import HoldResult, fix_hold, run_hold_analysis
 from .incremental import IncrementalSTA
+from .load import driven_load, net_loads_driver
 from .si import SiConfig, SiReport, coupling_factor, derate_routing
 from .sta import (MACRO_SETUP_PS, SETUP_PS, STAResult, TimingConfig,
                   run_sta)
@@ -12,4 +13,5 @@ __all__ = ["MACRO_SETUP_PS", "SETUP_PS", "STAResult", "TimingConfig",
            "run_sta", "PathStage", "TimingPath", "extract_worst_paths",
            "io_path_delays", "SiConfig", "SiReport", "coupling_factor",
            "derate_routing", "HoldResult", "fix_hold",
-           "run_hold_analysis", "IncrementalSTA"]
+           "run_hold_analysis", "IncrementalSTA", "driven_load",
+           "net_loads_driver"]

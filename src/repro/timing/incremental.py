@@ -5,31 +5,44 @@ perturb timing only in the touched cells' fan-in/fan-out cones, yet
 :func:`repro.timing.sta.run_sta` reprocesses the whole block.  This
 module keeps the timing graph alive between edits:
 
-* :meth:`IncrementalSTA.swap_master` applies a master change and
-  re-propagates arrivals forward (and requireds backward) only while
-  values actually move;
-* results match a from-scratch :func:`run_sta` exactly (asserted by the
-  test suite), because both build the same graph and delay model.
+* :meth:`IncrementalSTA.swap_masters` applies a whole batch of master
+  changes (one optimizer chunk), refreshes the routing view's pin caps
+  through :meth:`repro.route.estimate.RoutingResult.update_instances`,
+  and re-propagates arrivals forward / requireds backward with a single
+  frontier walk for the batch;
+* :meth:`IncrementalSTA.apply_routing_update` absorbs an external
+  incremental re-extraction (changed net ids) into the live graph;
+* :meth:`IncrementalSTA.to_result` snapshots the live graph as an
+  :class:`STAResult` equal to a from-scratch :func:`run_sta` -- not
+  approximately: the propagation uses exact comparisons and the same
+  arithmetic expressions and accumulation orders as ``run_sta``, so
+  every arrival, required, slack, WNS and TNS value matches
+  bit-for-bit (asserted exactly by the test suite).
 
-Placement and routing are assumed frozen (master swaps do not move
-cells); for netlist surgery (buffer insertion), rebuild.
+Placement and routing geometry are assumed frozen (master swaps do not
+move cells); for netlist surgery (buffer insertion), rebuild.
 """
 
 from __future__ import annotations
 
 from collections import defaultdict, deque
-from typing import Dict, Iterable, List, Set, Tuple
+from heapq import heappop, heappush
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from ..netlist.core import Netlist
+from ..obs.metrics import metrics
 from ..route.estimate import RoutingResult
 from ..tech.cells import CellMaster
 from ..tech.process import ProcessNode
+from .load import driven_load, net_loads_driver
 from .sta import (MACRO_SETUP_PS, SETUP_PS, STAResult, TimingConfig,
                   run_sta)
 
+INF = float("inf")
+
 
 class IncrementalSTA:
-    """A persistent timing view supporting master-swap ECOs."""
+    """A persistent timing view supporting batched master-swap ECOs."""
 
     def __init__(self, netlist: Netlist, routing: RoutingResult,
                  process: ProcessNode, config: TimingConfig) -> None:
@@ -44,6 +57,7 @@ class IncrementalSTA:
     def _build(self) -> None:
         base = run_sta(self.netlist, self.routing, self.process,
                        self.config)
+        metrics().counter("sta.full_rebuilds").inc()
         self.period = base.period_ps
         self.arrival: Dict[int, float] = dict(base.arrival)
         self.required: Dict[int, float] = dict(base.required)
@@ -67,8 +81,7 @@ class IncrementalSTA:
             if routed is None:
                 continue
             drv = net.driver
-            if not drv.is_port and (drv.pin == 0 or
-                                    insts[drv.inst].is_macro):
+            if net_loads_driver(self.netlist, net):
                 self.loads[drv.inst] += routed.total_cap_ff
             for s in routed.sinks:
                 ref = s.ref
@@ -94,6 +107,25 @@ class IncrementalSTA:
                     self.succ[drv.inst].append((ref.inst, routed, s))
                     self.pred[ref.inst].append((drv.inst, routed, s))
 
+        # topological index over the combinational edges: dirty cones
+        # re-propagate in this order, so each affected node is
+        # re-evaluated once per batch instead of once per worklist hit
+        indeg = {iid: 0 for iid in insts}
+        for edges in self.succ.values():
+            for sink, _routed, _sp in edges:
+                indeg[sink] += 1
+        order = deque(iid for iid, d in indeg.items() if d == 0)
+        self.topo: Dict[int, int] = {}
+        idx = 0
+        while order:
+            iid = order.popleft()
+            self.topo[iid] = idx
+            idx += 1
+            for sink, _routed, _sp in self.succ.get(iid, ()):
+                indeg[sink] -= 1
+                if indeg[sink] == 0:
+                    order.append(sink)
+
     # -- delay model --------------------------------------------------------
 
     def _own_delay(self, iid: int) -> float:
@@ -117,12 +149,12 @@ class IncrementalSTA:
         return best + self._own_delay(iid)
 
     def _recompute_required(self, iid: int) -> float:
-        r = float("inf")
+        r = INF
         for req, routed, sp in self.term_req.get(iid, ()):
             r = min(r, req - routed.sink_wire_delay_ps(sp))
         for sink, routed, sp in self.succ[iid]:
-            r_sink = self.required.get(sink, float("inf"))
-            if r_sink < float("inf"):
+            r_sink = self.required.get(sink, INF)
+            if r_sink < INF:
                 r = min(r, r_sink - self._own_delay(sink) -
                         routed.sink_wire_delay_ps(sp))
         return r
@@ -131,96 +163,209 @@ class IncrementalSTA:
 
     def swap_master(self, inst_id: int, master: CellMaster) -> None:
         """Apply one master change and re-time the affected cones."""
-        netlist = self.netlist
-        old = netlist.instances[inst_id].master
-        if old is master:
-            return
-        netlist.replace_master(inst_id, master)
-        # the cell's input cap changes its drivers' loads; refresh the
-        # routing view's pin caps in place so a from-scratch STA over
-        # the same routing agrees with this incremental view
-        dirty: Set[int] = {inst_id}
-        cap_delta = master.input_cap_ff - old.input_cap_ff
-        if abs(cap_delta) > 1e-12:
-            for net in netlist.nets_of(inst_id):
-                if net.is_clock or net.driver.is_port:
-                    continue
-                if net.driver.inst == inst_id:
-                    continue
-                routed = self.routing.nets.get(net.id)
-                pins = 0
-                for s in net.sinks:
-                    if s.is_port or s.inst != inst_id:
-                        continue
-                    pins += 1
-                    if routed is not None:
-                        for sp in routed.sinks:
-                            if sp.ref.key() == s.key():
-                                sp.pin_cap_ff = master.input_cap_ff
-                if net.driver.pin == 0 or \
-                        netlist.instances[net.driver.inst].is_macro:
-                    self.loads[net.driver.inst] += pins * cap_delta
-                dirty.add(net.driver.inst)
-        self._propagate_forward(dirty)
-        self._propagate_backward(dirty)
+        self.swap_masters([(inst_id, master)])
 
-    def _propagate_forward(self, seeds: Iterable[int]) -> None:
-        work = deque(seeds)
+    def swap_masters(self,
+                     moves: Sequence[Tuple[int, CellMaster]]) -> int:
+        """Apply a batch of master changes with one frontier walk.
+
+        Pin capacitances in the routing view are refreshed in place
+        (:meth:`RoutingResult.update_instances`), affected drivers'
+        loads are recomputed from scratch in ``run_sta``'s accumulation
+        order, and the whole batch's fan-in/fan-out cones are re-timed
+        with a single forward and a single backward propagation --
+        instead of one full re-route and one full STA per chunk.
+
+        Returns the number of moves actually applied (no-ops skipped).
+        """
+        applied: List[int] = []
+        for iid, master in moves:
+            if self.netlist.instances[iid].master is master:
+                continue
+            self.netlist.replace_master(iid, master)
+            applied.append(iid)
+        if not applied:
+            return 0
+        changed_nets = self.routing.update_instances(self.netlist,
+                                                     applied)
+        self._retime(applied, changed_nets)
+        return len(applied)
+
+    def apply_routing_update(self, net_ids: Iterable[int]) -> None:
+        """Absorb externally re-extracted nets into the live graph.
+
+        Call after mutating the routing view directly (for example a
+        caller-driven :meth:`RoutingResult.update_instances`): affected
+        drivers' loads and both cones are re-timed incrementally.
+        """
+        self._retime((), list(net_ids))
+
+    def try_swap(self, inst_id: int, master: CellMaster,
+                 min_slack_ps: float) -> bool:
+        """Apply one swap; keep it only if true post-move slack holds.
+
+        Every node whose arrival or required time actually moved (plus
+        the swapped cell itself) must keep at least ``min_slack_ps`` of
+        slack, or the move is reverted -- re-propagation is purely
+        functional, so the revert restores the prior state exactly.
+        """
+        old = self.netlist.instances[inst_id].master
+        if old is master:
+            return False
+        changed: Set[int] = {inst_id}
+        self.netlist.replace_master(inst_id, master)
+        nets = self.routing.update_instances(self.netlist, [inst_id])
+        self._retime([inst_id], nets, changed)
+        worst = INF
+        for iid in changed:
+            r = self.required.get(iid, INF)
+            if r < INF:
+                worst = min(worst, r - self.arrival.get(iid, 0.0))
+        if worst < min_slack_ps:
+            self.netlist.replace_master(inst_id, old)
+            nets = self.routing.update_instances(self.netlist, [inst_id])
+            self._retime([inst_id], nets)
+            return False
+        return True
+
+    def _retime(self, changed_insts: Iterable[int],
+                changed_nets: Iterable[int],
+                changed_out: Optional[Set[int]] = None) -> None:
+        dirty: Set[int] = set(changed_insts)
+        reload_ids: Set[int] = set(changed_insts)
+        for nid in changed_nets:
+            net = self.netlist.nets.get(nid)
+            if net is None:
+                continue
+            drv = net.driver
+            if not drv.is_port:
+                dirty.add(drv.inst)
+                reload_ids.add(drv.inst)
+            for s in net.sinks:
+                if not s.is_port:
+                    dirty.add(s.inst)
+        for iid in reload_ids:
+            self.loads[iid] = driven_load(self.netlist, self.routing,
+                                          iid)
+        ok = self._propagate_forward(dirty, changed_out) and \
+            self._propagate_backward(dirty, changed_out)
+        if not ok:  # pragma: no cover - cyclic-netlist safety valve
+            self._build()
+            if changed_out is not None:
+                changed_out.update(self.arrival)
+
+    def _propagate_forward(self, seeds: Iterable[int],
+                           changed_out: Optional[Set[int]] = None) -> bool:
+        topo = self.topo
+        heap: List[Tuple[int, int]] = []
+        queued: Set[int] = set()
+        for iid in seeds:
+            idx = topo.get(iid)
+            if idx is None:  # cyclic netlist: fall back to full rebuild
+                return False
+            if iid not in queued:
+                heappush(heap, (idx, iid))
+                queued.add(iid)
         guard = 0
-        limit = 50 * (len(self.netlist.instances) + 4)
-        while work and guard < limit:
+        limit = 500 * (len(self.netlist.instances) + 4)
+        while heap:
+            if guard >= limit:
+                return False
             guard += 1
-            iid = work.popleft()
-            inst = self.netlist.instances[iid]
+            _, iid = heappop(heap)
+            queued.discard(iid)
             new = self._recompute_arrival(iid)
-            if abs(new - self.arrival.get(iid, 0.0)) < 1e-9:
+            if new == self.arrival.get(iid, 0.0):
                 continue
             self.arrival[iid] = new
-            if inst.is_macro or inst.is_sequential:
-                pass  # launch value changed (load-dependent clk->q)
+            if changed_out is not None:
+                changed_out.add(iid)
             for sink, _routed, _sp in self.succ[iid]:
-                work.append(sink)
+                if sink not in queued:
+                    idx = topo.get(sink)
+                    if idx is None:
+                        return False
+                    heappush(heap, (idx, sink))
+                    queued.add(sink)
+        metrics().counter("sta.incremental_nodes").inc(guard)
+        return True
 
-    def _propagate_backward(self, seeds: Iterable[int]) -> None:
-        work = deque(seeds)
-        # a changed cell's delay also shifts its predecessors' required
-        for iid in list(work):
+    def _propagate_backward(self, seeds: Iterable[int],
+                            changed_out: Optional[Set[int]] = None
+                            ) -> bool:
+        topo = self.topo
+        heap: List[Tuple[int, int]] = []
+        queued: Set[int] = set()
+
+        def push(iid: int) -> bool:
+            idx = topo.get(iid)
+            if idx is None:
+                return False
+            if iid not in queued:
+                # reverse topological order: sinks before their drivers
+                heappush(heap, (-idx, iid))
+                queued.add(iid)
+            return True
+
+        for iid in seeds:
+            if not push(iid):
+                return False
+            # a changed cell's delay also shifts its predecessors'
+            # required times, even when its own required is untouched
             for drv, _routed, _sp in self.pred[iid]:
-                work.append(drv)
+                if not push(drv):
+                    return False
         guard = 0
-        limit = 50 * (len(self.netlist.instances) + 4)
-        while work and guard < limit:
+        limit = 500 * (len(self.netlist.instances) + 4)
+        while heap:
+            if guard >= limit:
+                return False
             guard += 1
-            iid = work.popleft()
+            _, iid = heappop(heap)
+            queued.discard(iid)
             new = self._recompute_required(iid)
-            old = self.required.get(iid, float("inf"))
-            if new == old or (new == float("inf") and
-                              old == float("inf")):
-                continue
-            if abs(new - old) < 1e-9:
+            if new == self.required.get(iid, INF):
                 continue
             self.required[iid] = new
+            if changed_out is not None:
+                changed_out.add(iid)
             for drv, _routed, _sp in self.pred[iid]:
-                work.append(drv)
+                if not push(drv):
+                    return False
+        metrics().counter("sta.incremental_nodes").inc(guard)
+        return True
 
     # -- results ---------------------------------------------------------------
 
-    def result(self) -> STAResult:
-        """Snapshot the current slacks as an :class:`STAResult`."""
+    def to_result(self) -> STAResult:
+        """Snapshot the live graph as an :class:`STAResult`.
+
+        Equal to a from-scratch :func:`run_sta` over the same netlist
+        and routing -- bit-for-bit, including the TNS accumulation
+        order (``run_sta``'s arrival-dict order is a function of graph
+        structure only, which master swaps never change).
+        """
         slack: Dict[int, float] = {}
-        wns = float("inf")
+        wns = INF
         tns = 0.0
         for iid, a in self.arrival.items():
-            r = self.required.get(iid, float("inf"))
-            if r == float("inf"):
+            r = self.required.get(iid, INF)
+            if r >= INF:
                 continue
             s = r - a
             slack[iid] = s
-            wns = min(wns, s)
+            if s < wns:
+                wns = s
             if s < 0:
                 tns += s
-        if wns == float("inf"):
+        if wns == INF:
             wns = 0.0
-        return STAResult(period_ps=self.period, arrival=self.arrival,
-                         required=self.required, slack=slack,
+        # copies: a snapshot must stay frozen while further ECOs land
+        return STAResult(period_ps=self.period,
+                         arrival=dict(self.arrival),
+                         required=dict(self.required), slack=slack,
                          wns_ps=wns, tns_ps=tns)
+
+    #: back-compat alias (pre-batch API)
+    def result(self) -> STAResult:
+        return self.to_result()

@@ -1,0 +1,55 @@
+"""The shared driven-load model.
+
+Every engine that prices a cell's output load -- the from-scratch STA,
+the incremental STA and the sizing / dual-Vth optimizers -- must agree
+on *which* nets load a driver and on the summation order, or the same
+move gets a different delay in different engines (the historical bug:
+``timing/sta.py`` exempted macros from the auxiliary-pin skip while
+``opt/sizing.py`` did not).  This module is the single source of truth:
+
+* :func:`net_loads_driver` -- the predicate deciding whether a net's
+  total capacitance loads its driver's delay model;
+* :func:`driven_load` -- one instance's driven load, summed over its
+  output nets in ascending net id, the same accumulation order as
+  :func:`repro.timing.sta.run_sta`'s bulk load pass (so the two agree
+  bit-for-bit, not just approximately).
+"""
+
+from __future__ import annotations
+
+from ..netlist.core import Net, Netlist
+from ..route.estimate import RoutingResult
+
+
+def net_loads_driver(netlist: Netlist, net: Net) -> bool:
+    """True when ``net``'s total capacitance loads its driver's delay.
+
+    Clock nets are handled by CTS, port-driven nets have no driving
+    instance, and auxiliary (non-pin-0) outputs of standard cells carry
+    their own load -- but a macro's outputs all load the macro,
+    whichever pin they leave from.
+    """
+    drv = net.driver
+    if net.is_clock or drv.is_port:
+        return False
+    return drv.pin == 0 or netlist.instances[drv.inst].is_macro
+
+
+def driven_load(netlist: Netlist, routing: RoutingResult,
+                inst_id: int) -> float:
+    """Total routed capacitance loading ``inst_id``'s delay model (fF).
+
+    Sums ``total_cap_ff`` of the instance's load-bearing output nets in
+    ascending net id -- bit-identical to the accumulation a full
+    :func:`repro.timing.sta.run_sta` performs for the same instance.
+    """
+    total = 0.0
+    for net in sorted(netlist.nets_of(inst_id), key=lambda n: n.id):
+        if net.driver.is_port or net.driver.inst != inst_id:
+            continue
+        if not net_loads_driver(netlist, net):
+            continue
+        routed = routing.nets.get(net.id)
+        if routed is not None:
+            total += routed.total_cap_ff
+    return total

@@ -24,6 +24,7 @@ from typing import Dict, List, Optional, Tuple
 from ..netlist.core import Netlist, PinRef
 from ..route.estimate import RoutingResult
 from ..tech.process import ProcessNode
+from .load import net_loads_driver
 
 #: setup time assumed at flop D pins (ps)
 SETUP_PS = 30.0
@@ -94,14 +95,13 @@ def run_sta(netlist: Netlist, routing: RoutingResult, process: ProcessNode,
 
     insts = netlist.instances
 
-    # precompute every instance's driven load once (hot path)
+    # precompute every instance's driven load once (hot path); the
+    # which-nets-load-a-driver rule is shared with the incremental STA
+    # and the sizing engines via repro.timing.load
     _loads: Dict[int, float] = defaultdict(float)
     for net in netlist.nets.values():
-        if net.is_clock or net.driver.is_port:
+        if not net_loads_driver(netlist, net):
             continue
-        if net.driver.pin != 0 and not \
-                insts[net.driver.inst].is_macro:
-            continue  # auxiliary outputs (scan-out, test) load their own pin
         routed = routing.nets.get(net.id)
         if routed is not None:
             _loads[net.driver.inst] += routed.total_cap_ff
@@ -236,7 +236,7 @@ def run_sta(netlist: Netlist, routing: RoutingResult, process: ProcessNode,
             wns = s
         if s < 0:
             tns += s
-    if wns is INF or wns == INF:
+    if wns == INF:
         wns = 0.0
     return STAResult(period_ps=period, arrival=arrival, required=required,
                      slack=slack, wns_ps=wns, tns_ps=tns)
