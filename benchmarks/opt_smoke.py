@@ -20,6 +20,9 @@ import time
 
 from repro.designgen import block_type_by_name, generate_block
 from repro.obs.metrics import metrics
+from repro.obs.names import (CTR_OPT_FULL_REROUTES,
+                             CTR_ROUTE_NETS_REEXTRACTED,
+                             CTR_STA_INCREMENTAL_NODES)
 from repro.opt.flow import OptimizeConfig, optimize_block
 from repro.place import PlacementConfig, place_block_2d
 from repro.route import route_block
@@ -65,6 +68,10 @@ def main(argv=None) -> int:
     snap = metrics().snapshot()
     counters = {k: v for k, v in sorted(snap.get("counters", {}).items())
                 if k.startswith(("sta.", "route.", "opt."))}
+    # the registry constants CI asserts on must be present in the report
+    for gate in (CTR_STA_INCREMENTAL_NODES, CTR_ROUTE_NETS_REEXTRACTED,
+                 CTR_OPT_FULL_REROUTES):
+        counters.setdefault(gate, 0.0)
     report = {"block": "l2t", "incremental": inc, "full_recompute": full,
               "speedup": speedup, "min_speedup": args.min_speedup,
               "counters": counters}

@@ -12,7 +12,11 @@ Subcommands:
 * ``trace summarize <file>``    -- roll a trace file up per span name;
 * ``block <name> [options]``    -- design one T2 block (optionally folded);
 * ``chip <style> [options]``    -- build a full chip in one design style;
-* ``lint <block|style>``        -- run the static design checker.
+* ``lint <block|style>``        -- run the static design checker;
+* ``analyze [paths...]``        -- run the static *code* analyzer
+  (determinism / concurrency / flow-contract / observability rules)
+  over the repo's own source, or maintain the generated span/metric
+  name registry (``--write-names`` / ``--check-names``).
 
 The data-producing subcommands share their flag vocabulary: ``--scale``,
 ``--seed``, ``--cache-dir``, ``--json-out`` and ``--trace-out`` mean the
@@ -335,6 +339,56 @@ def _cmd_lint(args) -> int:
     return 0 if report.clean else 1
 
 
+def _cmd_analyze(args) -> int:
+    from .analyze import (CODE_REGISTRY, WaiverSyntaxError,
+                          analyze_paths, check_names, default_config,
+                          write_names)
+    from .lint.framework import all_rules
+
+    if args.list_rules:
+        for r in all_rules(CODE_REGISTRY):
+            print(f"{r.id:8s} [{r.severity}] {r.title}")
+        return 0
+    if args.write_names:
+        path, changed = write_names()
+        print(f"{'wrote' if changed else 'unchanged'} {path}")
+        return 0
+    if args.check_names:
+        path, fresh = check_names()
+        if not fresh:
+            print(f"{path} is stale; regenerate with "
+                  f"'python -m repro analyze --write-names'",
+                  file=sys.stderr)
+            return 1
+        print(f"{path} is fresh")
+        return 0
+
+    try:
+        config = default_config(
+            waiver_paths=args.waivers or None,
+            use_default_waivers=not args.no_default_waivers,
+            disabled=tuple(args.disable or ()))
+    except (WaiverSyntaxError, OSError) as exc:
+        print(f"bad waiver file: {exc}", file=sys.stderr)
+        return 2
+    report = analyze_paths(paths=args.paths or None, config=config,
+                           rules=args.rules or None)
+
+    if args.json_out:
+        with open(args.json_out, "w") as f:
+            f.write(report.to_json() + "\n")
+        print(f"wrote {args.json_out}")
+    if args.json:
+        print(report.to_json())
+    elif args.markdown:
+        print(report.to_markdown())
+    else:
+        print(report.summary())
+        for v in report.violations:
+            print(f"  {v}")
+    return 0 if report.clean else 1
+
+
 def _cmd_chip(args) -> int:
     from .analysis.report import design_metric_rows, format_table
     from .core.fullchip import ChipConfig, build_chip
@@ -509,6 +563,38 @@ def main(argv=None) -> int:
     p_lint.add_argument("--markdown", action="store_true",
                         help="emit the markdown report")
     p_lint.set_defaults(func=_cmd_lint)
+
+    p_an = sub.add_parser(
+        "analyze",
+        help="run the static code analyzer over the repo's own source")
+    p_an.add_argument("paths", nargs="*",
+                      help="files or directories to analyze (default: "
+                           "the installed repro package)")
+    p_an.add_argument("--rules", action="append", metavar="RULE",
+                      help="run only this rule id (exact, repeatable)")
+    p_an.add_argument("--disable", action="append", metavar="RULE",
+                      help="disable a rule id (fnmatch pattern, "
+                           "repeatable)")
+    p_an.add_argument("--waivers", action="append", metavar="FILE",
+                      help="extra waiver file (repeatable; format: "
+                           "'RULE_ID obj-pattern -- reason' per line)")
+    p_an.add_argument("--no-default-waivers", action="store_true",
+                      help="ignore the committed waiver file")
+    p_an.add_argument("--json", action="store_true",
+                      help="emit the machine-readable report")
+    p_an.add_argument("--json-out", default=None, metavar="FILE",
+                      help="write the machine-readable report to a file")
+    p_an.add_argument("--markdown", action="store_true",
+                      help="emit the markdown report")
+    p_an.add_argument("--list-rules", action="store_true",
+                      help="print the rule catalog and exit")
+    p_an.add_argument("--write-names", action="store_true",
+                      help="regenerate the span/metric name registry "
+                           "(repro/obs/names.py) and exit")
+    p_an.add_argument("--check-names", action="store_true",
+                      help="fail if the committed name registry is "
+                           "stale")
+    p_an.set_defaults(func=_cmd_analyze)
 
     p_rep = sub.add_parser("report",
                            help="write a markdown design report card")

@@ -668,7 +668,7 @@ def _dvt_claim(opts: ExperimentOptions) -> ExperimentResult:
                gf <= g2 + 0.02, f"{gf:+.1%} vs {g2:+.1%}",
                "-11.4% vs -9.5%"),
     ]
-    return ExperimentResult("dvt_claim", "dual-Vth benefit", table, checks)
+    return ExperimentResult("dvt", "dual-Vth benefit", table, checks)
 
 
 # ---------------------------------------------------------------------------

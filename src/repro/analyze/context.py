@@ -1,0 +1,90 @@
+"""What the code analyzer looks at: one parsed Python module.
+
+A :class:`CodeContext` is the code-analysis twin of
+:class:`repro.lint.context.LintContext`: a bundle the rule deck
+inspects, with ``name`` / ``has()`` so the shared
+:func:`repro.lint.runner.run_rules` loop drives both checkers.  The
+``name`` is the path relative to the analysis root
+(``repro/core/flow.py``), which is also the stable prefix of every
+violation's ``obj``.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Optional, Tuple, Union
+
+from .astutil import ImportMap, scope_map
+
+
+class SourceError(ValueError):
+    """A module that could not be read or parsed."""
+
+
+@dataclass
+class CodeContext:
+    """One module under analysis.  All derived fields are prebuilt."""
+
+    name: str
+    path: str
+    source: str
+    tree: Optional[ast.Module] = None
+    imports: Optional[ImportMap] = None
+    #: node -> enclosing function/class qualname (for stable ``obj``s)
+    scopes: Dict[ast.AST, str] = field(default_factory=dict)
+
+    def has(self, names: Tuple[str, ...]) -> bool:
+        """True when every named artifact is present (runner protocol)."""
+        return all(getattr(self, n, None) is not None for n in names)
+
+    def scope_of(self, node: ast.AST) -> str:
+        """Enclosing scope qualname of a node (``"<module>"`` top)."""
+        return self.scopes.get(node, "<module>")
+
+    def obj_of(self, node: ast.AST) -> str:
+        """The violation ``obj`` for a node: ``<name>::<scope>``.
+
+        Scope-based (not line-based) so committed waivers survive
+        unrelated edits to the same file.
+        """
+        return f"{self.name}::{self.scope_of(node)}"
+
+    def where(self, node: ast.AST) -> str:
+        """Human-readable location for messages: ``<name>:<line>``."""
+        return f"{self.name}:{getattr(node, 'lineno', 0)}"
+
+
+def context_for_source(source: str, name: str = "<memory>",
+                       path: str = "<memory>") -> CodeContext:
+    """Parse one module's source text into an analysis context."""
+    try:
+        tree = ast.parse(source)
+    except SyntaxError as exc:
+        raise SourceError(f"{name}: {exc}") from exc
+    return CodeContext(name=name, path=path, source=source, tree=tree,
+                       imports=ImportMap(tree), scopes=scope_map(tree))
+
+
+def context_for_file(path: Union[str, Path],
+                     root: Optional[Union[str, Path]] = None
+                     ) -> CodeContext:
+    """Read and parse one source file.
+
+    ``root`` anchors the context name: with ``root=src/`` the file
+    ``src/repro/core/flow.py`` is named ``repro/core/flow.py``.
+    """
+    p = Path(path)
+    try:
+        source = p.read_text(encoding="utf-8")
+    except OSError as exc:
+        raise SourceError(f"{p}: {exc}") from exc
+    if root is not None:
+        try:
+            name = p.relative_to(Path(root)).as_posix()
+        except ValueError:
+            name = p.as_posix()
+    else:
+        name = p.as_posix()
+    return context_for_source(source, name=name, path=str(p))

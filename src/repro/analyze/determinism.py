@@ -1,0 +1,220 @@
+"""Determinism deck (DET): code patterns that break byte-reproducibility.
+
+The repo's cache keys, golden fixtures and parallel==serial parity all
+assume that identical ``(code, seed, scale)`` produces identical bytes.
+These rules flag the code patterns that silently break that assumption:
+process-global RNGs, hash-salted iteration orders, filesystem
+enumeration orders, and wall-clock / process-identity values leaking
+into serialized output.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, Tuple
+
+from ..lint.framework import ERROR, Rule, rule
+from .context import CodeContext
+from .taint import TaintSpec, find_leaks
+
+#: the code-analysis deck's own registry (kept apart from the
+#: design-data deck so ``repro lint`` and ``repro analyze`` stay
+#: independently runnable)
+CODE_REGISTRY: Dict[str, Rule] = {}
+
+
+def code_rule(rule_id: str, title: str, severity: str = ERROR):
+    """Register a code-analysis rule (requires a parsed ``tree``)."""
+    return rule(rule_id, title, severity, requires=("tree",),
+                registry=CODE_REGISTRY)
+
+
+# ---------------------------------------------------------------------------
+# DET001/DET002: process-global RNGs
+# ---------------------------------------------------------------------------
+
+#: ``random`` module attributes that are fine to touch directly
+_RANDOM_OK = frozenset({"Random", "SystemRandom", "getstate", "setstate"})
+
+#: ``numpy.random`` attributes that are part of the seeded Generator API
+_NP_RANDOM_OK = frozenset({"default_rng", "Generator", "SeedSequence",
+                           "BitGenerator", "PCG64", "Philox", "MT19937",
+                           "SFC64"})
+
+
+@code_rule("DET001", "process-global random module call")
+def det001_global_random(ctx: CodeContext) -> Iterator[Tuple[str, str]]:
+    """Calls like ``random.random()`` / ``random.shuffle()`` draw from
+    the process-global RNG: results depend on call order across the
+    whole program, so seeding cannot be threaded per task.  Use a
+    ``random.Random(seed)`` instance (string seeds are stable across
+    processes)."""
+    assert ctx.tree is not None and ctx.imports is not None
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        target = ctx.imports.call_target(node)
+        if target and target.startswith("random.") \
+                and target.count(".") == 1 \
+                and target.split(".")[1] not in _RANDOM_OK:
+            yield (f"{ctx.where(node)}: {target}() uses the "
+                   f"process-global RNG; use random.Random(seed)",
+                   ctx.obj_of(node))
+
+
+@code_rule("DET002", "legacy numpy.random global-state call")
+def det002_numpy_random(ctx: CodeContext) -> Iterator[Tuple[str, str]]:
+    """``np.random.rand()`` and friends mutate numpy's hidden global
+    ``RandomState``; per-flow seeding requires
+    ``np.random.default_rng(seed)`` generators."""
+    assert ctx.tree is not None and ctx.imports is not None
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        target = ctx.imports.call_target(node)
+        if target and target.startswith("numpy.random.") \
+                and target.split(".")[2] not in _NP_RANDOM_OK:
+            yield (f"{ctx.where(node)}: {target}() uses numpy's global "
+                   f"RandomState; use numpy.random.default_rng(seed)",
+                   ctx.obj_of(node))
+
+
+# ---------------------------------------------------------------------------
+# DET003/DET004/DET007: taint walks into serialization sinks
+# ---------------------------------------------------------------------------
+
+_WALL_CLOCK = TaintSpec(source_calls={
+    "time.time": "time.time()",
+    "time.time_ns": "time.time_ns()",
+    "time.monotonic": "time.monotonic()",
+    "time.perf_counter": "time.perf_counter()",
+    "datetime.datetime.now": "datetime.now()",
+    "datetime.datetime.utcnow": "datetime.utcnow()",
+    "datetime.date.today": "date.today()",
+})
+
+_IDENTITY = TaintSpec(source_calls={
+    "id": "id()",
+    "object.__hash__": "object.__hash__()",
+})
+
+_ENVIRONMENT = TaintSpec(
+    source_calls={
+        "os.getpid": "os.getpid()",
+        "os.getcwd": "os.getcwd()",
+        "socket.gethostname": "gethostname()",
+        "platform.node": "platform.node()",
+    },
+    source_attrs={"os.environ": "os.environ"},
+)
+
+
+def _leak_messages(ctx: CodeContext, spec: TaintSpec, what: str
+                   ) -> Iterator[Tuple[str, str]]:
+    for node, label, sink in find_leaks(ctx, spec):
+        yield (f"{ctx.where(node)}: {what} value from {label} reaches "
+               f"the {sink} (cache keys / serialized results must "
+               f"depend only on code, seed and scale)",
+               ctx.obj_of(node))
+
+
+@code_rule("DET003", "wall-clock value reaches serialized output")
+def det003_wall_clock_leak(ctx: CodeContext) -> Iterator[Tuple[str, str]]:
+    """``time.time()``-family values flowing into ``json.dump(s)``
+    arguments or ``*_key`` / ``*_to_dict`` returns make output bytes
+    differ between identical runs.  Timings belong in span attributes
+    or explicitly non-deterministic timing files."""
+    yield from _leak_messages(ctx, _WALL_CLOCK, "wall-clock")
+
+
+@code_rule("DET004", "object identity reaches serialized output")
+def det004_identity_leak(ctx: CodeContext) -> Iterator[Tuple[str, str]]:
+    """``id(obj)`` / ``object.__hash__(obj)`` are memory addresses:
+    different every process.  Using them in membership sets is fine;
+    serializing them (or keying caches on them) is not."""
+    yield from _leak_messages(ctx, _IDENTITY, "object-identity")
+
+
+@code_rule("DET007", "process environment reaches serialized output")
+def det007_environment_leak(ctx: CodeContext) -> Iterator[Tuple[str, str]]:
+    """``os.getpid()`` / ``os.environ`` / hostnames flowing into
+    serialized results tie output bytes to the host and process, which
+    breaks the shared cache tier across machines."""
+    yield from _leak_messages(ctx, _ENVIRONMENT, "host/process")
+
+
+# ---------------------------------------------------------------------------
+# DET005/DET006: unordered iteration
+# ---------------------------------------------------------------------------
+
+def _is_set_expr(node: ast.AST, imports) -> bool:
+    """Is this expression a set/frozenset with no imposed order?"""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        target = imports.call_target(node)
+        if target in ("set", "frozenset"):
+            return True
+    if isinstance(node, ast.BinOp) and isinstance(
+            node.op, (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)):
+        # set algebra keeps the unordered type
+        return _is_set_expr(node.left, imports) or \
+            _is_set_expr(node.right, imports)
+    return False
+
+
+#: filesystem enumerations whose order is OS/insertion dependent
+_FS_ENUM_TAILS = ("listdir", "iterdir", "glob", "rglob", "iglob",
+                  "scandir")
+
+
+def _is_fs_enum(node: ast.AST, imports) -> bool:
+    if not isinstance(node, ast.Call):
+        return False
+    target = imports.call_target(node) or ""
+    return target.rsplit(".", 1)[-1] in _FS_ENUM_TAILS
+
+
+def _iteration_sites(ctx: CodeContext) -> Iterator[ast.AST]:
+    """Expressions whose elements are consumed in iteration order."""
+    assert ctx.tree is not None
+    for node in ast.walk(ctx.tree):
+        if isinstance(node, ast.For):
+            yield node.iter
+        elif isinstance(node, ast.comprehension):
+            yield node.iter
+        elif isinstance(node, ast.Call):
+            target = ctx.imports.call_target(node) if ctx.imports else None
+            if target in ("list", "tuple", "enumerate") and node.args:
+                yield node.args[0]
+            elif isinstance(node.func, ast.Attribute) \
+                    and node.func.attr == "join" and node.args:
+                yield node.args[0]
+
+
+@code_rule("DET005", "iteration over an unsorted set")
+def det005_set_iteration(ctx: CodeContext) -> Iterator[Tuple[str, str]]:
+    """Iterating a ``set``/``frozenset`` (or materializing one with
+    ``list()``/``join()``) exposes hash order, which is salted per
+    process for strings.  Wrap the set in ``sorted()`` before any
+    order-sensitive consumption."""
+    assert ctx.imports is not None
+    for it in _iteration_sites(ctx):
+        if _is_set_expr(it, ctx.imports):
+            yield (f"{ctx.where(it)}: iteration over an unsorted "
+                   f"set/frozenset; wrap in sorted() to fix the order",
+                   ctx.obj_of(it))
+
+
+@code_rule("DET006", "iteration over unsorted directory listing")
+def det006_fs_iteration(ctx: CodeContext) -> Iterator[Tuple[str, str]]:
+    """``os.listdir()`` / ``Path.glob()`` / ``iterdir()`` return
+    entries in OS order, which differs across filesystems.  Any
+    consumer whose result can reach reports or goldens must
+    ``sorted()`` the listing first."""
+    assert ctx.imports is not None
+    for it in _iteration_sites(ctx):
+        if _is_fs_enum(it, ctx.imports):
+            yield (f"{ctx.where(it)}: iteration over an unsorted "
+                   f"directory listing; wrap in sorted()",
+                   ctx.obj_of(it))

@@ -1,0 +1,156 @@
+"""Generator for the span/metric name registry (:mod:`repro.obs.names`).
+
+The registry is *derived from the code*: this module scans every
+``trace.span("...")`` / ``counter("...")`` / ``gauge`` / ``histogram``
+call site under ``src/repro`` -- with exactly the same detection the
+OBS rules use -- and renders a deterministic Python module of
+constants.  The workflow is::
+
+    # after intentionally adding/renaming a span or metric
+    python -m repro analyze --write-names
+    # CI verifies the committed file is fresh
+    python -m repro analyze --check-names
+
+Because collector and checker share one detection, a freshly generated
+registry always passes OBS001-OBS003; the rules then catch *drift*
+(names added without regenerating, typos diverging from the committed
+registry).
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import Dict, List, Optional, Set, Tuple
+
+from .context import CodeContext, SourceError, context_for_file
+
+#: constant-name prefix per kind in the generated module
+_CONST_PREFIX = {"span": "SPAN", "counter": "CTR", "gauge": "GAUGE",
+                 "histogram": "HIST"}
+
+_HEADER = '''"""Generated registry of span and metric names.  DO NOT EDIT.
+
+Every span/counter/gauge/histogram name emitted anywhere under
+``src/repro`` -- regenerate with ``python -m repro analyze
+--write-names`` after intentionally adding or renaming one, and CI
+runs ``--check-names`` to keep this file fresh.  Import the constants
+instead of repeating the strings:
+
+    from repro.obs.names import SPAN_FLOW_PLACE, CTR_CACHE_MISSES
+
+``*_PREFIXES`` lists the registered dynamic-name families: an f-string
+name is legal when its literal prefix falls under one of them.
+"""
+'''
+
+
+class NameInventory:
+    """Every span/metric name and dynamic-name prefix in a source tree."""
+
+    def __init__(self) -> None:
+        self.names: Dict[str, Set[str]] = {
+            "span": set(), "counter": set(), "gauge": set(),
+            "histogram": set()}
+        self.prefixes: Dict[str, Set[str]] = {"span": set(),
+                                              "counter": set()}
+
+    def collect_module(self, ctx: CodeContext) -> None:
+        # local import: hygiene imports the determinism deck, and the
+        # generator must stay importable before names.py first exists
+        from .hygiene import _name_sites
+        from .astutil import literal_names
+        for node, kind in _name_sites(ctx):
+            literals, prefix = literal_names(node.args[0])
+            for lit in literals:
+                self.names[kind].add(lit)
+            if prefix and kind in self.prefixes:
+                self.prefixes[kind].add(prefix)
+
+    def render(self) -> str:
+        """The registry module's deterministic source text."""
+        lines: List[str] = [_HEADER]
+        for kind in ("span", "counter", "gauge", "histogram"):
+            prefix = _CONST_PREFIX[kind]
+            names = sorted(self.names[kind])
+            if names:
+                lines.append("")
+                for n in names:
+                    lines.append(f'{_const_name(prefix, n)} = "{n}"')
+            lines.append("")
+            if names:
+                lines.append(f"{prefix}_NAMES = (")
+                for n in names:
+                    lines.append(f"    {_const_name(prefix, n)},")
+                lines.append(")")
+            else:
+                lines.append(f"{prefix}_NAMES = ()")
+            if kind in self.prefixes:
+                pres = sorted(self.prefixes[kind])
+                if pres:
+                    lines.append(f"{prefix}_PREFIXES = (")
+                    for p in pres:
+                        lines.append(f'    "{p}",')
+                    lines.append(")")
+                else:
+                    lines.append(f"{prefix}_PREFIXES = ()")
+        lines.append("")
+        return "\n".join(lines)
+
+
+def _const_name(prefix: str, name: str) -> str:
+    cleaned = "".join(c if c.isalnum() else "_" for c in name)
+    return f"{prefix}_{cleaned.upper()}"
+
+
+def _source_root() -> Path:
+    """The installed ``repro`` package directory."""
+    return Path(__file__).resolve().parent.parent
+
+
+def names_path(root: Optional[Path] = None) -> Path:
+    """Where the generated registry lives."""
+    return (root or _source_root()) / "obs" / "names.py"
+
+
+def collect_inventory(root: Optional[Path] = None) -> NameInventory:
+    """Scan every module under ``root`` (default: the repro package)."""
+    base = root or _source_root()
+    inv = NameInventory()
+    skip = names_path(base).resolve()
+    for path in sorted(base.rglob("*.py")):
+        if path.resolve() == skip:
+            continue
+        try:
+            ctx = context_for_file(path, root=base.parent)
+        except SourceError:
+            continue
+        inv.collect_module(ctx)
+    return inv
+
+
+def write_names(root: Optional[Path] = None) -> Tuple[Path, bool]:
+    """(Re)generate the registry; returns ``(path, changed)``."""
+    path = names_path(root)
+    text = collect_inventory(root).render()
+    old = path.read_text(encoding="utf-8") if path.exists() else None
+    if old == text:
+        return path, False
+    path.write_text(text, encoding="utf-8")
+    return path, True
+
+
+def check_names(root: Optional[Path] = None) -> Tuple[Path, bool]:
+    """Is the committed registry byte-identical to a fresh render?"""
+    path = names_path(root)
+    text = collect_inventory(root).render()
+    old = path.read_text(encoding="utf-8") if path.exists() else None
+    return path, old == text
+
+
+def _parse_ok(text: str) -> bool:  # pragma: no cover - debug helper
+    try:
+        ast.parse(text)
+        return True
+    except SyntaxError:
+        return False

@@ -1,0 +1,177 @@
+"""Lightweight intraprocedural taint walk: nondeterministic sources
+flowing into serialization/cache-key sinks.
+
+The determinism deck's hardest failure mode is not *calling*
+``time.time()`` -- spans and progress prints do that legitimately --
+but letting such a value reach bytes that are compared across runs:
+a content-hash cache key, a ``*_to_dict`` result, a ``json.dumps``
+argument.  This walk is deliberately simple and local:
+
+* *sources* are calls (``time.time()``, ``id(...)``) or attribute
+  reads (``os.environ``) from a per-rule :class:`TaintSpec`;
+* taint propagates through assignments, tuple unpacking, ``for``
+  targets, f-strings and arithmetic -- a fixpoint over the function
+  body;
+* ``Compare`` nodes *stop* taint (``id(p) in front`` is a membership
+  test, not a leak), as do a few value-erasing builtins (``len`` ...);
+* *sinks* are ``json.dump(s)`` arguments, arguments to calls whose
+  name looks like a key/serialize helper, and return values of
+  functions named like one.
+
+Intraprocedural means cross-function flows are invisible; the point is
+catching the single-function patterns that actually corrupt cache keys
+and golden bytes, with zero false positives on comparisons.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, Optional, Set, Tuple
+
+from .astutil import ImportMap, qualname
+from .context import CodeContext
+
+#: call targets whose result erases value-level taint
+_UNTAINT_CALLS = frozenset({"len", "bool", "isinstance", "any", "all"})
+
+#: function-name suffixes treated as serialization/key sinks
+_SINK_NAME_SUFFIXES = ("_key", "to_dict", "as_dict", "to_json", "_dict",
+                       "_json", "serialize")
+
+#: call targets that serialize their arguments directly
+_JSON_SINKS = frozenset({"json.dump", "json.dumps"})
+
+
+def is_sink_name(name: str) -> bool:
+    """Does a function name look like a key/serialization helper?"""
+    return name == "key" or name.endswith(_SINK_NAME_SUFFIXES)
+
+
+@dataclass(frozen=True)
+class TaintSpec:
+    """One rule's source definition: canonical qualname -> label."""
+
+    #: call targets (``time.time`` -> ``"time.time()"``)
+    source_calls: Dict[str, str] = field(default_factory=dict)
+    #: attribute/name reads (``os.environ`` -> ``"os.environ"``)
+    source_attrs: Dict[str, str] = field(default_factory=dict)
+
+
+class _Walk:
+    """Taint state for one function body."""
+
+    def __init__(self, spec: TaintSpec, imports: ImportMap) -> None:
+        self.spec = spec
+        self.imports = imports
+        self.tainted: Dict[str, str] = {}
+
+    # -- expression-level taint ------------------------------------------
+
+    def expr_label(self, node: ast.AST) -> Optional[str]:
+        """The source label carried by this expression, if any."""
+        for n in self._walk_pruned(node):
+            if isinstance(n, ast.Call):
+                target = self.imports.call_target(n)
+                if target in self.spec.source_calls:
+                    return self.spec.source_calls[target]
+            if isinstance(n, (ast.Attribute, ast.Name)):
+                target = self.imports.resolve(qualname(n))
+                if target in self.spec.source_attrs:
+                    return self.spec.source_attrs[target]
+            if isinstance(n, ast.Name) and n.id in self.tainted:
+                return self.tainted[n.id]
+        return None
+
+    def _walk_pruned(self, node: ast.AST) -> Iterator[ast.AST]:
+        """Walk an expression, skipping taint-stopping constructs."""
+        if isinstance(node, ast.Compare):
+            return
+        if isinstance(node, ast.Call):
+            target = self.imports.call_target(node)
+            if target in _UNTAINT_CALLS:
+                return
+        yield node
+        for child in ast.iter_child_nodes(node):
+            yield from self._walk_pruned(child)
+
+    # -- statement-level propagation -------------------------------------
+
+    def _taint_target(self, target: ast.AST, label: str) -> bool:
+        changed = False
+        for n in ast.walk(target):
+            if isinstance(n, ast.Name) and n.id not in self.tainted:
+                self.tainted[n.id] = label
+                changed = True
+        return changed
+
+    def propagate(self, fn: ast.FunctionDef) -> None:
+        """Fixpoint assignment propagation over the function body."""
+        for _ in range(10):
+            changed = False
+            for node in walk_local(fn):
+                if isinstance(node, ast.Assign):
+                    label = self.expr_label(node.value)
+                    if label:
+                        for t in node.targets:
+                            changed |= self._taint_target(t, label)
+                elif isinstance(node, (ast.AnnAssign, ast.AugAssign)):
+                    if node.value is not None:
+                        label = self.expr_label(node.value)
+                        if label:
+                            changed |= self._taint_target(node.target,
+                                                          label)
+                elif isinstance(node, (ast.For, ast.comprehension)):
+                    label = self.expr_label(node.iter)
+                    if label:
+                        changed |= self._taint_target(node.target, label)
+            if not changed:
+                break
+
+
+def walk_local(fn: ast.FunctionDef) -> Iterator[ast.AST]:
+    """Walk a function body without entering nested function bodies."""
+    stack = list(ast.iter_child_nodes(fn))
+    while stack:
+        node = stack.pop()
+        yield node
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            stack.extend(ast.iter_child_nodes(node))
+
+
+def find_leaks(ctx: CodeContext, spec: TaintSpec
+               ) -> Iterator[Tuple[ast.AST, str, str]]:
+    """Yield ``(node, source_label, sink_description)`` leaks.
+
+    Each function of the module is walked independently (the taint sets
+    never cross function boundaries).
+    """
+    assert ctx.tree is not None and ctx.imports is not None
+    seen: Set[int] = set()
+    for fn in ast.walk(ctx.tree):
+        if not isinstance(fn, ast.FunctionDef):
+            continue
+        walk = _Walk(spec, ctx.imports)
+        walk.propagate(fn)
+        returns_sink = is_sink_name(fn.name)
+        for node in walk_local(fn):
+            if isinstance(node, ast.Call):
+                target = ctx.imports.call_target(node) or ""
+                json_sink = target in _JSON_SINKS
+                helper_sink = is_sink_name(target.rsplit(".", 1)[-1])
+                if json_sink or helper_sink:
+                    args = list(node.args) + \
+                        [kw.value for kw in node.keywords]
+                    for arg in args:
+                        label = walk.expr_label(arg)
+                        if label and id(node) not in seen:
+                            seen.add(id(node))
+                            yield (node, label,
+                                   f"argument of {target}()")
+            elif isinstance(node, ast.Return) and returns_sink \
+                    and node.value is not None:
+                label = walk.expr_label(node.value)
+                if label and id(node) not in seen:
+                    seen.add(id(node))
+                    yield (node, label,
+                           f"return value of {fn.name}()")

@@ -131,35 +131,45 @@ class Rule:
     doc: str = ""
 
 
-#: rule id -> Rule; populated by the :func:`rule` decorator on import
+#: rule id -> Rule; populated by the :func:`rule` decorator on import.
+#: This is the *design-data* deck; other checkers (``repro.analyze``'s
+#: code deck) keep their own registry and pass it to :func:`rule` /
+#: :func:`all_rules` / the runner explicitly.
 REGISTRY: Dict[str, Rule] = {}
 
 
 def rule(rule_id: str, title: str, severity: str,
-         requires: Tuple[str, ...] = ("netlist",)) -> Callable[[CheckFn], CheckFn]:
+         requires: Tuple[str, ...] = ("netlist",),
+         registry: Optional[Dict[str, Rule]] = None
+         ) -> Callable[[CheckFn], CheckFn]:
     """Register a check function as a lint rule.
 
-    The decorated function receives a :class:`LintContext` and yields
+    The decorated function receives a :class:`LintContext` (or any
+    context object with ``name`` / ``has()``) and yields
     ``(message, obj)`` pairs; severity and rule id are stamped by the
     runner.  The function's docstring becomes the rule's catalog entry.
+    ``registry`` selects the deck to register into (default: the
+    design-data deck in :data:`REGISTRY`).
     """
     if severity not in SEVERITIES:
         raise ValueError(f"bad severity {severity!r}")
+    target = REGISTRY if registry is None else registry
 
     def wrap(fn: CheckFn) -> CheckFn:
-        if rule_id in REGISTRY:
+        if rule_id in target:
             raise ValueError(f"duplicate rule id {rule_id!r}")
-        REGISTRY[rule_id] = Rule(id=rule_id, title=title, severity=severity,
-                                 requires=tuple(requires), check=fn,
-                                 doc=(fn.__doc__ or "").strip())
+        target[rule_id] = Rule(id=rule_id, title=title, severity=severity,
+                               requires=tuple(requires), check=fn,
+                               doc=(fn.__doc__ or "").strip())
         return fn
 
     return wrap
 
 
-def all_rules() -> List[Rule]:
-    """Every registered rule, ordered by id."""
-    return [REGISTRY[k] for k in sorted(REGISTRY)]
+def all_rules(registry: Optional[Dict[str, Rule]] = None) -> List[Rule]:
+    """Every registered rule of one deck, ordered by id."""
+    source = REGISTRY if registry is None else registry
+    return [source[k] for k in sorted(source)]
 
 
 class LintError(RuntimeError):

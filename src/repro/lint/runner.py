@@ -24,13 +24,20 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 
 def run_rules(ctx: LintContext, config: Optional[LintConfig] = None,
-              rules: Optional[Sequence[str]] = None) -> LintReport:
+              rules: Optional[Sequence[str]] = None,
+              registry=None) -> LintReport:
     """Run every applicable registered rule on one context.
+
+    This is the shared deck runner: ``repro.analyze`` reuses it with
+    its own registry and :class:`~repro.analyze.context.CodeContext`
+    objects -- ``ctx`` only needs ``name`` and ``has()``.
 
     Args:
         ctx: the artifact bundle to check.
         config: disabled rules and waivers (default: check everything).
-        rules: optional explicit rule-id subset (exact ids).
+        rules: optional explicit rule-id subset (exact ids); an
+            explicit subset overrides ``config.disabled``.
+        registry: the rule deck to run (default: the design-data deck).
 
     Returns:
         The sorted report for this context.
@@ -38,7 +45,7 @@ def run_rules(ctx: LintContext, config: Optional[LintConfig] = None,
     config = config or LintConfig()
     wanted = set(rules) if rules is not None else None
     report = LintReport(contexts=[ctx.name])
-    for r in all_rules():
+    for r in all_rules(registry):
         if wanted is not None and r.id not in wanted:
             continue
         if wanted is None and config.is_disabled(r.id):
@@ -50,11 +57,12 @@ def run_rules(ctx: LintContext, config: Optional[LintConfig] = None,
                           message=message, obj=obj, context=ctx.name)
             v.waived_by = config.waiver_for(v)
             report.violations.append(v)
-    m = metrics()
-    m.counter("lint.runs").inc()
-    for kind, n in report.counts().items():
-        if n:
-            m.counter(f"lint.findings.{kind}").inc(n)
+    if registry is None:
+        m = metrics()
+        m.counter("lint.runs").inc()
+        for kind, n in report.counts().items():
+            if n:
+                m.counter(f"lint.findings.{kind}").inc(n)
     return report.sort()
 
 

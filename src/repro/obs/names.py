@@ -1,0 +1,130 @@
+"""Generated registry of span and metric names.  DO NOT EDIT.
+
+Every span/counter/gauge/histogram name emitted anywhere under
+``src/repro`` -- regenerate with ``python -m repro analyze
+--write-names`` after intentionally adding or renaming one, and CI
+runs ``--check-names`` to keep this file fresh.  Import the constants
+instead of repeating the strings:
+
+    from repro.obs.names import SPAN_FLOW_PLACE, CTR_CACHE_MISSES
+
+``*_PREFIXES`` lists the registered dynamic-name families: an f-string
+name is legal when its literal prefix falls under one of them.
+"""
+
+
+SPAN_BENCH = "bench"
+SPAN_CACHE_LOOKUP = "cache.lookup"
+SPAN_CHIP = "chip"
+SPAN_CHIP_AGGREGATE = "chip.aggregate"
+SPAN_CHIP_ASSEMBLE = "chip.assemble"
+SPAN_CHIP_BLOCKS = "chip.blocks"
+SPAN_CHIP_BUDGET = "chip.budget"
+SPAN_EXPERIMENT = "experiment"
+SPAN_FAULT_INJECTED = "fault.injected"
+SPAN_FLOW = "flow"
+SPAN_FLOW_DETAILED_ROUTE = "flow.detailed_route"
+SPAN_FLOW_GENERATE = "flow.generate"
+SPAN_FLOW_OPTIMIZE = "flow.optimize"
+SPAN_FLOW_PLACE = "flow.place"
+SPAN_FLOW_POWER = "flow.power"
+SPAN_OPT_POWER_STAGE = "opt.power_stage"
+SPAN_OPT_TIMING_STAGE = "opt.timing_stage"
+SPAN_TASK_CRASH = "task.crash"
+SPAN_TASK_GAVE_UP = "task.gave_up"
+SPAN_TASK_RETRY = "task.retry"
+SPAN_TASK_TIMEOUT = "task.timeout"
+
+SPAN_NAMES = (
+    SPAN_BENCH,
+    SPAN_CACHE_LOOKUP,
+    SPAN_CHIP,
+    SPAN_CHIP_AGGREGATE,
+    SPAN_CHIP_ASSEMBLE,
+    SPAN_CHIP_BLOCKS,
+    SPAN_CHIP_BUDGET,
+    SPAN_EXPERIMENT,
+    SPAN_FAULT_INJECTED,
+    SPAN_FLOW,
+    SPAN_FLOW_DETAILED_ROUTE,
+    SPAN_FLOW_GENERATE,
+    SPAN_FLOW_OPTIMIZE,
+    SPAN_FLOW_PLACE,
+    SPAN_FLOW_POWER,
+    SPAN_OPT_POWER_STAGE,
+    SPAN_OPT_TIMING_STAGE,
+    SPAN_TASK_CRASH,
+    SPAN_TASK_GAVE_UP,
+    SPAN_TASK_RETRY,
+    SPAN_TASK_TIMEOUT,
+)
+SPAN_PREFIXES = ()
+
+CTR_ANALYZE_RUNS = "analyze.runs"
+CTR_CACHE_CORRUPT_DROPS = "cache.corrupt_drops"
+CTR_CACHE_DISK_HITS = "cache.disk_hits"
+CTR_CACHE_MEMORY_HITS = "cache.memory_hits"
+CTR_CACHE_MISSES = "cache.misses"
+CTR_CACHE_STORES = "cache.stores"
+CTR_CHIP_3D_CONNECTIONS = "chip.3d_connections"
+CTR_CHIP_BUILDS = "chip.builds"
+CTR_FAULTS_INJECTED = "faults.injected"
+CTR_FLOW_VIAS_F2F = "flow.vias.f2f"
+CTR_FLOW_VIAS_TSV = "flow.vias.tsv"
+CTR_LINT_RUNS = "lint.runs"
+CTR_OPT_BUFFERS_INSERTED = "opt.buffers_inserted"
+CTR_OPT_CELLS_DOWNSIZED = "opt.cells_downsized"
+CTR_OPT_CELLS_UPSIZED = "opt.cells_upsized"
+CTR_OPT_FULL_REROUTES = "opt.full_reroutes"
+CTR_OPT_HVT_SWAPS = "opt.hvt_swaps"
+CTR_OPT_ROUNDS = "opt.rounds"
+CTR_ROUTE_NETS_REEXTRACTED = "route.nets_reextracted"
+CTR_ROUTE_NETS_REROUTED = "route.nets_rerouted"
+CTR_STA_FULL_REBUILDS = "sta.full_rebuilds"
+CTR_STA_INCREMENTAL_NODES = "sta.incremental_nodes"
+CTR_TASKS_CRASHED = "tasks.crashed"
+CTR_TASKS_FAILED = "tasks.failed"
+CTR_TASKS_RETRIED = "tasks.retried"
+CTR_TASKS_TIMED_OUT = "tasks.timed_out"
+
+CTR_NAMES = (
+    CTR_ANALYZE_RUNS,
+    CTR_CACHE_CORRUPT_DROPS,
+    CTR_CACHE_DISK_HITS,
+    CTR_CACHE_MEMORY_HITS,
+    CTR_CACHE_MISSES,
+    CTR_CACHE_STORES,
+    CTR_CHIP_3D_CONNECTIONS,
+    CTR_CHIP_BUILDS,
+    CTR_FAULTS_INJECTED,
+    CTR_FLOW_VIAS_F2F,
+    CTR_FLOW_VIAS_TSV,
+    CTR_LINT_RUNS,
+    CTR_OPT_BUFFERS_INSERTED,
+    CTR_OPT_CELLS_DOWNSIZED,
+    CTR_OPT_CELLS_UPSIZED,
+    CTR_OPT_FULL_REROUTES,
+    CTR_OPT_HVT_SWAPS,
+    CTR_OPT_ROUNDS,
+    CTR_ROUTE_NETS_REEXTRACTED,
+    CTR_ROUTE_NETS_REROUTED,
+    CTR_STA_FULL_REBUILDS,
+    CTR_STA_INCREMENTAL_NODES,
+    CTR_TASKS_CRASHED,
+    CTR_TASKS_FAILED,
+    CTR_TASKS_RETRIED,
+    CTR_TASKS_TIMED_OUT,
+)
+CTR_PREFIXES = (
+    "analyze.findings.",
+    "faults.injected.",
+    "lint.findings.",
+)
+
+GAUGE_NAMES = ()
+
+HIST_OPT_BUFFERS_PER_BLOCK = "opt.buffers_per_block"
+
+HIST_NAMES = (
+    HIST_OPT_BUFFERS_PER_BLOCK,
+)

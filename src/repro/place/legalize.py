@@ -121,7 +121,7 @@ def legalize_cells(cells: Sequence[Instance], outline: Rect,
         width = cell.width_um
         # candidate rows by distance from the cell's y
         target_idx = min(range(len(row_ys)),
-                         key=lambda i: abs(row_ys[i] - cell.y))
+                         key=lambda i, y=cell.y: abs(row_ys[i] - y))
         best: Optional[Tuple[float, RowSegment, float]] = None
         for offset in range(max_row_search + 1):
             for idx in {target_idx - offset, target_idx + offset}:

@@ -97,7 +97,7 @@ def place_macro_list(insts, outline: Rect) -> List[Rect]:
     for inst in macros:
         w, h = inst.master.width_um, inst.master.height_um
         placed = False
-        for attempt in range(4):
+        for _attempt in range(4):
             s = side_idx % 2
             if cursor_y[s] + h <= outline.y1:
                 edge_x, direction = sides[s]

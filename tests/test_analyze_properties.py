@@ -1,0 +1,141 @@
+"""Property tests for the code-analysis deck: any rule-violating
+mutation of a clean fixture fires at least one finding in the matching
+deck, the clean fixture fires none, and findings stay waivable and
+stable under unrelated source edits."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analyze import analyze_source
+from repro.lint.framework import LintConfig, Waiver
+
+#: a module that exercises every deck's subject matter and is clean
+FIXTURE = '''\
+import json
+import os
+import random
+import threading
+import time
+
+import multiprocessing as mp
+
+from repro.analysis.experiments import experiment
+from repro.faults.inject import fault_point
+from repro.obs import trace
+
+
+def pick(xs, seed):
+    rng = random.Random(seed)
+    return rng.choice(sorted(xs))
+
+
+def scan(d):
+    return [p for p in sorted(os.listdir(d))]
+
+
+def work(n):
+    return n * 2
+
+
+def launch():
+    p = mp.Process(target=work, args=(3,))
+    p.start()
+    return p
+
+
+def timed(m):
+    with trace.span('flow.place'):
+        fault_point('place')
+        m.counter('cache.misses').inc()
+
+
+@experiment('demo', 'property-test fixture')
+def run_demo(opts):
+    seed = opts.seed
+    return json.dumps({'seed': seed})
+'''
+
+#: (deck prefix, appended mutation) -- each must trip its own deck
+MUTATIONS = [
+    ("DET", "def mut(xs):\n"
+            "    random.shuffle(xs)\n"),
+    ("DET", "def mut():\n"
+            "    return json.dumps({'t': time.time()})\n"),
+    ("DET", "def mut(xs):\n"
+            "    return [x for x in set(xs)]\n"),
+    ("DET", "def mut(d):\n"
+            "    return [p for p in os.listdir(d)]\n"),
+    ("DET", "def mut_key(obj):\n"
+            "    return f'k-{id(obj)}'\n"),
+    ("CON", "def mut():\n"
+            "    mp.Process(target=lambda: 1).start()\n"),
+    ("CON", "def mut():\n"
+            "    def inner():\n"
+            "        return 1\n"
+            "    mp.Process(target=inner).start()\n"),
+    ("CON", "MUT_LOCK = threading.Lock()\n"),
+    ("FLW", "@experiment('mut', 'x')\n"
+            "def run_mut(opts, extra=0):\n"
+            "    return None\n"),
+    ("FLW", "def mut(opts):\n"
+            "    opts.scale = 2.0\n"),
+    ("FLW", "def mut():\n"
+            "    fault_point('place')\n"),
+    ("OBS", "def mut():\n"
+            "    with trace.span('bogus.span'):\n"
+            "        pass\n"),
+    ("OBS", "def mut(m):\n"
+            "    m.counter('bogus.name').inc()\n"),
+    ("OBS", "def mut(m, k):\n"
+            "    m.counter(f'bogus.{k}').inc()\n"),
+]
+
+paddings = st.integers(min_value=0, max_value=8)
+
+
+def analyze(source):
+    return analyze_source(source, name="repro/fixture.py")
+
+
+def test_clean_fixture_fires_nothing():
+    report = analyze(FIXTURE)
+    assert report.violations == [], [str(v) for v in report.violations]
+
+
+@given(st.sampled_from(MUTATIONS), paddings)
+@settings(max_examples=60, deadline=None)
+def test_mutations_always_fire_their_deck(mutation, pad):
+    deck, snippet = mutation
+    source = FIXTURE + "\n" * (pad + 1) + snippet
+    report = analyze(source)
+    hits = [v for v in report.violations if v.rule_id.startswith(deck)]
+    assert hits, (deck, snippet,
+                  [str(v) for v in report.violations])
+
+
+@given(st.sampled_from(MUTATIONS), paddings, paddings)
+@settings(max_examples=40, deadline=None)
+def test_finding_objs_are_stable_under_line_shifts(mutation, pad_a,
+                                                   pad_b):
+    _, snippet = mutation
+    objs_a = {(v.rule_id, v.obj) for v in analyze(
+        FIXTURE + "\n" * (pad_a + 1) + snippet).violations}
+    objs_b = {(v.rule_id, v.obj) for v in analyze(
+        FIXTURE + "\n" * (pad_b + 1) + snippet).violations}
+    assert objs_a == objs_b
+
+
+@given(st.sampled_from(MUTATIONS), paddings)
+@settings(max_examples=40, deadline=None)
+def test_every_finding_is_waivable_by_rule_and_obj(mutation, pad):
+    _, snippet = mutation
+    source = FIXTURE + "\n" * (pad + 1) + snippet
+    report = analyze(source)
+    assert not report.clean
+    config = LintConfig(waivers=tuple(
+        Waiver(rule_id=v.rule_id, obj=v.obj, reason="property test")
+        for v in report.violations))
+    waived = analyze_source(source, name="repro/fixture.py",
+                            config=config)
+    assert waived.clean
+    assert all(v.waived for v in waived.violations)

@@ -1,0 +1,260 @@
+"""Tests for the analyzer entry points: waiver files, the shared
+run_rules registry seam, the names registry generator, and the CLI."""
+
+import json
+
+import pytest
+
+from repro.__main__ import main
+from repro.analyze import (CODE_REGISTRY, WaiverSyntaxError,
+                           analyze_paths, analyze_source, check_names,
+                           default_config, load_waivers, self_report,
+                           write_names)
+from repro.lint.framework import LintConfig, Waiver
+from repro.obs.metrics import metrics
+
+VIOLATING = ("import random\n"
+             "def f(xs):\n"
+             "    random.shuffle(xs)\n")
+CLEAN = ("def f(xs):\n"
+         "    return sorted(xs)\n")
+
+
+# ---------------------------------------------------------------------------
+# waiver files
+# ---------------------------------------------------------------------------
+
+def test_load_waivers_parses_rules_patterns_and_reasons(tmp_path):
+    wf = tmp_path / "waivers.txt"
+    wf.write_text("# comment line\n"
+                  "\n"
+                  "DET001 repro/x.py::* -- legacy shuffle  # trailing\n"
+                  "CON00? repro/y.py::work -- worker-local\n")
+    waivers = load_waivers(wf)
+    assert [(w.rule_id, w.obj) for w in waivers] == \
+        [("DET001", "repro/x.py::*"), ("CON00?", "repro/y.py::work")]
+    assert waivers[0].reason == "legacy shuffle"
+
+
+@pytest.mark.parametrize("line", [
+    "DET001 repro/x.py::*",              # no justification at all
+    "DET001 repro/x.py::* --",           # empty justification
+    "DET001 -- reason",                  # missing obj pattern
+    "DET001 a b -- reason",              # too many fields
+])
+def test_load_waivers_rejects_malformed_lines(tmp_path, line):
+    wf = tmp_path / "waivers.txt"
+    wf.write_text(line + "\n")
+    with pytest.raises(WaiverSyntaxError) as exc:
+        load_waivers(wf)
+    assert ":1:" in str(exc.value)
+
+
+def test_waiver_first_match_wins():
+    config = LintConfig(waivers=[
+        Waiver(rule_id="DET001", obj="repro/x.py::*", reason="first"),
+        Waiver(rule_id="DET001", obj="*", reason="second"),
+    ])
+    report = analyze_source(VIOLATING, name="repro/x.py",
+                            config=config, rules=["DET001"])
+    assert report.clean
+    v = report.violations[0]
+    assert v.waived and v.waived_by.reason == "first"
+
+
+def test_default_config_layers_extra_waiver_files(tmp_path):
+    wf = tmp_path / "extra.txt"
+    wf.write_text("OBS001 * -- test fixture spans\n")
+    base = default_config(use_default_waivers=False)
+    assert base.waivers == []
+    layered = default_config(waiver_paths=[wf],
+                             use_default_waivers=False,
+                             disabled=("DET005",))
+    assert [w.rule_id for w in layered.waivers] == ["OBS001"]
+    assert layered.disabled == ("DET005",)
+
+
+# ---------------------------------------------------------------------------
+# run_rules registry seam (shared with repro.lint.runner)
+# ---------------------------------------------------------------------------
+
+def test_analyze_runs_use_analyze_counters_not_lint_counters(tmp_path):
+    (tmp_path / "mod.py").write_text(VIOLATING)
+    base = metrics().snapshot()
+    report = analyze_paths([tmp_path], rules=["DET001"], root=tmp_path)
+    delta = metrics().diff(base)["counters"]
+    assert not report.clean
+    assert delta.get("analyze.runs") == 1
+    assert delta.get("analyze.findings.error", 0) >= 1
+    assert "lint.runs" not in delta
+
+
+def test_default_registry_still_bills_to_lint_counters():
+    from repro.analyze import context_for_source
+    from repro.lint.runner import run_rules
+    ctx = context_for_source(CLEAN, name="repro/x.py")
+    base = metrics().snapshot()
+    # registry=None selects the design-data deck: none of its rules can
+    # run on a code context, but the run is still billed to lint.*
+    run_rules(ctx, registry=None)
+    delta = metrics().diff(base)["counters"]
+    assert delta.get("lint.runs") == 1
+    assert "analyze.runs" not in delta
+
+
+def test_explicit_rules_subset_runs_only_those(tmp_path):
+    src = ("import random\n"
+           "import threading\n"
+           "LOCK = threading.Lock()\n"
+           "def f(xs):\n"
+           "    random.shuffle(xs)\n")
+    report = analyze_source(src, name="repro/x.py", rules=["CON005"])
+    assert {v.rule_id for v in report.violations} == {"CON005"}
+
+
+def test_analyze_paths_surfaces_syntax_errors_as_parse_findings(
+        tmp_path):
+    (tmp_path / "ok.py").write_text(CLEAN)
+    (tmp_path / "broken.py").write_text("def broken(:\n")
+    report = analyze_paths([tmp_path], root=tmp_path)
+    parse = [v for v in report.violations if v.rule_id == "PARSE"]
+    assert len(parse) == 1
+    assert "broken.py" in parse[0].obj
+    assert len(report.contexts) == 2
+
+
+# ---------------------------------------------------------------------------
+# self-gate
+# ---------------------------------------------------------------------------
+
+def test_repo_self_analyzes_clean_with_committed_waivers():
+    report = self_report()
+    assert report.clean, report.summary()
+    # every committed waiver line is load-bearing: nothing waived that
+    # no longer fires, and every waived finding carries its reason
+    waived = [v for v in report.violations if v.waived]
+    assert waived, "waiver file no longer exercised"
+    assert all(v.waived_by.reason for v in waived)
+
+
+def test_self_gate_fails_without_waivers():
+    report = self_report(use_default_waivers=False)
+    assert not report.clean
+    assert report.counts()["error"] >= 1
+
+
+def test_assert_self_clean_returns_report():
+    from repro.analyze import assert_self_clean
+    report = assert_self_clean()
+    assert report.clean
+
+
+# ---------------------------------------------------------------------------
+# names registry generator
+# ---------------------------------------------------------------------------
+
+def _fake_pkg(tmp_path):
+    pkg = tmp_path / "pkg"
+    (pkg / "obs").mkdir(parents=True)
+    (pkg / "mod.py").write_text(
+        "def f(t, m, kind):\n"
+        "    with t.span('flow.place'):\n"
+        "        m.counter('cache.misses').inc()\n"
+        "        m.counter(f'faults.injected.{kind}').inc()\n"
+        "        m.histogram('opt.rounds').observe(1)\n")
+    return pkg
+
+
+def test_write_names_generates_and_is_idempotent(tmp_path):
+    pkg = _fake_pkg(tmp_path)
+    path, changed = write_names(root=pkg)
+    assert changed and path == pkg / "obs" / "names.py"
+    text = path.read_text()
+    assert 'SPAN_FLOW_PLACE = "flow.place"' in text
+    assert 'CTR_CACHE_MISSES = "cache.misses"' in text
+    assert 'CTR_PREFIXES = (\n    "faults.injected.",\n)' in text \
+        or '"faults.injected."' in text
+    assert 'HIST_OPT_ROUNDS = "opt.rounds"' in text
+    _, changed_again = write_names(root=pkg)
+    assert not changed_again
+    _, fresh = check_names(root=pkg)
+    assert fresh
+
+
+def test_check_names_detects_drift(tmp_path):
+    pkg = _fake_pkg(tmp_path)
+    write_names(root=pkg)
+    mod = pkg / "mod.py"
+    mod.write_text(mod.read_text().replace("cache.misses",
+                                           "cache.hits"))
+    _, fresh = check_names(root=pkg)
+    assert not fresh
+
+
+def test_committed_registry_is_fresh():
+    _, fresh = check_names()
+    assert fresh, "run 'python -m repro analyze --write-names'"
+
+
+def test_registry_constants_match_their_values():
+    from repro.obs import names
+    for const, seq in (("SPAN", names.SPAN_NAMES),
+                       ("CTR", names.CTR_NAMES),
+                       ("HIST", names.HIST_NAMES)):
+        for value in seq:
+            attr = const + "_" + "".join(
+                c if c.isalnum() else "_" for c in value).upper()
+            assert getattr(names, attr) == value
+
+
+# ---------------------------------------------------------------------------
+# CLI
+# ---------------------------------------------------------------------------
+
+def test_cli_list_rules(capsys):
+    assert main(["analyze", "--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for rule_id in CODE_REGISTRY:
+        assert rule_id in out
+
+
+def test_cli_exit_codes_and_json_out(tmp_path, capsys):
+    bad = tmp_path / "bad.py"
+    bad.write_text(VIOLATING)
+    out_file = tmp_path / "report.json"
+    rc = main(["analyze", str(bad), "--rules", "DET001",
+               "--json-out", str(out_file)])
+    assert rc == 1
+    report = json.loads(out_file.read_text())
+    assert set(report) >= {"clean", "counts", "contexts", "violations"}
+    assert report["clean"] is False
+    v = report["violations"][0]
+    assert set(v) >= {"rule", "severity", "message", "obj", "context"}
+    assert v["rule"] == "DET001"
+
+    good = tmp_path / "good.py"
+    good.write_text(CLEAN)
+    assert main(["analyze", str(good)]) == 0
+    capsys.readouterr()
+
+
+def test_cli_disable_silences_a_rule(tmp_path, capsys):
+    bad = tmp_path / "bad.py"
+    bad.write_text(VIOLATING)
+    # (an explicit --rules subset would override --disable, by design)
+    assert main(["analyze", str(bad), "--disable", "DET001"]) == 0
+    capsys.readouterr()
+
+
+def test_cli_rejects_bad_waiver_file(tmp_path, capsys):
+    wf = tmp_path / "w.txt"
+    wf.write_text("DET001 no-reason-given\n")
+    src = tmp_path / "x.py"
+    src.write_text(CLEAN)
+    assert main(["analyze", str(src), "--waivers", str(wf)]) == 2
+    assert "bad waiver file" in capsys.readouterr().err
+
+
+def test_cli_check_names(capsys):
+    assert main(["analyze", "--check-names"]) == 0
+    assert "fresh" in capsys.readouterr().out

@@ -18,7 +18,7 @@ def lib():
 
 
 def gen(lib, seed=7, **kw):
-    defaults = dict(n_cells=400, n_inputs=30, n_outputs=30)
+    defaults = {"n_cells": 400, "n_inputs": 30, "n_outputs": 30}
     defaults.update(kw)
     spec = LogicSpec(**defaults)
     rng = np.random.default_rng(seed)

@@ -84,7 +84,7 @@ class TestT2Floorplans:
     @pytest.mark.parametrize("style", STYLES)
     def test_blocks_inside_chip(self, style, dims):
         fp = t2_floorplan(style, dims)
-        for name, r in fp.positions.items():
+        for r in fp.positions.values():
             assert r.x0 >= -1e-9 and r.y0 >= -1e-9
             assert r.x1 <= fp.width + 1e-9
             assert r.y1 <= fp.height + 1e-9

@@ -161,8 +161,10 @@ def test_unclocked_flop_flags_cts001(tiny, library):
 
 # ---- physical mutations -------------------------------------------------
 
-def placed_tiny(library, outline=Rect(0.0, 0.0, 200.0, 200.0)):
+def placed_tiny(library, outline=None):
     """The tiny netlist with both cells legally placed on row 2."""
+    if outline is None:
+        outline = Rect(0.0, 0.0, 200.0, 200.0)
     nl = tiny_netlist(library)
     y = row_y(outline, 2)
     for i, inst in enumerate(nl.instances.values()):

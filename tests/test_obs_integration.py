@@ -10,6 +10,9 @@ from repro.core.flow import FlowConfig, run_block_flow
 from repro.core.fullchip import ChipConfig, build_chip
 from repro.obs import trace
 from repro.obs.metrics import MetricsRegistry, use_registry
+from repro.obs.names import (CTR_CHIP_BUILDS, CTR_LINT_RUNS,
+                             CTR_OPT_ROUNDS, HIST_OPT_BUFFERS_PER_BLOCK,
+                             SPAN_CACHE_LOOKUP, SPAN_CHIP, SPAN_FLOW)
 from repro.obs.trace import Tracer
 
 FLOW_STAGES = {"generate", "place", "optimize", "power"}
@@ -23,7 +26,7 @@ class TestFlowInstrumentation:
             design = run_block_flow("ncu", FlowConfig(scale=0.5),
                                     process)
         names = {s.name for s in t.spans}
-        assert {"flow"} | {f"flow.{s}" for s in FLOW_STAGES} <= names
+        assert {SPAN_FLOW} | {f"flow.{s}" for s in FLOW_STAGES} <= names
         # stage_times_ms is a view over the very same spans
         assert set(design.stage_times_ms) >= FLOW_STAGES
         by_name = {s.name: s for s in t.spans}
@@ -35,7 +38,7 @@ class TestFlowInstrumentation:
         t = Tracer()
         with trace.use_tracer(t):
             run_block_flow("ncu", FlowConfig(scale=0.5), process)
-        flow_span = next(s for s in t.spans if s.name == "flow")
+        flow_span = next(s for s in t.spans if s.name == SPAN_FLOW)
         assert flow_span.attrs["block"] == "ncu"
         assert flow_span.attrs["folded"] is False
 
@@ -53,8 +56,8 @@ class TestFlowInstrumentation:
         with use_registry(reg):
             run_block_flow("ncu", FlowConfig(scale=0.5), process)
         counters = reg.snapshot()["counters"]
-        assert counters.get("opt.rounds", 0) >= 1
-        assert "opt.buffers_per_block" in \
+        assert counters.get(CTR_OPT_ROUNDS, 0) >= 1
+        assert HIST_OPT_BUFFERS_PER_BLOCK in \
             reg.snapshot()["histograms"]
 
 
@@ -64,7 +67,7 @@ class TestChipInstrumentation:
         with trace.use_tracer(t):
             chip = build_chip(ChipConfig(style="2d", scale=0.3), process)
         names = {s.name for s in t.spans}
-        assert {"chip"} | {f"chip.{p}" for p in CHIP_PHASES} <= names
+        assert {SPAN_CHIP} | {f"chip.{p}" for p in CHIP_PHASES} <= names
         assert set(chip.phase_times_ms) == CHIP_PHASES
         by_name = {s.name: s for s in t.spans}
         for phase in CHIP_PHASES:
@@ -76,8 +79,8 @@ class TestChipInstrumentation:
         with use_registry(reg):
             build_chip(ChipConfig(style="2d", scale=0.3), process)
         counters = reg.snapshot()["counters"]
-        assert counters.get("chip.builds") == 1
-        assert "lint.runs" not in counters  # lint only runs on demand
+        assert counters.get(CTR_CHIP_BUILDS) == 1
+        assert CTR_LINT_RUNS not in counters  # lint only runs on demand
 
 
 class TestNoTraceLeakage:
@@ -112,5 +115,5 @@ class TestNoTraceLeakage:
             cache.clear()
             cache.get_or_run("ncu", cfg, process)   # disk hit
         outcomes = [s.attrs["outcome"] for s in t.spans
-                    if s.name == "cache.lookup"]
+                    if s.name == SPAN_CACHE_LOOKUP]
         assert outcomes == ["miss", "memory_hit", "disk_hit"]

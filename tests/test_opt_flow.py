@@ -146,15 +146,18 @@ def test_incremental_matches_full_recompute(library, process):
 
 def test_incremental_reuse_counters_visible(library, process):
     from repro.obs.metrics import metrics
+    from repro.obs.names import (CTR_OPT_FULL_REROUTES,
+                                 CTR_ROUTE_NETS_REEXTRACTED,
+                                 CTR_STA_INCREMENTAL_NODES)
     m = metrics()
-    before_nodes = m.counter("sta.incremental_nodes").value
-    before_nets = m.counter("route.nets_reextracted").value
+    before_nodes = m.counter(CTR_STA_INCREMENTAL_NODES).value
+    before_nets = m.counter(CTR_ROUTE_NETS_REEXTRACTED).value
     gb = prepared(library, seed=28)
     res = optimize_block(gb.netlist, process, TimingConfig(CPU_CLOCK),
                          route_fn_for(process))
-    assert m.counter("sta.incremental_nodes").value > before_nodes
-    assert m.counter("route.nets_reextracted").value > before_nets
-    assert m.counter("opt.full_reroutes").value >= res.full_reroutes > 0
+    assert m.counter(CTR_STA_INCREMENTAL_NODES).value > before_nodes
+    assert m.counter(CTR_ROUTE_NETS_REEXTRACTED).value > before_nets
+    assert m.counter(CTR_OPT_FULL_REROUTES).value >= res.full_reroutes > 0
 
 
 def test_true_slack_mode_downsizes_and_stays_met(library, process):

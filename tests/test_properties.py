@@ -112,7 +112,7 @@ class TestSequencePairProperties:
         res = pack(blocks, p1, p2)
         # area covers all blocks, no block outside the bounding box
         assert res.area + 1e-6 >= sum(b.area for b in blocks)
-        for name, (x, y, w, h) in res.positions.items():
+        for x, y, w, h in res.positions.values():
             assert x >= -1e-9 and y >= -1e-9
             assert x + w <= res.width + 1e-6
             assert y + h <= res.height + 1e-6
