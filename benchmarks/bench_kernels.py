@@ -136,3 +136,44 @@ def test_kernel_incremental_sta(benchmark, process):
         return inc.swap_masters(moves)
     applied = benchmark(run)
     assert applied >= 500
+
+
+def test_kernel_place_scalar(benchmark, process, monkeypatch):
+    """Same placement via the legacy scalar kernels (the baseline the
+    place-smoke CI step asserts >=5x against, see place_smoke.py)."""
+    from repro.place.scalar import SCALAR_ENV
+    monkeypatch.setenv(SCALAR_ENV, "1")
+
+    def run():
+        gb = generate_block(block_type_by_name("l2t"), process.library,
+                            seed=1)
+        place_block_2d(gb.netlist, PlacementConfig(seed=1))
+    benchmark.pedantic(run, rounds=3, iterations=1)
+
+
+def test_kernel_place_fold3d(benchmark, process):
+    """Two-tier fold placement incl. partitioning and via assignment."""
+    from repro.place import fm_bipartition, fold_place_3d
+
+    def run():
+        gb = generate_block(block_type_by_name("l2t"), process.library,
+                            seed=1)
+        part = fm_bipartition(gb.netlist, seed=0)
+        return fold_place_3d(gb.netlist, process, part.assignment,
+                             "F2B", PlacementConfig(seed=1))
+    benchmark.pedantic(run, rounds=3, iterations=1)
+
+
+def test_kernel_place_bistratal(benchmark, process):
+    """Fold placement with the analytical die-to-die z refinement."""
+    from repro.place import fm_bipartition, fold_place_3d
+
+    def run():
+        gb = generate_block(block_type_by_name("l2t"), process.library,
+                            seed=1)
+        part = fm_bipartition(gb.netlist, seed=0)
+        return fold_place_3d(gb.netlist, process, part.assignment,
+                             "F2B", PlacementConfig(seed=1),
+                             mode="bistratal")
+    res = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert res.hpwl_um > 0

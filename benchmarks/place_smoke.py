@@ -1,0 +1,216 @@
+"""Placement kernel speedup smoke check (CI gate).
+
+Times the five batched placement kernels against their scalar
+references (:mod:`repro.place.scalar`) on the spc block at ``scale=1``
+-- the largest standard block, ~2.6k cells / ~2.9k nets -- and asserts
+the flow-weighted composite is at least ``--min-speedup`` times faster.
+
+The composite weighs each kernel by how often one ``place_block_2d``
+call invokes it: 6x quadratic assembly (2 axes x 3 solves), 2x
+spreading (``iterations=2``), 1x legalization, 1x overlap scan, 1x row
+snap.  The shared SuperLU factorization is deliberately outside the
+timed region (both paths call the same ``spsolve``), which is why the
+assembly seam (``assemble_axis``) exists.
+
+The committed reference timings live in
+``benchmarks/results/BENCH_place_baseline.json``; CI re-measures both
+paths live, so the gate tracks the actual machine rather than a stale
+baseline.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/place_smoke.py \
+        --out place_smoke_timing.json --min-speedup 5.0
+"""
+
+import argparse
+import json
+import os
+import sys
+import time
+
+import numpy as np
+
+from repro.designgen import block_type_by_name, generate_block
+from repro.obs.metrics import metrics
+from repro.obs.names import (CTR_PLACE_CELLS_LEGALIZED,
+                             CTR_PLACE_QP_SOLVES, CTR_PLACE_SPREAD_CALLS)
+from repro.place import (PlacementConfig, compute_outline, place_macros,
+                         place_ports)
+from repro.place import scalar
+from repro.place.grid import DensityGrid
+from repro.place.legalize import legalize_cells, overlapping_pairs
+from repro.place.placer2d import (_build_qp_nets, run_global_place,
+                                  snap_to_rows)
+from repro.place.quadratic import QuadraticPlacer
+from repro.place.spreading import spread
+from repro.tech import make_process
+
+#: per-placement kernel invocation counts (the composite weights)
+WEIGHTS = {"assembly": 6, "spread": 2, "legalize": 1, "pairs": 1,
+           "snap": 1}
+
+
+def build_workload(block: str = "spc", seed: int = 1):
+    """One placed-block workload providing realistic kernel inputs."""
+    process = make_process()
+    gb = generate_block(block_type_by_name(block), process.library,
+                        seed=seed)
+    netlist = gb.netlist
+    config = PlacementConfig(seed=seed)
+    rng = np.random.default_rng(seed)
+    outline = compute_outline(netlist, config)
+    macro_rects = place_macros(netlist, outline)
+    place_ports(netlist, outline)
+    movable = [i for i in netlist.instances.values()
+               if not i.is_macro and not i.fixed]
+    grid = DensityGrid(outline, target_bins=int(np.clip(
+        len(movable) // 3, 64, 4096)),
+        utilization=min(1.0, config.utilization + 0.15))
+    for rect in macro_rects:
+        grid.add_obstruction(rect)
+    index_of = {inst.id: k for k, inst in enumerate(movable)}
+    placer = QuadraticPlacer(len(movable),
+                             _build_qp_nets(netlist, index_of, config))
+    xs, ys = run_global_place(
+        netlist, movable, outline, config, rng,
+        lambda x, y, a: spread(grid, x, y, a, rng))
+    areas = np.array([inst.area_um2 for inst in movable])
+    snap_to_rows(movable, xs, ys, outline)
+    snapped = [(inst.x, inst.y) for inst in movable]
+    return {"netlist": netlist, "movable": movable, "outline": outline,
+            "grid": grid, "macro_rects": macro_rects, "placer": placer,
+            "xs": xs, "ys": ys, "areas": areas, "snapped": snapped,
+            "block": block, "seed": seed}
+
+
+def _restore(wl) -> None:
+    for inst, (x, y) in zip(wl["movable"], wl["snapped"]):
+        inst.x, inst.y = x, y
+
+
+def kernel_runners(wl):
+    """name -> {path: zero-arg kernel callable, "pre": untimed setup}.
+
+    Mutating kernels get a ``pre`` hook restoring the snapped
+    coordinates so every repeat sees identical input without the
+    restore loop polluting the measurement.
+    """
+    placer, grid = wl["placer"], wl["grid"]
+    xs, ys, areas = wl["xs"], wl["ys"], wl["areas"]
+    movable, outline = wl["movable"], wl["outline"]
+    rng = np.random.default_rng(wl["seed"])
+
+    # assembly goes through the explicit seam, not the dispatcher, so
+    # both paths skip the shared spsolve
+    return {
+        "assembly": {
+            "vec": lambda: placer._assemble_axis(xs, 0, None),
+            "scalar": lambda: scalar.assemble_axis(placer, xs, 0, None),
+        },
+        "spread": {
+            "vec": lambda: spread(grid, xs, ys, areas, rng),
+            "scalar": lambda: scalar.spread(grid, xs, ys, areas, rng),
+        },
+        "legalize": {
+            "pre": lambda: _restore(wl),
+            "vec": lambda: legalize_cells(movable, outline,
+                                          wl["macro_rects"]),
+            "scalar": lambda: scalar.legalize_cells(
+                movable, outline, wl["macro_rects"]),
+        },
+        "pairs": {
+            "pre": lambda: _restore(wl),
+            "vec": lambda: overlapping_pairs(movable),
+            "scalar": lambda: scalar.overlapping_pairs(movable),
+        },
+        "snap": {
+            "vec": lambda: snap_to_rows(movable, xs, ys, outline),
+            "scalar": lambda: scalar.snap_to_rows(movable, xs, ys,
+                                                  outline),
+        },
+    }
+
+
+def time_kernels(wl, repeats: int) -> dict:
+    """Best-of-N wall clock per kernel and path, in milliseconds."""
+    out = {}
+    for name, paths in kernel_runners(wl).items():
+        pre = paths.get("pre", lambda: None)
+        out[name] = {}
+        for path in ("vec", "scalar"):
+            fn = paths[path]
+            pre()
+            fn()  # warm-up (first _assemble_axis call builds _FlatNets)
+            best = float("inf")
+            for _ in range(repeats):
+                pre()
+                t0 = time.perf_counter()
+                fn()
+                best = min(best, time.perf_counter() - t0)
+            out[name][path] = best * 1e3
+    _restore(wl)
+    return out
+
+
+def composite(times: dict, path: str) -> float:
+    """Flow-weighted total for one path (ms per placement)."""
+    return sum(WEIGHTS[k] * times[k][path] for k in WEIGHTS)
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--out", default=None, metavar="FILE",
+                    help="write timing JSON here")
+    ap.add_argument("--min-speedup", type=float, default=5.0)
+    ap.add_argument("--repeats", type=int, default=7)
+    args = ap.parse_args(argv)
+
+    # the dispatchers must take their default (vectorized) branch
+    os.environ.pop(scalar.SCALAR_ENV, None)
+
+    wl = build_workload()
+    times = time_kernels(wl, args.repeats)
+    vec_ms = composite(times, "vec")
+    scalar_ms = composite(times, "scalar")
+    speedup = scalar_ms / vec_ms
+
+    snap = metrics().snapshot()
+    counters = {k: v for k, v in sorted(snap.get("counters", {}).items())
+                if k.startswith("place.")}
+    for gate in (CTR_PLACE_QP_SOLVES, CTR_PLACE_SPREAD_CALLS,
+                 CTR_PLACE_CELLS_LEGALIZED):
+        counters.setdefault(gate, 0.0)
+
+    report = {"block": wl["block"], "scale": 1, "seed": wl["seed"],
+              "weights": WEIGHTS,
+              "kernels_ms": {k: {p: round(v, 4)
+                                 for p, v in paths.items()}
+                             for k, paths in times.items()},
+              "composite_ms": {"vec": round(vec_ms, 3),
+                               "scalar": round(scalar_ms, 3)},
+              "speedup": round(speedup, 2),
+              "min_speedup": args.min_speedup,
+              "counters": counters}
+    for k in WEIGHTS:
+        s, v = times[k]["scalar"], times[k]["vec"]
+        print(f"  {k:9s} x{WEIGHTS[k]}: scalar {s:8.2f}ms  "
+              f"vec {v:8.2f}ms  ({s / v:5.1f}x)")
+    print(f"composite: scalar {scalar_ms:.1f}ms vs vec {vec_ms:.1f}ms "
+          f"-> {speedup:.2f}x (floor {args.min_speedup:.1f}x)")
+    for k, v in counters.items():
+        print(f"  {k} = {v:.0f}")
+    if args.out:
+        with open(args.out, "w") as f:
+            json.dump(report, f, indent=2, sort_keys=True)
+            f.write("\n")
+        print(f"wrote {args.out}")
+    if speedup < args.min_speedup:
+        print(f"FAIL: speedup {speedup:.2f}x below floor "
+              f"{args.min_speedup:.1f}x", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

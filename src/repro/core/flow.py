@@ -76,6 +76,11 @@ class FlowConfig:
     #: fully re-route + re-time after every transform chunk (identical
     #: results, much slower; baseline / bisection aid)
     opt_full_recompute: bool = False
+    #: 3D die-assignment style: ``"fold"`` keeps the partitioner's
+    #: tiers (the paper's flow, default); ``"bistratal"`` refines the
+    #: movable cells analytically with the coupled-planes z solve
+    #: before placement (see docs/placement.md)
+    place_mode: str = "fold"
 
 
 @dataclass
@@ -200,7 +205,8 @@ def run_flow_on(gb: GeneratedBlock, config: FlowConfig,
                 }
             fold_result = fold_place_3d(netlist, process, assignment,
                                         config.bonding, pc,
-                                        region_of=region_of)
+                                        region_of=region_of,
+                                        mode=config.place_mode)
             outline = fold_result.outline
             tsv_area = fold_result.tsv_area_um2
             via = process.via_for(config.bonding)

@@ -20,7 +20,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple, Union
 
-from ..tech.cells import CellMaster
+from ..tech.cells import CELL_HEIGHT_UM, CellMaster
 from ..tech.macros import MacroMaster
 
 Master = Union[CellMaster, MacroMaster]
@@ -104,17 +104,15 @@ class Instance:
 
     @property
     def width_um(self) -> float:
-        if self.is_macro:
+        if isinstance(self.master, MacroMaster):
             return self.master.width_um
         # Standard cells: area / row height.
-        from ..tech.cells import CELL_HEIGHT_UM
         return self.master.area_um2 / CELL_HEIGHT_UM
 
     @property
     def height_um(self) -> float:
-        if self.is_macro:
+        if isinstance(self.master, MacroMaster):
             return self.master.height_um
-        from ..tech.cells import CELL_HEIGHT_UM
         return CELL_HEIGHT_UM
 
 

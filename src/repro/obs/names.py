@@ -30,6 +30,9 @@ SPAN_FLOW_PLACE = "flow.place"
 SPAN_FLOW_POWER = "flow.power"
 SPAN_OPT_POWER_STAGE = "opt.power_stage"
 SPAN_OPT_TIMING_STAGE = "opt.timing_stage"
+SPAN_PLACE_BISTRATAL = "place.bistratal"
+SPAN_PLACE_GLOBAL = "place.global"
+SPAN_PLACE_LEGALIZE = "place.legalize"
 SPAN_TASK_CRASH = "task.crash"
 SPAN_TASK_GAVE_UP = "task.gave_up"
 SPAN_TASK_RETRY = "task.retry"
@@ -53,6 +56,9 @@ SPAN_NAMES = (
     SPAN_FLOW_POWER,
     SPAN_OPT_POWER_STAGE,
     SPAN_OPT_TIMING_STAGE,
+    SPAN_PLACE_BISTRATAL,
+    SPAN_PLACE_GLOBAL,
+    SPAN_PLACE_LEGALIZE,
     SPAN_TASK_CRASH,
     SPAN_TASK_GAVE_UP,
     SPAN_TASK_RETRY,
@@ -78,6 +84,9 @@ CTR_OPT_CELLS_UPSIZED = "opt.cells_upsized"
 CTR_OPT_FULL_REROUTES = "opt.full_reroutes"
 CTR_OPT_HVT_SWAPS = "opt.hvt_swaps"
 CTR_OPT_ROUNDS = "opt.rounds"
+CTR_PLACE_CELLS_LEGALIZED = "place.cells_legalized"
+CTR_PLACE_QP_SOLVES = "place.qp_solves"
+CTR_PLACE_SPREAD_CALLS = "place.spread_calls"
 CTR_ROUTE_NETS_REEXTRACTED = "route.nets_reextracted"
 CTR_ROUTE_NETS_REROUTED = "route.nets_rerouted"
 CTR_STA_FULL_REBUILDS = "sta.full_rebuilds"
@@ -106,6 +115,9 @@ CTR_NAMES = (
     CTR_OPT_FULL_REROUTES,
     CTR_OPT_HVT_SWAPS,
     CTR_OPT_ROUNDS,
+    CTR_PLACE_CELLS_LEGALIZED,
+    CTR_PLACE_QP_SOLVES,
+    CTR_PLACE_SPREAD_CALLS,
     CTR_ROUTE_NETS_REEXTRACTED,
     CTR_ROUTE_NETS_REROUTED,
     CTR_STA_FULL_REBUILDS,

@@ -117,14 +117,15 @@ class DensityGrid:
         i1 = min(self.nx - 1, int((rect.x1 - self.region.x0) / self.bin_w))
         j0 = max(0, int((rect.y0 - self.region.y0) / self.bin_h))
         j1 = min(self.ny - 1, int((rect.y1 - self.region.y0) / self.bin_h))
-        for i in range(i0, i1 + 1):
-            for j in range(j0, j1 + 1):
-                bx0 = self.region.x0 + i * self.bin_w
-                by0 = self.region.y0 + j * self.bin_h
-                overlap = Rect(max(bx0, rect.x0), max(by0, rect.y0),
-                               min(bx0 + self.bin_w, rect.x1),
-                               min(by0 + self.bin_h, rect.y1))
-                self.supply[i, j] = max(0.0, self.supply[i, j] - overlap.area)
+        if i1 < i0 or j1 < j0:
+            return
+        bx0 = self.region.x0 + np.arange(i0, i1 + 1) * self.bin_w
+        by0 = self.region.y0 + np.arange(j0, j1 + 1) * self.bin_h
+        wx = np.minimum(bx0 + self.bin_w, rect.x1) - np.maximum(bx0, rect.x0)
+        wy = np.minimum(by0 + self.bin_h, rect.y1) - np.maximum(by0, rect.y0)
+        cover = np.maximum(0.0, wx)[:, None] * np.maximum(0.0, wy)[None, :]
+        patch = self.supply[i0:i1 + 1, j0:j1 + 1]
+        np.maximum(0.0, patch - cover, out=patch)
 
     @property
     def obstructions(self) -> List[Rect]:

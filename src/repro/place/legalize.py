@@ -6,23 +6,31 @@ the classic Tetris/Abacus legalizers do:
 
 1. build standard-cell rows across the core area, split into *segments*
    by macro obstructions;
-2. process cells in x order; each cell tries nearby rows and takes the
-   position of minimum displacement, packing left-to-right against the
-   cells already legalized in that segment.
+2. assign cells to row segments (nearest row first, probing farther rows
+   only when capacity runs out), then pack each segment in one batched
+   scan: the prefix-max recurrence ``pos = cwe + max.accumulate(d - cwe)``
+   resolves all left-to-right pushes at once and a suffix-sum clamp keeps
+   every cell inside the segment.
 
 The result keeps the global placement's structure (displacement is the
 quality metric) while guaranteeing non-overlap -- which the DEF export
-and the macro keep-out checks rely on.
+and the macro keep-out checks rely on.  The legacy per-cell search is
+preserved in :mod:`~repro.place.scalar` behind ``REPRO_PLACE_SCALAR=1``.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
 
 from ..netlist.core import Instance
+from ..obs import trace
+from ..obs.metrics import metrics
 from ..tech.cells import CELL_HEIGHT_UM
-from .grid import GEOM_TOL_UM, Rect, spans_overlap
+from . import scalar
+from .grid import GEOM_TOL_UM, Rect
 
 
 @dataclass
@@ -41,6 +49,10 @@ class RowSegment:
     @property
     def free(self) -> float:
         return self.x1 - self.cursor
+
+    @property
+    def capacity(self) -> float:
+        return self.x1 - self.x0
 
 
 @dataclass
@@ -103,56 +115,165 @@ def legalize_cells(cells: Sequence[Instance], outline: Rect,
         Displacement statistics; cells that found no segment (core
         overfull) keep their input position and count as ``failed``.
     """
+    if scalar.use_scalar():
+        return scalar.legalize_cells(cells, outline, obstructions,
+                                     row_height, max_row_search)
+    with trace.span("place.legalize", cells=len(cells)):
+        return _legalize_batched(cells, outline, obstructions,
+                                 row_height, max_row_search)
+
+
+def _legalize_batched(cells: Sequence[Instance], outline: Rect,
+                      obstructions: Sequence[Rect], row_height: float,
+                      max_row_search: int) -> LegalizeResult:
     segments = build_rows(outline, obstructions, row_height)
     if not segments:
         return LegalizeResult(0, len(cells), 0.0, 0.0)
-    rows: Dict[float, List[RowSegment]] = {}
-    for seg in segments:
-        rows.setdefault(round(seg.y, 3), []).append(seg)
-    row_ys = sorted(rows)
+    n = len(cells)
+    if n == 0:
+        return LegalizeResult(0, 0, 0.0, 0.0)
 
-    order = sorted(cells, key=lambda c: c.x)
+    # group segments into rows; per-row segment ids sorted by x0
+    rows: Dict[float, List[int]] = {}
+    for sid, seg in enumerate(segments):
+        rows.setdefault(round(seg.y, 3), []).append(sid)
+    row_ys = sorted(rows)
+    n_rows = len(row_ys)
+    row_segs = [sorted(rows[y], key=lambda sid: segments[sid].x0)
+                for y in row_ys]
+    ry = np.array(row_ys)
+    seg_free = np.array([seg.capacity for seg in segments])
+    seg_x0 = np.array([seg.x0 for seg in segments])
+
+    cx = np.array([c.x for c in cells])
+    cy = np.array([c.y for c in cells])
+    cw = np.array([c.width_um for c in cells])
+
+    # nearest row per cell; midpoint ties pick the lower row, like the
+    # legacy first-minimum scan
+    if n_rows > 1:
+        mids = 0.5 * (ry[:-1] + ry[1:])
+        target = np.searchsorted(mids, cy, side="left")
+    else:
+        target = np.zeros(n, dtype=np.int64)
+
+    assigned_of: Dict[int, List[int]] = {}
+
+    def assign_row(row: int, ids: np.ndarray) -> np.ndarray:
+        """Greedy-fill one row; returns the ids that did not fit."""
+        ids = ids[np.argsort(cx[ids], kind="stable")]
+        sids = row_segs[row]
+        # nearest segment per cell (by x distance to the segment span)
+        if len(sids) > 1:
+            x0s = seg_x0[sids]
+            si = np.clip(np.searchsorted(x0s, cx[ids], side="right") - 1,
+                         0, len(sids) - 1)
+            x1s = np.array([segments[s].x1 for s in sids])
+            d_here = np.maximum(cx[ids] - x1s[si], 0.0)
+            nxt = np.minimum(si + 1, len(sids) - 1)
+            d_next = np.maximum(x0s[nxt] - cx[ids], 0.0)
+            si = np.where((nxt != si) & (d_next < d_here), nxt, si)
+        else:
+            si = np.zeros(len(ids), dtype=np.int64)
+        leftover: List[np.ndarray] = []
+        # left-to-right: each segment takes its own cells plus spill
+        # from the left, largest prefix that fits its remaining space
+        for k, sid in enumerate(sids):
+            want = ids[si == k]
+            if leftover:
+                want = np.concatenate([leftover.pop(), want])
+            if len(want) == 0:
+                continue
+            cum = np.cumsum(cw[want])
+            take = int(np.searchsorted(cum, seg_free[sid], side="right"))
+            got, spill = want[:take], want[take:]
+            if len(got):
+                seg_free[sid] -= float(cum[len(got) - 1])
+                assigned_of.setdefault(sid, []).extend(got.tolist())
+            if len(spill):
+                leftover.append(spill)
+        if not leftover:
+            return np.empty(0, dtype=np.int64)
+        # right-to-left backfill into whatever space remains
+        rest = leftover[0]
+        for sid in reversed(sids):
+            if len(rest) == 0:
+                break
+            cum = np.cumsum(cw[rest])
+            take = int(np.searchsorted(cum, seg_free[sid], side="right"))
+            got, rest = rest[:take], rest[take:]
+            if len(got):
+                seg_free[sid] -= float(cum[len(got) - 1])
+                assigned_of.setdefault(sid, []).extend(got.tolist())
+        return rest
+
+    def try_assign(cand: np.ndarray, ids: np.ndarray) -> np.ndarray:
+        """Try candidate rows for ``ids``; returns the leftovers."""
+        valid = (cand >= 0) & (cand < n_rows)
+        rejected = [ids[~valid]]
+        tryable = ids[valid]
+        cand_rows = cand[valid]
+        for row in np.unique(cand_rows):
+            rej = assign_row(int(row), tryable[cand_rows == row])
+            if len(rej):
+                rejected.append(rej)
+        return np.sort(np.concatenate(rejected))
+
+    def row_choices(ids: np.ndarray,
+                    offset: int) -> Tuple[np.ndarray, np.ndarray]:
+        """Closer-first candidate rows at ``target +/- offset``."""
+        lo = target[ids] - offset
+        hi = target[ids] + offset
+        d_lo = np.where(lo >= 0,
+                        np.abs(ry[np.clip(lo, 0, n_rows - 1)] - cy[ids]),
+                        np.inf)
+        d_hi = np.where(hi < n_rows,
+                        np.abs(ry[np.clip(hi, 0, n_rows - 1)] - cy[ids]),
+                        np.inf)
+        closer_lo = d_lo <= d_hi
+        return (np.where(closer_lo, lo, hi), np.where(closer_lo, hi, lo))
+
+    pending = np.arange(n)
+    for offset in range(max_row_search + 1):
+        if len(pending) == 0:
+            break
+        if offset == 0:
+            pending = try_assign(target[pending], pending)
+            continue
+        first, _ = row_choices(pending, offset)
+        pending = try_assign(first, pending)
+        if len(pending) == 0:
+            break
+        # the same-offset second choice for the cells that missed
+        _, second = row_choices(pending, offset)
+        pending = try_assign(second, pending)
+
+    # batched per-segment pack: prefix-max forward push, suffix clamp
     placed = 0
-    failed = 0
     total_disp = 0.0
     max_disp = 0.0
+    for sid, id_list in sorted(assigned_of.items()):
+        seg = segments[sid]
+        ids = np.array(id_list)
+        ids = ids[np.argsort(cx[ids], kind="stable")]
+        w = cw[ids]
+        d = np.clip(cx[ids], seg.x0, seg.x1 - w)
+        cwe = np.concatenate([[0.0], np.cumsum(w)[:-1]])
+        pos = cwe + np.maximum.accumulate(d - cwe)
+        # rightmost feasible start so cells k..end still fit the segment
+        suffix = np.cumsum(w[::-1])[::-1]
+        final = np.minimum(pos, seg.x1 - suffix)
+        disp = np.abs(final - cx[ids]) + np.abs(seg.y - cy[ids])
+        for k, cid in enumerate(ids):
+            cells[cid].x = float(final[k])
+            cells[cid].y = seg.y
+        seg.cursor = float(final[-1] + w[-1])
+        placed += len(ids)
+        total_disp += float(disp.sum())
+        max_disp = max(max_disp, float(disp.max()))
 
-    for cell in order:
-        width = cell.width_um
-        # candidate rows by distance from the cell's y
-        target_idx = min(range(len(row_ys)),
-                         key=lambda i, y=cell.y: abs(row_ys[i] - y))
-        best: Optional[Tuple[float, RowSegment, float]] = None
-        for offset in range(max_row_search + 1):
-            for idx in {target_idx - offset, target_idx + offset}:
-                if not (0 <= idx < len(row_ys)):
-                    continue
-                y = row_ys[idx]
-                dy = abs(y - cell.y)
-                if best is not None and dy >= best[0]:
-                    continue
-                for seg in rows[y]:
-                    if seg.free < width:
-                        continue
-                    x = min(max(cell.x, seg.cursor), seg.x1 - width)
-                    if x < seg.cursor:
-                        continue
-                    disp = abs(x - cell.x) + dy
-                    if best is None or disp < best[0]:
-                        best = (disp, seg, x)
-            if best is not None and offset > 2:
-                break  # a nearby row already works
-        if best is None:
-            failed += 1
-            continue
-        disp, seg, x = best
-        cell.x = x  # left-edge semantics within the segment
-        cell.y = seg.y
-        seg.cursor = x + width
-        placed += 1
-        total_disp += disp
-        max_disp = max(max_disp, disp)
-
+    failed = n - placed
+    metrics().counter("place.cells_legalized").inc(placed)
     return LegalizeResult(placed=placed, failed=failed,
                           total_displacement_um=total_disp,
                           max_displacement_um=max_disp)
@@ -162,13 +283,16 @@ def overlapping_pairs(cells: Sequence[Instance],
                       row_height: float = CELL_HEIGHT_UM,
                       x_is_center: bool = False
                       ) -> List[Tuple[Instance, Instance]]:
-    """Adjacent same-row cell pairs whose x spans overlap.
+    """All same-row cell pairs whose x spans overlap.
 
-    Cells are bucketed into rows by their y coordinate and compared
-    against their right neighbor with the shared
-    :func:`~repro.place.grid.spans_overlap` predicate -- the same
-    tolerance the legalizer and the lint checker use, so the two can
-    never disagree about what counts as an overlap.
+    Cells are bucketed into rows by their y coordinate; within a row a
+    sorted sweep finds *every* overlapping pair (the legacy scan in
+    :mod:`~repro.place.scalar` only compared adjacent neighbors and
+    missed overlaps spanned by wide cells).  Candidate pairs are
+    confirmed with exactly the
+    :func:`~repro.place.grid.interval_overlap` arithmetic the legalizer
+    and the lint checker use, so the tools cannot disagree about what
+    counts as an overlap.
 
     Args:
         cells: placed standard cells.
@@ -177,22 +301,45 @@ def overlapping_pairs(cells: Sequence[Instance],
             row-snap convention) instead of the left edge (legalizer
             convention).
     """
-    by_row: Dict[float, List[Instance]] = {}
-    for c in cells:
-        by_row.setdefault(round(c.y, 3), []).append(c)
-    pairs: List[Tuple[Instance, Instance]] = []
-    for row_cells in by_row.values():
-        row_cells.sort(key=lambda c: c.x)
-        for a, b in zip(row_cells, row_cells[1:]):
-            if x_is_center:
-                a0, a1 = a.x - a.width_um / 2, a.x + a.width_um / 2
-                b0, b1 = b.x - b.width_um / 2, b.x + b.width_um / 2
-            else:
-                a0, a1 = a.x, a.x + a.width_um
-                b0, b1 = b.x, b.x + b.width_um
-            if spans_overlap(a0, a1, b0, b1, tol=GEOM_TOL_UM):
-                pairs.append((a, b))
-    return pairs
+    if scalar.use_scalar():
+        return scalar.overlapping_pairs(cells, row_height, x_is_center)
+    n = len(cells)
+    if n < 2:
+        return []
+    x = np.array([c.x for c in cells])
+    y = np.array([c.y for c in cells])
+    w = np.array([c.width_um for c in cells])
+    if x_is_center:
+        s = x - w / 2
+        e = x + w / 2
+    else:
+        s = x
+        e = x + w
+    # bucket rows exactly like the legacy scan (round to nm), then fold
+    # the row id into the sort key so one global sweep handles all rows:
+    # each row occupies its own key band of width > any in-row span
+    _, row = np.unique(np.round(y, 3), return_inverse=True)
+    base = float(np.min(s))
+    stride = float(np.max(e)) - base + 1.0
+    key_s = row * stride + (s - base)
+    key_e = row * stride + (e - base)
+    o = np.lexsort((s, row))
+    key_s, key_e, s, e = key_s[o], key_e[o], s[o], e[o]
+    # candidate right partners: every j > i whose start precedes cell
+    # i's end (same row by key-band construction; superset of the > tol
+    # test, confirmed below)
+    jmax = np.searchsorted(key_s, key_e, side="left") - 1
+    cnt = np.maximum(jmax - np.arange(n), 0)
+    total = int(cnt.sum())
+    if total == 0:
+        return []
+    ii = np.repeat(np.arange(n), cnt)
+    start = np.concatenate([[0], np.cumsum(cnt)[:-1]])
+    jj = np.arange(total) - np.repeat(start, cnt) + ii + 1
+    # same expression as interval_overlap: min(a1,b1) - max(a0,b0)
+    keep = (np.minimum(e[ii], e[jj]) -
+            np.maximum(s[ii], s[jj])) > GEOM_TOL_UM
+    return [(cells[a], cells[b]) for a, b in zip(o[ii[keep]], o[jj[keep]])]
 
 
 def check_overlaps(cells: Sequence[Instance],

@@ -206,6 +206,39 @@ def fm_bipartition(netlist: Netlist,
                            area=_areas(netlist, assignment))
 
 
+def balanced_split(scores: np.ndarray, areas: np.ndarray,
+                   pre_area: tuple = (0.0, 0.0)) -> np.ndarray:
+    """Threshold continuous scores into two area-balanced sides.
+
+    The analytical (bistratal) die assignment solves a continuous
+    z in [0, 1] per movable cell and needs the discretization step: sort
+    by score (stable, so equal scores keep input order), then cut the
+    prefix whose side-0 area lands closest to half the total --
+    including ``pre_area``, the area already pinned to each side (macros
+    and other fixed objects).  Ties pick the smallest prefix.
+
+    Args:
+        scores: per-cell continuous side score (low -> side 0).
+        areas: per-cell areas.
+        pre_area: (side0, side1) area already committed.
+
+    Returns:
+        int array of 0/1 side assignments aligned with ``scores``.
+    """
+    n = len(scores)
+    side = np.ones(n, dtype=np.int64)
+    if n == 0:
+        return side
+    order = np.argsort(scores, kind="stable")
+    cum = np.cumsum(areas[order])
+    total = float(cum[-1]) + pre_area[0] + pre_area[1]
+    # area0[k] = side-0 area when the k lowest-score cells go to side 0
+    area0 = pre_area[0] + np.concatenate([[0.0], cum])
+    k = int(np.argmin(np.abs(area0 - total / 2)))
+    side[order[:k]] = 0
+    return side
+
+
 def partition_by_clusters(netlist: Netlist, die1_clusters: Iterable[int]
                           ) -> Dict[int, int]:
     """Assignment placing instances of the given clusters on die 1."""

@@ -17,7 +17,9 @@ from typing import Dict, List, Optional, Tuple
 import numpy as np
 
 from ..netlist.core import Netlist
+from ..obs import trace
 from ..tech.cells import CELL_HEIGHT_UM
+from . import scalar
 from .grid import DensityGrid, Rect
 from .quadratic import QPNet, QuadraticPlacer
 from .spreading import spread
@@ -226,29 +228,37 @@ def run_global_place(netlist: Netlist, movable: List, outline: Rect,
     ys = cy + rng.normal(0, 0.01 * outline.height, n)
     areas = np.array([inst.area_um2 for inst in movable])
 
-    xs, ys = placer.solve(xs, ys, rounds=config.qp_rounds)
-    anchor = config.anchor_strength
-    for it in range(config.iterations):
-        xs = np.clip(xs, outline.x0, outline.x1)
-        ys = np.clip(ys, outline.y0, outline.y1)
-        sx, sy = spread_fn(xs, ys, areas)
-        if it == config.iterations - 1:
-            xs, ys = sx, sy
-            break
-        xs, ys = placer.solve(sx, sy, anchors=(sx, sy, anchor), rounds=1)
-        anchor *= 3.0
+    with trace.span("place.global", cells=n, nets=len(qp_nets)):
+        xs, ys = placer.solve(xs, ys, rounds=config.qp_rounds)
+        anchor = config.anchor_strength
+        for it in range(config.iterations):
+            xs = np.clip(xs, outline.x0, outline.x1)
+            ys = np.clip(ys, outline.y0, outline.y1)
+            sx, sy = spread_fn(xs, ys, areas)
+            if it == config.iterations - 1:
+                xs, ys = sx, sy
+                break
+            xs, ys = placer.solve(sx, sy, anchors=(sx, sy, anchor),
+                                  rounds=1)
+            anchor *= 3.0
     return xs, ys
 
 
 def snap_to_rows(movable: List, xs: np.ndarray, ys: np.ndarray,
                  outline: Rect) -> None:
     """Assign final coordinates, snapping y to standard-cell rows."""
+    if scalar.use_scalar():
+        scalar.snap_to_rows(movable, xs, ys, outline)
+        return
     row0 = outline.y0 + CELL_HEIGHT_UM / 2
+    # np.round and the scalar path's round() share half-to-even
+    # semantics, so both snaps pick identical rows
+    fx = np.clip(xs, outline.x0, outline.x1)
+    rows = np.round((ys - row0) / CELL_HEIGHT_UM)
+    fy = np.clip(row0 + rows * CELL_HEIGHT_UM, outline.y0, outline.y1)
     for k, inst in enumerate(movable):
-        inst.x = float(np.clip(xs[k], outline.x0, outline.x1))
-        row = round((ys[k] - row0) / CELL_HEIGHT_UM)
-        inst.y = float(np.clip(row0 + row * CELL_HEIGHT_UM,
-                               outline.y0, outline.y1))
+        inst.x = float(fx[k])
+        inst.y = float(fy[k])
 
 
 def place_block_2d(netlist: Netlist, config: PlacementConfig,

@@ -9,6 +9,16 @@ macro pins, spreading anchors -- enter the right-hand side.
 The bound-to-bound (B2B) weights are refreshed from the previous solution
 so that the quadratic form approximates HPWL rather than squared star
 length; two or three refresh rounds are ample for this model's scale.
+
+The system is assembled in one shot from flat pin arrays: per-net lo/hi
+endpoints come from ``np.minimum.reduceat``/``np.maximum.reduceat``, pair
+weights from one vectorized formula, and the Laplacian triplets plus the
+diagonal/rhs accumulation are emitted in exactly the order the legacy
+per-pin loop produced them, so both paths build bit-identical systems
+(``np.add.at`` is unbuffered and processes indices sequentially, and
+scipy's duplicate summation only depends on the per-coordinate emission
+order).  The legacy loop survives in :mod:`~repro.place.scalar` behind
+``REPRO_PLACE_SCALAR=1`` for the parity harness.
 """
 
 from __future__ import annotations
@@ -19,6 +29,9 @@ from typing import List, Optional, Sequence, Tuple
 import numpy as np
 from scipy.sparse import coo_matrix
 from scipy.sparse.linalg import spsolve
+
+from ..obs.metrics import metrics
+from . import scalar
 
 
 @dataclass
@@ -39,6 +52,70 @@ class QPNet:
         return len(self.movable) + len(self.fixed)
 
 
+def b2b_weights(pa: np.ndarray, pb: np.ndarray,
+                degree: np.ndarray) -> np.ndarray:
+    """Vectorized B2B pair weights.
+
+    Bit-identical to :meth:`QuadraticPlacer._b2b_weight` applied
+    elementwise: the integer degree converts to float exactly, and both
+    paths evaluate ``2.0 / (max(degree-1, 1) * max(|pa-pb|, 1.0))`` in
+    the same operation order.
+    """
+    md = np.maximum(np.asarray(degree) - 1, 1).astype(np.float64)
+    ms = np.maximum(np.abs(pa - pb), 1.0)
+    return 2.0 / (md * ms)
+
+
+class _FlatNets:
+    """Net structure flattened to arrays for one-shot assembly.
+
+    Pin layout matches the legacy loop's ``pts`` list: per net, movable
+    endpoints first (in list order) then fixed endpoints -- the lo/hi
+    tie-breaks and the per-pair emission order depend on it.
+    """
+
+    def __init__(self, nets: Sequence[QPNet]) -> None:
+        nn = len(nets)
+        self.weight = np.fromiter((net.weight for net in nets),
+                                  dtype=np.float64, count=nn)
+        self.deg = np.fromiter((net.degree for net in nets),
+                               dtype=np.int64, count=nn)
+        pin_idx: List[int] = []
+        fx: List[float] = []
+        fy: List[float] = []
+        for net in nets:
+            pin_idx.extend(net.movable)
+            fx.extend([0.0] * len(net.movable))
+            fy.extend([0.0] * len(net.movable))
+            for gx, gy in net.fixed:
+                pin_idx.append(-1)
+                fx.append(gx)
+                fy.append(gy)
+        #: movable index per pin, -1 for fixed endpoints
+        self.pin_idx = np.array(pin_idx, dtype=np.int64)
+        #: fixed-endpoint coordinate per axis (0.0 at movable pins)
+        self.fixed = (np.array(fx, dtype=np.float64),
+                      np.array(fy, dtype=np.float64))
+        self.total = int(self.deg.sum())
+        self.start = np.zeros(nn, dtype=np.int64)
+        if nn > 1:
+            np.cumsum(self.deg[:-1], out=self.start[1:])
+        self.pin_net = np.repeat(np.arange(nn, dtype=np.int64), self.deg)
+        self.local = (np.arange(self.total, dtype=np.int64) -
+                      self.start[self.pin_net])
+        mov_mask = self.pin_idx >= 0
+        self.mov_pos = np.flatnonzero(mov_mask)
+        self.mov_idx = self.pin_idx[self.mov_pos]
+        # a net of degree p emits (p-1) lo pairs + (p-2) hi pairs; the
+        # p == 2 case collapses to the single lo pair (2p-3 == 1)
+        npair = 2 * self.deg - 3
+        self.pair_start = np.zeros(nn, dtype=np.int64)
+        if nn > 1:
+            np.cumsum(npair[:-1], out=self.pair_start[1:])
+        self.n_pairs = int(npair.sum())
+        self.pair_net = np.repeat(np.arange(nn, dtype=np.int64), npair)
+
+
 class QuadraticPlacer:
     """Minimizes B2B quadratic wirelength for movable points."""
 
@@ -46,6 +123,7 @@ class QuadraticPlacer:
         self.n = n_movable
         self.nets = [net for net in nets if net.degree >= 2
                      and len(net.movable) >= 1]
+        self._flat: Optional[_FlatNets] = None
 
     def solve(self, x0: np.ndarray, y0: np.ndarray,
               anchors: Optional[Tuple[np.ndarray, np.ndarray, float]] = None,
@@ -65,61 +143,116 @@ class QuadraticPlacer:
             y = self._solve_axis(y, axis=1, anchors=anchors)
         return x, y
 
+    def solve1d(self, c0: np.ndarray,
+                anchors: Optional[Tuple[np.ndarray, float]] = None,
+                rounds: int = 1) -> np.ndarray:
+        """B2B solve along a single axis (the bistratal z solve).
+
+        Fixed endpoints contribute their x-slot coordinate; callers build
+        the :class:`QPNet` list with ``fixed=[(z, z)]`` entries.
+        """
+        c = c0.copy()
+        anch3 = None
+        if anchors is not None:
+            target, strength = anchors
+            anch3 = (target, target, strength)
+        for _ in range(max(1, rounds)):
+            c = self._solve_axis(c, axis=0, anchors=anch3)
+        return c
+
     def _solve_axis(self, coords: np.ndarray, axis: int,
                     anchors) -> np.ndarray:
-        rows: List[int] = []
-        cols: List[int] = []
-        vals: List[float] = []
-        rhs = np.zeros(self.n)
-        diag = np.zeros(self.n)
+        if scalar.use_scalar():
+            return scalar.solve_axis(self, coords, axis, anchors)
+        metrics().counter("place.qp_solves").inc()
+        mat, rhs = self._assemble_axis(coords, axis, anchors)
+        return spsolve(mat, rhs)
 
-        def add_pair(i: Optional[int], pi: float, j: Optional[int],
-                     pj: float, w: float) -> None:
-            """Connect endpoint i (movable or fixed) to j with weight w."""
-            if i is not None and j is not None:
-                diag[i] += w
-                diag[j] += w
-                rows.append(i); cols.append(j); vals.append(-w)
-                rows.append(j); cols.append(i); vals.append(-w)
-            elif i is not None:
-                diag[i] += w
-                rhs[i] += w * pj
-            elif j is not None:
-                diag[j] += w
-                rhs[j] += w * pi
+    def _assemble_axis(self, coords: np.ndarray, axis: int,
+                       anchors) -> Tuple[coo_matrix, np.ndarray]:
+        """Batched one-shot build of the B2B system for one axis."""
+        f = self._flat
+        if f is None:
+            f = self._flat = _FlatNets(self.nets)
+        n = self.n
+        rhs = np.zeros(n)
+        diag = np.zeros(n)
 
-        for net in self.nets:
-            pts: List[Tuple[Optional[int], float]] = []
-            for m in net.movable:
-                pts.append((m, coords[m]))
-            for fx in net.fixed:
-                pts.append((None, fx[axis]))
-            p = len(pts)
-            if p < 2:
-                continue
-            if p == 2:
-                (i, pi), (j, pj) = pts
-                w = net.weight * self._b2b_weight(pi, pj, p)
-                add_pair(i, pi, j, pj, w)
-                continue
-            # B2B: connect min and max endpoints to each other and to all
-            # interior endpoints with weight 2 / ((p-1) * span-part).
-            order = sorted(range(p), key=lambda k: pts[k][1])
-            lo, hi = order[0], order[-1]
-            for k in range(p):
-                if k == lo:
-                    continue
-                i, pi = pts[lo]
-                j, pj = pts[k]
-                w = net.weight * self._b2b_weight(pi, pj, p)
-                add_pair(i, pi, j, pj, w)
-            for k in range(p):
-                if k in (lo, hi):
-                    continue
-                i, pi = pts[hi]
-                j, pj = pts[k]
-                w = net.weight * self._b2b_weight(pi, pj, p)
-                add_pair(i, pi, j, pj, w)
+        if f.n_pairs:
+            pc = f.fixed[axis].copy()
+            pc[f.mov_pos] = coords[f.mov_idx]
+            posn = np.arange(f.total, dtype=np.int64)
+            # lo = first pin attaining the net min, hi = last attaining
+            # the max -- the stable-sort semantics of the legacy loop
+            minv = np.minimum.reduceat(pc, f.start)
+            maxv = np.maximum.reduceat(pc, f.start)
+            lo_g = np.minimum.reduceat(
+                np.where(pc == minv[f.pin_net], posn, f.total), f.start)
+            hi_g = np.maximum.reduceat(
+                np.where(pc == maxv[f.pin_net], posn, -1), f.start)
+            lo_loc = lo_g - f.start
+            hi_loc = hi_g - f.start
+            lo_pin = lo_g[f.pin_net]
+            hi_pin = hi_g[f.pin_net]
+            # slot arithmetic places every pair at its legacy stream
+            # position: net-major, lo-phase then hi-phase, pins in order
+            m1 = posn != lo_pin
+            slot1 = (f.pair_start[f.pin_net] + f.local -
+                     (f.local > lo_loc[f.pin_net]))
+            m2 = m1 & (posn != hi_pin)
+            slot2 = (f.pair_start[f.pin_net] + f.deg[f.pin_net] - 1 +
+                     f.local - (f.local > lo_loc[f.pin_net]) -
+                     (f.local > hi_loc[f.pin_net]))
+            a_pos = np.empty(f.n_pairs, dtype=np.int64)
+            b_pos = np.empty(f.n_pairs, dtype=np.int64)
+            a_pos[slot1[m1]] = lo_pin[m1]
+            b_pos[slot1[m1]] = posn[m1]
+            a_pos[slot2[m2]] = hi_pin[m2]
+            b_pos[slot2[m2]] = posn[m2]
+
+            ai = f.pin_idx[a_pos]
+            bi = f.pin_idx[b_pos]
+            ac = pc[a_pos]
+            bc = pc[b_pos]
+            w = f.weight[f.pair_net] * b2b_weights(ac, bc,
+                                                   f.deg[f.pair_net])
+            amov = ai >= 0
+            bmov = bi >= 0
+
+            # off-diagonals: (a, b, -w) then (b, a, -w) per pair --
+            # scipy's duplicate summation follows this emission order
+            rows2 = np.empty(2 * f.n_pairs, dtype=np.int64)
+            cols2 = np.empty(2 * f.n_pairs, dtype=np.int64)
+            rows2[0::2] = ai
+            cols2[0::2] = bi
+            rows2[1::2] = bi
+            cols2[1::2] = ai
+            keep = np.repeat(amov & bmov, 2)
+            orows = rows2[keep]
+            ocols = cols2[keep]
+            ovals = np.repeat(-w, 2)[keep]
+
+            # diag/rhs: np.add.at is unbuffered, so feeding it the pair
+            # stream (a slot before b slot) reproduces the legacy
+            # per-entry accumulation order, hence the exact float sums
+            d_idx = np.empty(2 * f.n_pairs, dtype=np.int64)
+            d_idx[0::2] = np.where(amov, ai, -1)
+            d_idx[1::2] = np.where(bmov, bi, -1)
+            d_keep = d_idx >= 0
+            np.add.at(diag, d_idx[d_keep], np.repeat(w, 2)[d_keep])
+
+            r_idx = np.empty(2 * f.n_pairs, dtype=np.int64)
+            r_val = np.empty(2 * f.n_pairs)
+            r_idx[0::2] = np.where(amov & ~bmov, ai, -1)
+            r_val[0::2] = w * bc
+            r_idx[1::2] = np.where(bmov & ~amov, bi, -1)
+            r_val[1::2] = w * ac
+            r_keep = r_idx >= 0
+            np.add.at(rhs, r_idx[r_keep], r_val[r_keep])
+        else:
+            orows = np.empty(0, dtype=np.int64)
+            ocols = np.empty(0, dtype=np.int64)
+            ovals = np.empty(0)
 
         if anchors is not None:
             ax, ay, strength = anchors
@@ -129,11 +262,11 @@ class QuadraticPlacer:
 
         # tiny regularization keeps the system SPD even for isolated cells
         diag += 1e-6
-        rows.extend(range(self.n))
-        cols.extend(range(self.n))
-        vals.extend(diag.tolist())
-        mat = coo_matrix((vals, (rows, cols)), shape=(self.n, self.n)).tocsr()
-        return spsolve(mat, rhs)
+        rows = np.concatenate([orows, np.arange(n, dtype=np.int64)])
+        cols = np.concatenate([ocols, np.arange(n, dtype=np.int64)])
+        vals = np.concatenate([ovals, diag])
+        mat = coo_matrix((vals, (rows, cols)), shape=(n, n)).tocsr()
+        return mat, rhs
 
     @staticmethod
     def _b2b_weight(pi: float, pj: float, degree: int) -> float:

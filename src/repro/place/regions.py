@@ -13,6 +13,8 @@ from __future__ import annotations
 
 from typing import Dict, List, Sequence, Tuple
 
+import numpy as np
+
 from .grid import Rect
 
 #: (key, area demand, centroid x, centroid y)
@@ -46,15 +48,11 @@ def region_bisect(outline: Rect,
             return
         horizontal = rect.width >= rect.height
         group = sorted(group, key=lambda it: it[2] if horizontal else it[3])
-        total = sum(it[1] for it in group)
-        # choose the split index closest to half the area
-        best_k, best_diff = 1, float("inf")
-        acc = 0.0
-        for k in range(1, len(group)):
-            acc += group[k - 1][1]
-            diff = abs(acc - total / 2.0)
-            if diff < best_diff:
-                best_diff, best_k = diff, k
+        # choose the split index closest to half the area (first-wins
+        # on ties, like a strict-< scan)
+        cum = np.cumsum([it[1] for it in group])
+        total = float(cum[-1])
+        best_k = int(np.argmin(np.abs(cum[:-1] - total / 2.0))) + 1
         left = group[:best_k]
         right = group[best_k:]
         frac = sum(it[1] for it in left) / total

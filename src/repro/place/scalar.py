@@ -1,0 +1,327 @@
+"""Legacy instance-at-a-time placement kernels (parity reference).
+
+The default placement path is the batched numpy implementation in
+:mod:`~repro.place.quadratic`, :mod:`~repro.place.spreading` and
+:mod:`~repro.place.legalize`.  This module preserves the original
+scalar (per-pin / per-cell Python loop) kernels **unchanged** so the
+parity/QoR harness (``tests/test_place_parity.py``) and the bench gate
+(``benchmarks/place_smoke.py``) can compare the two:
+
+* set ``REPRO_PLACE_SCALAR=1`` in the environment to route every
+  dispatching kernel through the scalar reference;
+* the flag is read at *call* time, so tests can flip it per-case with
+  ``monkeypatch.setenv``.
+
+The scalar path is a test/bench instrument only -- it is not part of
+the production flow and is never selected implicitly.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..netlist.core import Instance
+from ..tech.cells import CELL_HEIGHT_UM
+from .grid import GEOM_TOL_UM, DensityGrid, Rect, spans_overlap
+
+#: environment variable selecting the legacy scalar kernels
+SCALAR_ENV = "REPRO_PLACE_SCALAR"
+
+
+def use_scalar() -> bool:
+    """True when the legacy scalar placement kernels are requested."""
+    return os.environ.get(SCALAR_ENV, "") == "1"
+
+
+# ---------------------------------------------------------------------------
+# quadratic: per-pin B2B assembly (original QuadraticPlacer._solve_axis)
+# ---------------------------------------------------------------------------
+
+def solve_axis(placer, coords: np.ndarray, axis: int,
+               anchors) -> np.ndarray:
+    """One scalar B2B axis solve over ``placer.nets`` (legacy loop)."""
+    from scipy.sparse.linalg import spsolve
+
+    mat, rhs = assemble_axis(placer, coords, axis, anchors)
+    return spsolve(mat, rhs)
+
+
+def assemble_axis(placer, coords: np.ndarray, axis: int, anchors):
+    """Build the legacy B2B system (matrix, rhs) for one axis.
+
+    Split from :func:`solve_axis` so the bench gate can time system
+    assembly -- the kernel the batched path replaces -- without the
+    shared SuperLU factorization.
+    """
+    from scipy.sparse import coo_matrix
+
+    n = placer.n
+    rows: List[int] = []
+    cols: List[int] = []
+    vals: List[float] = []
+    rhs = np.zeros(n)
+    diag = np.zeros(n)
+
+    def add_pair(i: Optional[int], pi: float, j: Optional[int],
+                 pj: float, w: float) -> None:
+        if i is not None and j is not None:
+            diag[i] += w
+            diag[j] += w
+            rows.append(i); cols.append(j); vals.append(-w)
+            rows.append(j); cols.append(i); vals.append(-w)
+        elif i is not None:
+            diag[i] += w
+            rhs[i] += w * pj
+        elif j is not None:
+            diag[j] += w
+            rhs[j] += w * pi
+
+    for net in placer.nets:
+        pts: List[Tuple[Optional[int], float]] = []
+        for m in net.movable:
+            pts.append((m, coords[m]))
+        for fx in net.fixed:
+            pts.append((None, fx[axis]))
+        p = len(pts)
+        if p < 2:
+            continue
+        if p == 2:
+            (i, pi), (j, pj) = pts
+            w = net.weight * b2b_weight(pi, pj, p)
+            add_pair(i, pi, j, pj, w)
+            continue
+        order = sorted(range(p), key=lambda k: pts[k][1])
+        lo, hi = order[0], order[-1]
+        for k in range(p):
+            if k == lo:
+                continue
+            i, pi = pts[lo]
+            j, pj = pts[k]
+            w = net.weight * b2b_weight(pi, pj, p)
+            add_pair(i, pi, j, pj, w)
+        for k in range(p):
+            if k in (lo, hi):
+                continue
+            i, pi = pts[hi]
+            j, pj = pts[k]
+            w = net.weight * b2b_weight(pi, pj, p)
+            add_pair(i, pi, j, pj, w)
+
+    if anchors is not None:
+        ax, ay, strength = anchors
+        target = ax if axis == 0 else ay
+        diag += strength
+        rhs += strength * target
+
+    diag += 1e-6
+    rows.extend(range(n))
+    cols.extend(range(n))
+    vals.extend(diag.tolist())
+    mat = coo_matrix((vals, (rows, cols)), shape=(n, n)).tocsr()
+    return mat, rhs
+
+
+def b2b_weight(pi: float, pj: float, degree: int) -> float:
+    """The scalar B2B weight formula (shared with the vectorized path)."""
+    span = abs(pi - pj)
+    return 2.0 / (max(degree - 1, 1) * max(span, 1.0))
+
+
+# ---------------------------------------------------------------------------
+# spreading: per-bin supply scan + per-cell leaf placement (original spread)
+# ---------------------------------------------------------------------------
+
+def supply_in(grid: DensityGrid, rect: Rect) -> float:
+    """Placeable area inside ``rect`` (legacy per-bin loop)."""
+    total = 0.0
+    i0 = max(0, int((rect.x0 - grid.region.x0) / grid.bin_w))
+    i1 = min(grid.nx - 1, int((rect.x1 - grid.region.x0) / grid.bin_w - 1e-9))
+    j0 = max(0, int((rect.y0 - grid.region.y0) / grid.bin_h))
+    j1 = min(grid.ny - 1, int((rect.y1 - grid.region.y0) / grid.bin_h - 1e-9))
+    bin_area = grid.bin_w * grid.bin_h
+    for i in range(i0, i1 + 1):
+        bx0 = grid.region.x0 + i * grid.bin_w
+        for j in range(j0, j1 + 1):
+            by0 = grid.region.y0 + j * grid.bin_h
+            cover = Rect(max(bx0, rect.x0), max(by0, rect.y0),
+                         min(bx0 + grid.bin_w, rect.x1),
+                         min(by0 + grid.bin_h, rect.y1)).area
+            if cover > 0:
+                total += grid.supply[i, j] * (cover / bin_area)
+    return total
+
+
+def spread(grid: DensityGrid, xs: np.ndarray, ys: np.ndarray,
+           areas: np.ndarray, rng: np.random.Generator,
+           leaf_cells: int = 6) -> Tuple[np.ndarray, np.ndarray]:
+    """Legacy recursive-bisection spreading (per-cell leaf loop)."""
+    from .spreading import _nearest_free
+
+    n = len(xs)
+    out_x = xs.copy()
+    out_y = ys.copy()
+    if n == 0:
+        return out_x, out_y
+
+    def place_leaf(idx: np.ndarray, rect: Rect) -> None:
+        k = len(idx)
+        if k == 0:
+            return
+        cols = max(1, int(np.ceil(np.sqrt(k * max(rect.width, 1e-6) /
+                                          max(rect.height, 1e-6)))))
+        rows_n = int(np.ceil(k / cols))
+        order = idx[np.lexsort((ys[idx], xs[idx]))]
+        for slot, cell in enumerate(order):
+            ci, rj = slot % cols, slot // cols
+            px = rect.x0 + (ci + 0.5) * rect.width / cols
+            py = rect.y0 + (rj + 0.5) * rect.height / max(rows_n, 1)
+            if grid.in_obstruction(px, py):
+                px, py = _nearest_free(grid, px, py)
+            out_x[cell] = px
+            out_y[cell] = py
+
+    def recurse(idx: np.ndarray, rect: Rect, depth: int) -> None:
+        if len(idx) <= leaf_cells or depth > 40:
+            place_leaf(idx, rect)
+            return
+        horizontal = rect.width >= rect.height
+        if horizontal:
+            coords = xs[idx]
+        else:
+            coords = ys[idx]
+        mid = 0.5 * ((rect.x0 + rect.x1) if horizontal
+                     else (rect.y0 + rect.y1))
+        if horizontal:
+            r1 = Rect(rect.x0, rect.y0, mid, rect.y1)
+            r2 = Rect(mid, rect.y0, rect.x1, rect.y1)
+        else:
+            r1 = Rect(rect.x0, rect.y0, rect.x1, mid)
+            r2 = Rect(rect.x0, mid, rect.x1, rect.y1)
+        s1 = supply_in(grid, r1)
+        s2 = supply_in(grid, r2)
+        total_supply = s1 + s2
+        if total_supply <= 0:
+            place_leaf(idx, rect)
+            return
+        order = idx[np.argsort(coords, kind="stable")]
+        cum = np.cumsum(areas[order])
+        target = cum[-1] * (s1 / total_supply)
+        split = int(np.searchsorted(cum, target))
+        split = max(0, min(len(order), split))
+        recurse(order[:split], r1, depth + 1)
+        recurse(order[split:], r2, depth + 1)
+
+    recurse(np.arange(n), grid.region, 0)
+    return out_x, out_y
+
+
+# ---------------------------------------------------------------------------
+# legalize: per-cell segment search + adjacent-only overlap scan
+# ---------------------------------------------------------------------------
+
+def legalize_cells(cells: Sequence[Instance], outline: Rect,
+                   obstructions: Sequence[Rect] = (),
+                   row_height: float = CELL_HEIGHT_UM,
+                   max_row_search: int = 12):
+    """Legacy Tetris legalization (per-cell min-displacement search)."""
+    from .legalize import LegalizeResult, RowSegment, build_rows
+
+    segments = build_rows(outline, obstructions, row_height)
+    if not segments:
+        return LegalizeResult(0, len(cells), 0.0, 0.0)
+    rows: Dict[float, List[RowSegment]] = {}
+    for seg in segments:
+        rows.setdefault(round(seg.y, 3), []).append(seg)
+    row_ys = sorted(rows)
+
+    order = sorted(cells, key=lambda c: c.x)
+    placed = 0
+    failed = 0
+    total_disp = 0.0
+    max_disp = 0.0
+
+    for cell in order:
+        width = cell.width_um
+        target_idx = min(range(len(row_ys)),
+                         key=lambda i, y=cell.y: abs(row_ys[i] - y))
+        best: Optional[Tuple[float, RowSegment, float]] = None
+        for offset in range(max_row_search + 1):
+            for idx in {target_idx - offset, target_idx + offset}:
+                if not (0 <= idx < len(row_ys)):
+                    continue
+                y = row_ys[idx]
+                dy = abs(y - cell.y)
+                if best is not None and dy >= best[0]:
+                    continue
+                for seg in rows[y]:
+                    if seg.free < width:
+                        continue
+                    x = min(max(cell.x, seg.cursor), seg.x1 - width)
+                    if x < seg.cursor:
+                        continue
+                    disp = abs(x - cell.x) + dy
+                    if best is None or disp < best[0]:
+                        best = (disp, seg, x)
+            if best is not None and offset > 2:
+                break
+        if best is None:
+            failed += 1
+            continue
+        disp, seg, x = best
+        cell.x = x
+        cell.y = seg.y
+        seg.cursor = x + width
+        placed += 1
+        total_disp += disp
+        max_disp = max(max_disp, disp)
+
+    return LegalizeResult(placed=placed, failed=failed,
+                          total_displacement_um=total_disp,
+                          max_displacement_um=max_disp)
+
+
+def overlapping_pairs(cells: Sequence[Instance],
+                      row_height: float = CELL_HEIGHT_UM,
+                      x_is_center: bool = False
+                      ) -> List[Tuple[Instance, Instance]]:
+    """Legacy adjacent-neighbor overlap scan.
+
+    Only compares each cell against its immediate right neighbor, so a
+    wide cell spanning several neighbors under-reports its overlaps --
+    the vectorized sweep in :mod:`~repro.place.legalize` fixes that.
+    Kept verbatim as the parity reference.
+    """
+    by_row: Dict[float, List[Instance]] = {}
+    for c in cells:
+        by_row.setdefault(round(c.y, 3), []).append(c)
+    pairs: List[Tuple[Instance, Instance]] = []
+    for row_cells in by_row.values():
+        row_cells.sort(key=lambda c: c.x)
+        for a, b in zip(row_cells, row_cells[1:]):
+            if x_is_center:
+                a0, a1 = a.x - a.width_um / 2, a.x + a.width_um / 2
+                b0, b1 = b.x - b.width_um / 2, b.x + b.width_um / 2
+            else:
+                a0, a1 = a.x, a.x + a.width_um
+                b0, b1 = b.x, b.x + b.width_um
+            if spans_overlap(a0, a1, b0, b1, tol=GEOM_TOL_UM):
+                pairs.append((a, b))
+    return pairs
+
+
+# ---------------------------------------------------------------------------
+# row snap: per-cell coordinate assignment (original snap_to_rows)
+# ---------------------------------------------------------------------------
+
+def snap_to_rows(movable: List, xs: np.ndarray, ys: np.ndarray,
+                 outline: Rect) -> None:
+    """Legacy per-cell row snap."""
+    row0 = outline.y0 + CELL_HEIGHT_UM / 2
+    for k, inst in enumerate(movable):
+        inst.x = float(np.clip(xs[k], outline.x0, outline.x1))
+        row = round((ys[k] - row0) / CELL_HEIGHT_UM)
+        inst.y = float(np.clip(row0 + row * CELL_HEIGHT_UM,
+                               outline.y0, outline.y1))

@@ -168,3 +168,110 @@ class TestEngineFaultProperties:
         first = plan.specs[0]
         assert (first.kind, first.stage, first.attempt) == \
             ("raise", "task", 1)
+
+
+class TestPlaceKernelProperties:
+    """Vectorized placement kernels agree with their scalar references."""
+
+    coords = st.floats(min_value=-1e4, max_value=1e4,
+                       allow_nan=False, allow_infinity=False)
+
+    @given(st.lists(st.tuples(coords, coords,
+                              st.integers(min_value=2, max_value=40)),
+                    min_size=1, max_size=32))
+    @settings(max_examples=40, deadline=None)
+    def test_b2b_weights_match_scalar(self, triples):
+        from repro.place.quadratic import QuadraticPlacer, b2b_weights
+        pa = np.array([t[0] for t in triples])
+        pb = np.array([t[1] for t in triples])
+        deg = np.array([t[2] for t in triples], dtype=np.int64)
+        vec = b2b_weights(pa, pb, deg)
+        for k, (a, b, d) in enumerate(triples):
+            assert vec[k] == QuadraticPlacer._b2b_weight(a, b, d)
+
+    @given(seed=st.integers(min_value=0, max_value=10**6),
+           n=st.integers(min_value=1, max_value=120),
+           with_hole=st.booleans())
+    @settings(max_examples=15, deadline=None)
+    def test_spread_conserves_cells_inside_outline(self, seed, n,
+                                                   with_hole):
+        from repro.place.grid import DensityGrid
+        from repro.place.spreading import spread
+        grid = DensityGrid(Rect(0, 0, 80, 80), target_bins=64,
+                           utilization=1.0)
+        if with_hole:
+            grid.add_obstruction(Rect(30, 30, 50, 50))
+        rng = np.random.default_rng(seed)
+        xs = rng.uniform(0, 80, n)
+        ys = rng.uniform(0, 80, n)
+        areas = rng.uniform(1.0, 5.0, n)
+        total = areas.sum()
+        sx, sy = spread(grid, xs, ys, areas, rng)
+        # every cell is still accounted for, inside the outline
+        assert len(sx) == len(sy) == n
+        assert areas.sum() == total
+        assert (sx >= 0).all() and (sx <= 80).all()
+        assert (sy >= 0).all() and (sy <= 80).all()
+
+    @given(seed=st.integers(min_value=0, max_value=10**6),
+           n=st.integers(min_value=1, max_value=150),
+           with_hole=st.booleans())
+    @settings(max_examples=15, deadline=None)
+    def test_legalize_random_mixes_overlap_free(self, seed, n,
+                                                with_hole):
+        from repro.netlist.core import Netlist
+        lib = make_28nm_library()
+        outline = Rect(0, 0, 300, 30 * CELL_HEIGHT_UM)
+        obstructions = ([Rect(80, 0, 140, 30 * CELL_HEIGHT_UM)]
+                        if with_hole else [])
+        rng = np.random.default_rng(seed)
+        nl = Netlist("prop")
+        masters = ["INV_X1", "INV_X2", "BUF_X4", "NAND2_X2", "DFF_X1"]
+        cells = [nl.add_instance(
+            f"c{i}", lib.master(str(rng.choice(masters))),
+            x=float(rng.uniform(0, 300)),
+            y=float(rng.uniform(0, 30 * CELL_HEIGHT_UM)))
+            for i in range(n)]
+        res = legalize_cells(cells, outline, obstructions)
+        assert res.failed == 0
+        assert check_overlaps(cells) == 0
+        for c in cells:
+            for o in obstructions:
+                assert not (o.x0 < c.x < o.x1 - c.width_um)
+
+    @given(seed=st.integers(min_value=0, max_value=10**6),
+           n=st.integers(min_value=2, max_value=80),
+           x_is_center=st.booleans())
+    @settings(max_examples=25, deadline=None)
+    def test_overlapping_pairs_matches_brute_force(self, seed, n,
+                                                   x_is_center):
+        from repro.place.grid import GEOM_TOL_UM
+        from repro.place.legalize import overlapping_pairs
+        lib = make_28nm_library()
+        rng = np.random.default_rng(seed)
+        nl = Netlist("pairs")
+        cells = [nl.add_instance(
+            f"c{i}", lib.master(str(rng.choice(
+                ["INV_X1", "BUF_X4", "NAND2_X2"]))),
+            x=float(rng.uniform(0, 40)),
+            y=float(rng.choice([0.6, 1.8, 3.0])))
+            for i in range(n)]
+
+        def span(c):
+            if x_is_center:
+                return c.x - c.width_um / 2, c.x + c.width_um / 2
+            return c.x, c.x + c.width_um
+
+        brute = set()
+        for i, a in enumerate(cells):
+            for b in cells[i + 1:]:
+                if round(a.y, 3) != round(b.y, 3):
+                    continue
+                a0, a1 = span(a)
+                b0, b1 = span(b)
+                if min(a1, b1) - max(a0, b0) > GEOM_TOL_UM:
+                    brute.add(tuple(sorted((a.id, b.id))))
+        swept = {tuple(sorted((a.id, b.id)))
+                 for a, b in overlapping_pairs(cells,
+                                               x_is_center=x_is_center)}
+        assert swept == brute
