@@ -8,7 +8,13 @@ Subcommands:
   whole experiment set, optionally fanned across worker processes with
   a persistent design cache, exporting the merged span/metrics trace;
 * ``chaos [--seed N] [--plan SPECS] [--parallel N]`` -- run the bench
-  under a deterministic fault plan and check it degrades cleanly;
+  under a deterministic fault plan and check it degrades cleanly
+  (``--serve`` chaos-tests the broker instead: a fault plan kills a
+  shard mid-sweep and the survivors must finish it);
+* ``serve [--port P] [--shards N] [--cache-dir D]`` -- run the
+  experiment broker (streaming sweep service; see docs/service.md);
+* ``submit [--ids ...] [--port P]`` -- send one sweep to a running
+  broker and stream its results back;
 * ``trace summarize <file>``    -- roll a trace file up per span name;
 * ``block <name> [options]``    -- design one T2 block (optionally folded);
 * ``chip <style> [options]``    -- build a full chip in one design style;
@@ -20,7 +26,11 @@ Subcommands:
 
 The data-producing subcommands share their flag vocabulary: ``--scale``,
 ``--seed``, ``--cache-dir``, ``--json-out`` and ``--trace-out`` mean the
-same thing wherever they appear.
+same thing wherever they appear -- and under the hood they share their
+*request surface* too: ``run``, ``bench``, ``chaos``, ``serve`` and
+``submit`` all build the frozen :class:`repro.service.schema.PointSpec`
+/ :class:`~repro.service.schema.SweepRequest` objects instead of
+threading ad-hoc flags into engine kwargs.
 """
 
 from __future__ import annotations
@@ -38,17 +48,19 @@ def _cmd_experiments(_args) -> int:
 
 
 def _cmd_run(args) -> int:
-    from .analysis.experiments import (ExperimentOptions,
-                                       UnknownExperimentError,
+    from .analysis.experiments import (UnknownExperimentError,
                                        run_experiment)
+    from .service.schema import PointSpec
     cache = None
     if args.cache_dir:
         from .core.cache import DesignCache
         cache = DesignCache(cache_dir=args.cache_dir)
+    point = PointSpec(experiment_id=args.id, scale=args.scale,
+                      seed=args.seed)
     t0 = time.time()
     try:
-        result = run_experiment(args.id, ExperimentOptions(
-            scale=args.scale, seed=args.seed, cache=cache))
+        result = run_experiment(point.experiment_id,
+                                point.to_options(cache=cache))
     except UnknownExperimentError as exc:
         print(f"{exc.args[0]}; see 'python -m repro experiments'",
               file=sys.stderr)
@@ -68,15 +80,16 @@ def _cmd_run(args) -> int:
 
 
 def _cmd_bench(args) -> int:
-    from .parallel.engine import run_experiments
+    from .parallel.engine import run_sweep
+    from .service.schema import SweepRequest
     ids = [i.strip() for i in args.ids.split(",") if i.strip()] \
         if args.ids else None
     try:
-        report = run_experiments(ids=ids, parallel=args.parallel,
-                                 scale=args.scale, seed=args.seed,
-                                 cache_dir=args.cache_dir,
-                                 timeout_s=args.timeout or None,
-                                 retries=args.retries)
+        request = SweepRequest.from_ids(
+            ids, scale=args.scale, seed=args.seed,
+            timeout_s=args.timeout or None, retries=args.retries)
+        report = run_sweep(request, parallel=args.parallel,
+                           cache_dir=args.cache_dir)
     except ValueError as exc:
         print(str(exc), file=sys.stderr)
         return 2
@@ -120,11 +133,14 @@ def _cmd_chaos(args) -> int:
     """Run the bench under an active fault plan and check that it
     degrades cleanly: the report always comes back, every injection is
     observable, and a ``--no-faults`` control run stays byte-identical
-    to a plain bench."""
+    to a plain bench.  With ``--serve`` the same idea targets the
+    service broker: the plan kills worker shards mid-sweep and the
+    surviving shards must still complete it."""
     import json
 
     from .faults import FaultPlan, FaultPlanError, installed
-    from .parallel.engine import run_experiments
+    from .parallel.engine import run_sweep
+    from .service.schema import SweepRequest
 
     ids = [i.strip() for i in args.ids.split(",") if i.strip()]
     if args.no_faults:
@@ -135,6 +151,11 @@ def _cmd_chaos(args) -> int:
         except FaultPlanError as exc:
             print(f"bad --plan: {exc}", file=sys.stderr)
             return 2
+    elif args.serve:
+        # the default broker chaos: assassinate the first shard the
+        # moment it claims work -- work-stealing must absorb it
+        plan = FaultPlan.parse("raise task=shard-0 stage=service.shard",
+                               seed=args.seed)
     else:
         plan = FaultPlan.seeded(args.seed, tasks=ids)
     if plan is not None:
@@ -142,15 +163,19 @@ def _cmd_chaos(args) -> int:
     else:
         print("fault plan: none (control run)")
 
+    if args.serve:
+        return _chaos_serve(args, plan)
+
     # install the resolved plan (or explicitly nothing) so the run is
     # deterministic even with a stray REPRO_FAULTS in the environment
     with installed(plan):
         try:
-            report = run_experiments(
-                ids=ids, parallel=args.parallel, scale=args.scale,
-                seed=args.seed, cache_dir=args.cache_dir,
-                timeout_s=args.timeout or None, retries=args.retries,
-                fault_plan=plan)
+            request = SweepRequest.from_ids(
+                ids, scale=args.scale, seed=args.seed,
+                timeout_s=args.timeout or None, retries=args.retries)
+            report = run_sweep(request, parallel=args.parallel,
+                               cache_dir=args.cache_dir,
+                               fault_plan=plan)
         except ValueError as exc:
             print(str(exc), file=sys.stderr)
             return 2
@@ -211,6 +236,141 @@ def _cmd_chaos(args) -> int:
         print(f"\nrecovered fully: {injected} fault(s) injected, "
               "every experiment produced a result")
     return 0
+
+
+def _chaos_serve(args, plan) -> int:
+    """Chaos-test the service broker: run a sweep through an
+    in-process broker while the fault plan kills shards, and require
+    the surviving shards to complete every point."""
+    import json
+
+    from .service.broker import ServiceConfig, serve_background
+    from .service.client import Client, ServiceError
+    from .service.schema import SweepRequest
+
+    ids = [i.strip() for i in args.ids.split(",") if i.strip()]
+    request = SweepRequest.from_ids(
+        ids, scale=args.scale, seed=args.seed,
+        timeout_s=args.timeout or None, retries=args.retries)
+    config = ServiceConfig(port=0, shards=args.shards,
+                           shard_mode="inline",
+                           cache_dir=args.cache_dir)
+    handle = serve_background(config, fault_plan=plan)
+    try:
+        with Client(port=handle.port) as client:
+            results = client.collect(request)
+            stats = client.stats()
+    except ServiceError as exc:
+        print(f"broker sweep failed: {exc}", file=sys.stderr)
+        return 1
+    finally:
+        handle.stop()
+
+    counters = stats["counters"]
+    deaths = int(counters.get("service.shard_deaths", 0))
+    alive = [s for s in stats["shards"] if s["alive"]]
+    completed = [r for r in results if r.status == "ok"]
+    print(f"\n{len(completed)}/{len(results)} points completed; "
+          f"{deaths} shard(s) killed, "
+          f"{len(alive)}/{len(stats['shards'])} still alive")
+    for name, value in sorted(counters.items()):
+        print(f"{name}: {value:.0f}")
+    if args.report_out:
+        chaos_report = {
+            "seed": args.seed,
+            "plan": plan.to_text() if plan is not None else None,
+            "shards": stats["shards"],
+            "shard_deaths": deaths,
+            "counters": counters,
+            "completed": len(completed) == len(results),
+            "runs": [{"id": r.point.experiment_id, "status": r.status,
+                      "source": r.source,
+                      **({"error": r.error} if r.error else {})}
+                     for r in results],
+        }
+        with open(args.report_out, "w") as f:
+            json.dump(chaos_report, f, sort_keys=True, indent=2)
+            f.write("\n")
+        print(f"wrote {args.report_out}")
+    if plan is not None and deaths == 0:
+        print("serve chaos run killed no shard: the plan never "
+              "matched (check task=shard-<i> stage=service.shard)",
+              file=sys.stderr)
+        return 1
+    if len(completed) != len(results):
+        failed = ", ".join(r.point.experiment_id for r in results
+                           if r.status != "ok")
+        print(f"sweep did not survive the shard kill: no result for "
+              f"{failed}", file=sys.stderr)
+        return 1
+    print("\nsweep survived: every point completed on the "
+          "surviving shards")
+    return 0
+
+
+def _cmd_serve(args) -> int:
+    from .service.broker import ServiceConfig, serve
+    config = ServiceConfig(host=args.host, port=args.port,
+                           socket_path=args.socket,
+                           shards=args.shards,
+                           cache_dir=args.cache_dir,
+                           shard_mode=args.shard_mode,
+                           timeout_s=args.timeout or None,
+                           retries=args.retries)
+    try:
+        serve(config)
+    except KeyboardInterrupt:
+        print("\ninterrupted", file=sys.stderr)
+    return 0
+
+
+def _cmd_submit(args) -> int:
+    import json
+
+    from .service.client import Client, ServiceError
+    from .service.schema import SweepRequest
+
+    ids = [i.strip() for i in args.ids.split(",") if i.strip()] \
+        if args.ids else None
+    request = SweepRequest.from_ids(
+        ids, scale=args.scale, seed=args.seed,
+        timeout_s=args.timeout or None, retries=args.retries)
+    collected = {}
+    try:
+        with Client(host=args.host, port=args.port,
+                    socket_path=args.socket) as client:
+            rid = client.submit(request)
+            print(f"request {rid} accepted "
+                  f"({len(request.points)} points)")
+            for index, result in client.stream(rid):
+                collected[index] = result
+                if result.status != "ok":
+                    mark = result.status.upper()
+                elif result.all_passed:
+                    mark = "PASS"
+                else:
+                    mark = "FAIL"
+                print(f"  [{len(collected)}/{len(request.points)}] "
+                      f"{result.point.experiment_id:8s} {mark:>7s} "
+                      f"{result.wall_s:7.2f}s ({result.source})")
+    except (ServiceError, OSError) as exc:
+        print(f"submit failed: {exc}", file=sys.stderr)
+        return 2
+    if args.json_out:
+        # same id-keyed shape as `bench --json-out`: byte-comparable
+        results = {r.point.experiment_id: r.result
+                   for r in collected.values() if r.status == "ok"}
+        with open(args.json_out, "w") as f:
+            f.write(json.dumps(results, sort_keys=True, indent=2)
+                    + "\n")
+        print(f"wrote {args.json_out}")
+    failed = [r for r in collected.values() if r.status != "ok"]
+    if failed:
+        names = ", ".join(r.point.experiment_id for r in failed)
+        print(f"sweep degraded: no result for {names}",
+              file=sys.stderr)
+        return 1
+    return 0 if all(r.all_passed for r in collected.values()) else 1
 
 
 def _cmd_trace(args) -> int:
@@ -490,7 +650,61 @@ def main(argv=None) -> int:
                               "injections, per-run status)")
     p_chaos.add_argument("--trace-out", default=None, metavar="FILE",
                          help="write the merged span/metrics trace")
+    p_chaos.add_argument("--serve", action="store_true",
+                         help="chaos-test the service broker instead: "
+                              "kill shards mid-sweep and require the "
+                              "survivors to finish it")
+    p_chaos.add_argument("--shards", type=int, default=2, metavar="N",
+                         help="broker shard count for --serve")
     p_chaos.set_defaults(func=_cmd_chaos)
+
+    p_serve = sub.add_parser(
+        "serve", help="run the experiment broker (streaming sweep "
+                      "service over newline-delimited JSON)")
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument("--port", type=int, default=7341,
+                         help="TCP port (0 = ephemeral)")
+    p_serve.add_argument("--socket", default=None, metavar="PATH",
+                         help="listen on a unix socket instead of TCP")
+    p_serve.add_argument("--shards", type=int, default=2, metavar="N",
+                         help="work-stealing worker shard count")
+    p_serve.add_argument("--cache-dir", default=None, metavar="DIR",
+                         help="shared persistent tier (design cache + "
+                              "result store)")
+    p_serve.add_argument("--shard-mode", default="process",
+                         choices=["process", "inline"],
+                         help="run points in supervised worker "
+                              "processes (default) or in-process")
+    p_serve.add_argument("--timeout", type=float, default=0.0,
+                         metavar="S",
+                         help="default per-point wall-clock budget "
+                              "(0 = unlimited)")
+    p_serve.add_argument("--retries", type=int, default=0,
+                         help="default extra attempts per point")
+    p_serve.set_defaults(func=_cmd_serve)
+
+    p_submit = sub.add_parser(
+        "submit", help="send one sweep to a running broker and "
+                       "stream the results back")
+    p_submit.add_argument("--host", default="127.0.0.1")
+    p_submit.add_argument("--port", type=int, default=7341)
+    p_submit.add_argument("--socket", default=None, metavar="PATH",
+                          help="connect over a unix socket")
+    p_submit.add_argument("--ids", default=None,
+                          help="comma-separated experiment ids "
+                               "(default: all)")
+    p_submit.add_argument("--scale", type=float, default=1.0)
+    p_submit.add_argument("--seed", type=int, default=1)
+    p_submit.add_argument("--timeout", type=float, default=0.0,
+                          metavar="S",
+                          help="per-point wall-clock budget "
+                               "(0 = server default)")
+    p_submit.add_argument("--retries", type=int, default=0,
+                          help="extra attempts per point")
+    p_submit.add_argument("--json-out", default=None, metavar="FILE",
+                          help="write id-keyed results JSON (same "
+                               "shape as bench --json-out)")
+    p_submit.set_defaults(func=_cmd_submit)
 
     p_trace = sub.add_parser(
         "trace", help="inspect a JSONL trace file")

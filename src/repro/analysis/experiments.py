@@ -18,8 +18,9 @@ options object and one entry point::
 :class:`ExperimentOptions` carries everything a runner may need --
 ``process``, ``scale``, ``seed``, ``cache``, ``trace`` -- so adding an
 option never touches eleven signatures again.  The pre-registry
-module-level runners (``run_table1`` ... ``run_dvt_claim``) survive as
-thin deprecated wrappers.
+module-level runners (``run_table1`` ... ``run_dvt_claim``) are gone:
+after a deprecation cycle they now raise :class:`LegacyRunnerError`
+naming the replacement call.
 
 Every run accepts an optional :class:`repro.core.cache.DesignCache`
 (block designs recur across experiments -- with a persistent
@@ -34,7 +35,6 @@ spans and timings never enter that JSON.
 from __future__ import annotations
 
 import json
-import warnings
 from dataclasses import dataclass, field, fields as dataclass_fields, is_dataclass
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
@@ -725,81 +725,89 @@ def run_experiment(experiment_id: str,
         return exp.fn(opts)
 
 
+class LegacyRunnerError(TypeError):
+    """A removed pre-registry runner was called.
+
+    The module-level ``run_*`` wrappers spent their deprecation cycle
+    emitting :class:`DeprecationWarning`; they now fail hard so stale
+    call sites surface instead of silently re-threading keyword soup.
+    The message names the one supported entry point.
+    """
+
+
 def _legacy(experiment_id: str, old_name: str, process, scale, cache,
             seed) -> ExperimentResult:
-    """Shared body of the deprecated module-level runners."""
-    warnings.warn(
-        f"{old_name}() is deprecated; use "
-        f"run_experiment({experiment_id!r}, ExperimentOptions(...))",
-        DeprecationWarning, stacklevel=3)
-    return run_experiment(experiment_id, ExperimentOptions(
-        process=process, scale=scale, seed=seed, cache=cache))
+    """Shared body of the removed module-level runners: hard error."""
+    raise LegacyRunnerError(
+        f"{old_name}() was removed; call run_experiment("
+        f"{experiment_id!r}, ExperimentOptions(process=..., scale=..., "
+        f"seed=..., cache=...)) instead")
 
 
 def run_table1(process: Optional[ProcessNode] = None, scale: float = 1.0,
                cache=None, seed: int = 1) -> ExperimentResult:
-    """Deprecated wrapper; use ``run_experiment("table1", ...)``."""
+    """Removed: raises :class:`LegacyRunnerError`; use ``run_experiment("table1", ...)``."""
     return _legacy("table1", "run_table1", process, scale, cache, seed)
 
 
 def run_table2(process: Optional[ProcessNode] = None, scale: float = 1.0,
                cache=None, seed: int = 1) -> ExperimentResult:
-    """Deprecated wrapper; use ``run_experiment("table2", ...)``."""
+    """Removed: raises :class:`LegacyRunnerError`; use ``run_experiment("table2", ...)``."""
     return _legacy("table2", "run_table2", process, scale, cache, seed)
 
 
 def run_table3(process: Optional[ProcessNode] = None, scale: float = 1.0,
                cache=None, seed: int = 1) -> ExperimentResult:
-    """Deprecated wrapper; use ``run_experiment("table3", ...)``."""
+    """Removed: raises :class:`LegacyRunnerError`; use ``run_experiment("table3", ...)``."""
     return _legacy("table3", "run_table3", process, scale, cache, seed)
 
 
 def run_table4(process: Optional[ProcessNode] = None, scale: float = 1.0,
                cache=None, seed: int = 1) -> ExperimentResult:
-    """Deprecated wrapper; use ``run_experiment("table4", ...)``."""
+    """Removed: raises :class:`LegacyRunnerError`; use ``run_experiment("table4", ...)``."""
     return _legacy("table4", "run_table4", process, scale, cache, seed)
 
 
 def run_table5(process: Optional[ProcessNode] = None, scale: float = 1.0,
                cache=None, seed: int = 1) -> ExperimentResult:
-    """Deprecated wrapper; use ``run_experiment("table5", ...)``."""
+    """Removed: raises :class:`LegacyRunnerError`; use ``run_experiment("table5", ...)``."""
     return _legacy("table5", "run_table5", process, scale, cache, seed)
 
 
 def run_fig2(process: Optional[ProcessNode] = None, scale: float = 1.0,
              cache=None, seed: int = 1) -> ExperimentResult:
-    """Deprecated wrapper; use ``run_experiment("fig2", ...)``."""
+    """Removed: raises :class:`LegacyRunnerError`; use ``run_experiment("fig2", ...)``."""
     return _legacy("fig2", "run_fig2", process, scale, cache, seed)
 
 
 def run_fig3(process: Optional[ProcessNode] = None, scale: float = 1.0,
              cache=None, seed: int = 1) -> ExperimentResult:
-    """Deprecated wrapper; use ``run_experiment("fig3", ...)``."""
+    """Removed: raises :class:`LegacyRunnerError`; use ``run_experiment("fig3", ...)``."""
     return _legacy("fig3", "run_fig3", process, scale, cache, seed)
 
 
 def run_fig6(process: Optional[ProcessNode] = None, scale: float = 1.0,
              cache=None, seed: int = 1) -> ExperimentResult:
-    """Deprecated wrapper; use ``run_experiment("fig6", ...)``."""
+    """Removed: raises :class:`LegacyRunnerError`; use ``run_experiment("fig6", ...)``."""
     return _legacy("fig6", "run_fig6", process, scale, cache, seed)
 
 
 def run_fig7(process: Optional[ProcessNode] = None, scale: float = 1.0,
              cache=None, seed: int = 1) -> ExperimentResult:
-    """Deprecated wrapper; use ``run_experiment("fig7", ...)``."""
+    """Removed: raises :class:`LegacyRunnerError`; use ``run_experiment("fig7", ...)``."""
     return _legacy("fig7", "run_fig7", process, scale, cache, seed)
 
 
 def run_fig8(process: Optional[ProcessNode] = None, scale: float = 1.0,
              cache=None, seed: int = 1) -> ExperimentResult:
-    """Deprecated wrapper; use ``run_experiment("fig8", ...)``."""
+    """Removed: raises :class:`LegacyRunnerError`; use ``run_experiment("fig8", ...)``."""
     return _legacy("fig8", "run_fig8", process, scale, cache, seed)
 
 
 def run_dvt_claim(process: Optional[ProcessNode] = None,
                   scale: float = 1.0, cache=None,
                   seed: int = 1) -> ExperimentResult:
-    """Deprecated wrapper; use ``run_experiment("dvt", ...)``."""
+    """Removed: raises :class:`LegacyRunnerError`; use ``run_experiment("dvt", ...)``."""
     return _legacy("dvt", "run_dvt_claim", process, scale, cache, seed)
 
 

@@ -33,6 +33,9 @@ SPAN_OPT_TIMING_STAGE = "opt.timing_stage"
 SPAN_PLACE_BISTRATAL = "place.bistratal"
 SPAN_PLACE_GLOBAL = "place.global"
 SPAN_PLACE_LEGALIZE = "place.legalize"
+SPAN_SERVICE_POINT = "service.point"
+SPAN_SERVICE_REQUEST = "service.request"
+SPAN_SERVICE_SHARD_DEATH = "service.shard_death"
 SPAN_TASK_CRASH = "task.crash"
 SPAN_TASK_GAVE_UP = "task.gave_up"
 SPAN_TASK_RETRY = "task.retry"
@@ -59,6 +62,9 @@ SPAN_NAMES = (
     SPAN_PLACE_BISTRATAL,
     SPAN_PLACE_GLOBAL,
     SPAN_PLACE_LEGALIZE,
+    SPAN_SERVICE_POINT,
+    SPAN_SERVICE_REQUEST,
+    SPAN_SERVICE_SHARD_DEATH,
     SPAN_TASK_CRASH,
     SPAN_TASK_GAVE_UP,
     SPAN_TASK_RETRY,
@@ -89,6 +95,17 @@ CTR_PLACE_QP_SOLVES = "place.qp_solves"
 CTR_PLACE_SPREAD_CALLS = "place.spread_calls"
 CTR_ROUTE_NETS_REEXTRACTED = "route.nets_reextracted"
 CTR_ROUTE_NETS_REROUTED = "route.nets_rerouted"
+CTR_SERVICE_CANCELLED = "service.cancelled"
+CTR_SERVICE_COALESCED = "service.coalesced"
+CTR_SERVICE_COMPUTED = "service.computed"
+CTR_SERVICE_DISCONNECTS = "service.disconnects"
+CTR_SERVICE_DROPPED = "service.dropped"
+CTR_SERVICE_FAILED = "service.failed"
+CTR_SERVICE_POINTS = "service.points"
+CTR_SERVICE_REQUESTS = "service.requests"
+CTR_SERVICE_RESULT_HITS = "service.result_hits"
+CTR_SERVICE_SHARD_DEATHS = "service.shard_deaths"
+CTR_SERVICE_STEALS = "service.steals"
 CTR_STA_FULL_REBUILDS = "sta.full_rebuilds"
 CTR_STA_INCREMENTAL_NODES = "sta.incremental_nodes"
 CTR_TASKS_CRASHED = "tasks.crashed"
@@ -120,6 +137,17 @@ CTR_NAMES = (
     CTR_PLACE_SPREAD_CALLS,
     CTR_ROUTE_NETS_REEXTRACTED,
     CTR_ROUTE_NETS_REROUTED,
+    CTR_SERVICE_CANCELLED,
+    CTR_SERVICE_COALESCED,
+    CTR_SERVICE_COMPUTED,
+    CTR_SERVICE_DISCONNECTS,
+    CTR_SERVICE_DROPPED,
+    CTR_SERVICE_FAILED,
+    CTR_SERVICE_POINTS,
+    CTR_SERVICE_REQUESTS,
+    CTR_SERVICE_RESULT_HITS,
+    CTR_SERVICE_SHARD_DEATHS,
+    CTR_SERVICE_STEALS,
     CTR_STA_FULL_REBUILDS,
     CTR_STA_INCREMENTAL_NODES,
     CTR_TASKS_CRASHED,

@@ -1,7 +1,11 @@
 """Parallel experiment execution and design-space fan-out."""
 
 from .engine import (BenchReport, EngineError, ExperimentRun,
-                     ResilienceConfig, explore_points, run_experiments)
+                     ResilienceConfig, explore_points, run_experiments,
+                     run_serial_experiment, run_supervised_experiment,
+                     run_sweep)
 
 __all__ = ["BenchReport", "EngineError", "ExperimentRun",
-           "ResilienceConfig", "explore_points", "run_experiments"]
+           "ResilienceConfig", "explore_points", "run_experiments",
+           "run_serial_experiment", "run_supervised_experiment",
+           "run_sweep"]

@@ -55,6 +55,7 @@ import multiprocessing
 import os
 import random
 import time
+from collections import Counter
 from contextlib import ExitStack
 from dataclasses import dataclass, field
 from multiprocessing import connection as mp_connection
@@ -68,6 +69,7 @@ from ..faults import inject as faults
 from ..faults.plan import FaultPlan
 from ..obs import export, trace
 from ..obs.metrics import metrics
+from ..service.schema import PointSpec, SweepRequest
 from ..tech.process import make_process
 
 #: worker-local state built once per worker process
@@ -639,16 +641,57 @@ def run_experiments(ids: Optional[Iterable[str]] = None,
         across serial and parallel runs of the same request.  Tasks
         that exhaust their attempts degrade into ``status``-marked
         runs instead of raising -- the report always comes back.
+
+    Raises:
+        ValueError: on unknown experiment ids, or on the same id
+            submitted twice in one batch (the report keys results by
+            id, so duplicates used to silently overwrite each other).
     """
-    ids = list(ids) if ids is not None else list(EXPERIMENTS)
-    unknown = [i for i in ids if i not in EXPERIMENTS]
-    if unknown:
-        raise ValueError(f"unknown experiment ids: {', '.join(unknown)}; "
-                         f"known: {', '.join(EXPERIMENTS)}")
+    request = SweepRequest.from_ids(ids, scale=scale, seed=seed,
+                                    timeout_s=timeout_s, retries=retries)
+    return run_sweep(request, parallel=parallel, cache_dir=cache_dir,
+                     process=process, mp_context=mp_context,
+                     resilience=resilience, fault_plan=fault_plan)
+
+
+def run_sweep(request: SweepRequest,
+              parallel: int = 0,
+              cache_dir: Optional[str] = None,
+              process=None,
+              mp_context: str = "spawn",
+              resilience: Optional[ResilienceConfig] = None,
+              fault_plan: Optional[FaultPlan] = None) -> BenchReport:
+    """Run one :class:`~repro.service.schema.SweepRequest`.
+
+    The schema-first twin of :func:`run_experiments` -- the CLI, the
+    service broker and library callers all build a frozen
+    :class:`SweepRequest` and hand it here, instead of re-threading
+    flag soup into engine kwargs.  The request's ``timeout_s`` /
+    ``retries`` seed the :class:`ResilienceConfig` unless an explicit
+    ``resilience`` overrides them.
+
+    Raises:
+        ValueError: when the request is empty, names unknown ids,
+            repeats a point, or repeats an experiment id (the report's
+            ``results_dict()`` is id-keyed; overlapping sweeps belong
+            on the service broker, which coalesces by content hash).
+    """
+    request.validate(known=EXPERIMENTS)
+    dupes = sorted(eid for eid, n
+                   in Counter(request.experiment_ids()).items() if n > 1)
+    if dupes:
+        raise ValueError(
+            f"duplicate experiment ids in one batch: "
+            f"{', '.join(dupes)}; results are keyed by id -- submit "
+            f"each id once (concurrent identical sweeps coalesce on "
+            f"the service broker instead)")
     res = resilience if resilience is not None else \
-        ResilienceConfig(timeout_s=timeout_s, retries=retries)
+        ResilienceConfig(timeout_s=request.timeout_s,
+                         retries=request.retries)
     plan = fault_plan if fault_plan is not None else faults.active_plan()
-    tasks = [(eid, scale, seed) for eid in ids]
+    tasks = [(p.experiment_id, p.scale, p.seed) for p in request.points]
+    ids = request.experiment_ids()
+    scale, seed = request.points[0].scale, request.points[0].seed
     tracer = trace.get_tracer()
     n_spans = len(tracer.spans)
     metrics_before = metrics().snapshot()
@@ -767,6 +810,63 @@ def _run_serial_task(eid: str, scale: float, sd: int, proc, cache,
 
 
 # ---------------------------------------------------------------------------
+# Single-point entry points (the service broker's shard bodies)
+# ---------------------------------------------------------------------------
+
+def run_serial_experiment(point: PointSpec, process=None, cache=None,
+                          resilience: Optional[ResilienceConfig] = None
+                          ) -> ExperimentRun:
+    """Run one sweep point in-process, with the retry/backoff loop.
+
+    The cooperative twin of :func:`run_supervised_experiment`: no
+    worker process is spawned, so timeouts only preempt injected
+    hangs, but a caller-owned ``process``/``cache`` pair amortizes
+    across calls -- this is the broker's fast inline-shard body and is
+    also handy for tests.  Never raises for task-level failures; the
+    returned :class:`ExperimentRun` carries ``status`` / ``error``.
+    """
+    res = resilience if resilience is not None else ResilienceConfig()
+    proc = process if process is not None else make_process()
+    if cache is None:
+        cache = DesignCache()
+    return _run_serial_task(point.experiment_id, point.scale,
+                            point.seed, proc, cache, res, point.seed)
+
+
+def run_supervised_experiment(point: PointSpec,
+                              cache_dir: Optional[str] = None,
+                              resilience: Optional[ResilienceConfig]
+                              = None,
+                              mp_context: str = "spawn",
+                              fault_plan: Optional[FaultPlan] = None
+                              ) -> ExperimentRun:
+    """Run one sweep point under the full worker supervisor.
+
+    The point gets its own spawned worker process with hard-kill
+    timeouts, crash detection and retry-with-replacement -- exactly
+    one task through :func:`_supervise`.  This is the broker's
+    ``process`` shard body: a shard survives anything the point does,
+    including a worker segfault.
+    """
+    res = resilience if resilience is not None else ResilienceConfig()
+    plan = fault_plan if fault_plan is not None else faults.active_plan()
+    task = (point.experiment_id, point.scale, point.seed)
+    outcomes = _supervise("experiment", [task], 1, cache_dir, res,
+                          point.seed, mp_context, plan)
+    o = outcomes[0]
+    for p in o.payloads:
+        metrics().merge_snapshot(p["metrics"])
+    if o.status == "ok":
+        run = o.value
+        run.attempts = o.attempts
+        return run
+    return ExperimentRun(experiment_id=point.experiment_id,
+                         wall_s=o.wall_s, all_passed=False, result={},
+                         status=o.status, attempts=o.attempts,
+                         error=o.error)
+
+
+# ---------------------------------------------------------------------------
 # Design-space exploration fan-out
 # ---------------------------------------------------------------------------
 
@@ -789,11 +889,26 @@ def explore_points(grid: Sequence[Tuple[str, bool]],
     :func:`run_experiments`; a point that exhausts its attempts raises
     :class:`EngineError` unless ``allow_partial`` is set, in which
     case its slot holds ``None``.
+
+    Duplicate grid entries coalesce: the same ``(style, dual_vth)``
+    listed twice is computed once and its result fills every matching
+    slot (results are deterministic per task triple, so replication is
+    exact -- and never silently overwrites a differing value).
     """
     res = resilience if resilience is not None else \
         ResilienceConfig(timeout_s=timeout_s, retries=retries)
     plan = fault_plan if fault_plan is not None else faults.active_plan()
-    tasks = [(style, dual_vth, scale, seed) for style, dual_vth in grid]
+    all_tasks = [(style, dual_vth, scale, seed)
+                 for style, dual_vth in grid]
+    # coalesce duplicate grid points: compute each unique task once
+    first_slot: Dict[Tuple, int] = {}
+    tasks: List[Tuple] = []
+    slot_of: List[int] = []
+    for task in all_tasks:
+        if task not in first_slot:
+            first_slot[task] = len(tasks)
+            tasks.append(task)
+        slot_of.append(first_slot[task])
     outcomes = _supervise("point", tasks, max(parallel, 1), cache_dir,
                           res, seed, mp_context, plan)
     # fold worker metric deltas in, so parallel exploration counts work
@@ -809,4 +924,4 @@ def explore_points(grid: Sequence[Tuple[str, bool]],
             for i, o in failures)
         raise EngineError(f"{len(failures)} of {len(tasks)} grid "
                           f"points failed: {detail}")
-    return [outcomes[i].value for i in range(len(tasks))]
+    return [outcomes[slot_of[i]].value for i in range(len(all_tasks))]

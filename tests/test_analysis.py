@@ -2,8 +2,8 @@
 
 import pytest
 
-from repro.analysis.experiments import (EXPERIMENTS, run_experiment,
-                                        run_table1)
+from repro.analysis.experiments import (EXPERIMENTS, ExperimentOptions,
+                                        run_experiment)
 from repro.analysis.report import (MetricRow, design_metric_rows,
                                    format_table, relative)
 
@@ -67,6 +67,7 @@ class TestRegistry:
         assert "PASS" in res.summary()
 
     def test_table4_passes(self, process):
-        res = run_table1(process=process)
+        res = run_experiment("table1",
+                             ExperimentOptions(process=process))
         assert res.experiment_id == "table1"
         assert all(c.measured for c in res.checks)

@@ -9,7 +9,8 @@ PACKAGES = [
     "repro", "repro.tech", "repro.netlist", "repro.designgen",
     "repro.floorplan", "repro.place", "repro.route", "repro.timing",
     "repro.power", "repro.opt", "repro.cts", "repro.core",
-    "repro.thermal", "repro.analysis", "repro.obs",
+    "repro.thermal", "repro.analysis", "repro.obs", "repro.parallel",
+    "repro.service",
 ]
 
 
@@ -47,3 +48,36 @@ def test_top_level_lazy_exports():
     assert callable(repro.run_experiment)
     with pytest.raises(AttributeError):
         repro.definitely_not_a_symbol
+
+
+def test_service_surface_is_pinned():
+    """The service package's public request surface: the frozen wire
+    schema plus broker/client entry points, loaded lazily."""
+    import repro.service as service
+
+    expected = {
+        "SCHEMA_VERSION", "PointSpec", "PointResult", "SchemaError",
+        "SweepRequest", "decode_line", "encode_line",
+        "Broker", "BrokerHandle", "ServiceConfig", "serve",
+        "serve_background", "Client", "ServiceError",
+    }
+    assert set(service.__all__) == expected
+    for name in expected:
+        assert getattr(service, name, None) is not None, name
+
+
+def test_service_import_is_lazy():
+    """Importing ``repro.service`` must not drag in the broker or
+    client (checked in a fresh interpreter -- this process has long
+    since imported them)."""
+    import subprocess
+    import sys
+
+    code = ("import sys; import repro.service; "
+            "assert 'repro.service.broker' not in sys.modules; "
+            "assert 'repro.service.client' not in sys.modules; "
+            "print('lazy ok')")
+    out = subprocess.run([sys.executable, "-c", code],
+                         capture_output=True, text=True)
+    assert out.returncode == 0, out.stderr
+    assert "lazy ok" in out.stdout

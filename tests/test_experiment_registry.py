@@ -4,6 +4,7 @@ import pytest
 
 from repro.analysis.experiments import (EXPERIMENTS, REGISTRY,
                                         Experiment, ExperimentOptions,
+                                        LegacyRunnerError,
                                         UnknownExperimentError,
                                         experiment, run_experiment,
                                         run_table1)
@@ -84,16 +85,18 @@ class TestDispatch:
 
 
 class TestLegacyWrappers:
-    def test_wrapper_warns_and_matches_new_api(self, process):
-        with pytest.warns(DeprecationWarning, match="run_table1"):
-            old = run_table1(process=process)
-        new = run_experiment("table1", ExperimentOptions(process=process))
-        assert old.table == new.table
-        assert [c.name for c in old.checks] == \
-            [c.name for c in new.checks]
+    def test_wrapper_raises_pointing_at_new_api(self, process):
+        with pytest.raises(LegacyRunnerError) as exc:
+            run_table1(process=process)
+        assert "run_experiment('table1'" in str(exc.value)
+        assert "ExperimentOptions" in str(exc.value)
 
-    def test_experiments_dict_runners_warn(self, process):
-        runner, _ = EXPERIMENTS["table1"]
-        with pytest.warns(DeprecationWarning):
-            res = runner(process=process)
-        assert res.experiment_id == "table1"
+    def test_wrapper_error_is_a_typeerror(self):
+        with pytest.raises(TypeError):
+            run_table1()
+
+    def test_experiments_dict_runners_raise(self, process):
+        for eid, (runner, _) in EXPERIMENTS.items():
+            with pytest.raises(LegacyRunnerError) as exc:
+                runner(process=process)
+            assert f"run_experiment({eid!r}" in str(exc.value)

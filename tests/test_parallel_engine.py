@@ -6,12 +6,44 @@ import pytest
 
 from repro.analysis.experiments import EXPERIMENTS
 from repro.core.explore import explore_design_space
-from repro.parallel.engine import run_experiments
+from repro.parallel.engine import (explore_points, run_experiments,
+                                   run_serial_experiment, run_sweep)
+from repro.service.schema import PointSpec, SweepRequest
 
 
 def test_unknown_id_raises():
     with pytest.raises(ValueError, match="unknown experiment ids"):
         run_experiments(ids=["table1", "nope"], scale=0.5)
+
+
+def test_duplicate_ids_rejected():
+    """The same id twice in one batch is an error, never a silent
+    overwrite of the id-keyed report."""
+    with pytest.raises(ValueError, match="duplicate"):
+        run_experiments(ids=["table1", "table1"], scale=0.5)
+
+
+def test_run_sweep_rejects_repeated_id_even_across_seeds():
+    req = SweepRequest(points=(PointSpec("table1", 0.5, 1),
+                               PointSpec("table1", 0.5, 2)))
+    with pytest.raises(ValueError, match="duplicate experiment ids"):
+        run_sweep(req)
+
+
+def test_run_sweep_accepts_a_custom_request(process):
+    req = SweepRequest(points=(PointSpec("table1", 0.5, 1),))
+    report = run_sweep(req, process=process)
+    assert [r.experiment_id for r in report.runs] == ["table1"]
+    assert report.scale == 0.5
+
+
+def test_run_serial_experiment_single_point(process):
+    run = run_serial_experiment(PointSpec("table1", 0.5, 1),
+                                process=process)
+    assert run.status == "ok"
+    assert run.experiment_id == "table1"
+    assert run.result["experiment_id"] == "table1"
+    assert run.attempts == 1
 
 
 def test_default_ids_cover_registry():
@@ -101,3 +133,14 @@ def test_explore_parallel_matches_serial(process, tmp_path):
                                parallel=2, cache_dir=tmp_path)
     assert par.points == serial.points
     assert par.pareto == serial.pareto
+
+
+@pytest.mark.slow
+def test_explore_duplicate_grid_points_coalesce(tmp_path):
+    """A repeated (style, dual_vth) entry is computed once and fills
+    every matching slot -- not recomputed, not overwritten."""
+    grid = [("2d", False), ("2d", False)]
+    points = explore_points(grid, scale=0.35, parallel=2,
+                            cache_dir=tmp_path)
+    assert len(points) == 2
+    assert points[0] is points[1]  # one execution, replicated
