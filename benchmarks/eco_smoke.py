@@ -1,0 +1,167 @@
+"""ECO scenario-derivation smoke check (CI gate).
+
+Runs the flow once on a base l2t scenario, then obtains the
+neighboring fig8-style scenario (I/O budget 60 -> 90 ps, +dual-Vth)
+two ways: deriving it with the incremental ECO engine
+(:func:`repro.eco.derive_design`) and restarting the full flow from
+scratch.  The gate asserts the derivation is at least ``--min-speedup``
+times faster than the restart, reuses at least ``--min-reuse`` of the
+base scenario's routing work with zero from-scratch STA builds, and --
+the parity anchor -- is byte-equal to the same derivation with every
+incremental path disabled (``EcoConfig(full_recompute=True)``).
+
+Thresholds default to the committed baseline
+``benchmarks/results/BENCH_eco_baseline.json``; CI re-measures all
+paths live, so the gate tracks the actual machine rather than a stale
+baseline.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/eco_smoke.py \
+        --out eco_smoke_timing.json
+"""
+
+import argparse
+import json
+import os
+import sys
+import time
+from dataclasses import replace
+
+from repro.analysis.export_json import block_to_dict
+from repro.core.flow import FlowConfig, run_block_flow
+from repro.eco import EcoConfig, derive_design
+from repro.obs.metrics import metrics
+from repro.obs.names import (CTR_ECO_DERIVED_DESIGNS,
+                             CTR_ECO_MOVES_APPLIED,
+                             CTR_ROUTE_NETS_REROUTED)
+from repro.tech import make_process
+
+BASELINE = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                        "results", "BENCH_eco_baseline.json")
+
+
+def read_threshold(path: str, key: str) -> float:
+    """The committed gate threshold (hard error when unreadable)."""
+    with open(path) as f:
+        return float(json.load(f)[key])
+
+
+def time_paths(process, config, neighbor, repeats: int) -> dict:
+    """Best-of-N wall clocks for derive / restart / full-recompute."""
+    base = run_block_flow("l2t", config, process)
+    # warm-up: the first derivation pays lazy imports and cold caches
+    derive_design(base, replace(neighbor, eco=EcoConfig()), process)
+    walls = {"derive": float("inf"), "restart": float("inf"),
+             "derive_full_recompute": float("inf")}
+    derived = restarted = full = None
+    rep_inc = rep_full = None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        derived, rep_inc = derive_design(
+            base, replace(neighbor, eco=EcoConfig()), process)
+        walls["derive"] = min(walls["derive"],
+                              time.perf_counter() - t0)
+        t0 = time.perf_counter()
+        restarted = run_block_flow(
+            "l2t", replace(neighbor, eco=None), process)
+        walls["restart"] = min(walls["restart"],
+                               time.perf_counter() - t0)
+        t0 = time.perf_counter()
+        full, rep_full = derive_design(
+            base, replace(neighbor,
+                          eco=EcoConfig(full_recompute=True)), process)
+        walls["derive_full_recompute"] = min(
+            walls["derive_full_recompute"], time.perf_counter() - t0)
+    return {"walls": walls, "base": base, "derived": derived,
+            "restarted": restarted, "full": full,
+            "rep_inc": rep_inc, "rep_full": rep_full}
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--out", default=None, metavar="FILE",
+                    help="write timing JSON here")
+    ap.add_argument("--baseline", default=BASELINE, metavar="FILE",
+                    help="committed baseline holding the gate "
+                         "thresholds")
+    ap.add_argument("--min-speedup", type=float, default=None,
+                    help="override the baseline's min_speedup")
+    ap.add_argument("--min-reuse", type=float, default=None,
+                    help="override the baseline's min_reuse")
+    ap.add_argument("--scale", type=float, default=1.0)
+    ap.add_argument("--repeats", type=int, default=5)
+    args = ap.parse_args(argv)
+    min_speedup = (args.min_speedup if args.min_speedup is not None
+                   else read_threshold(args.baseline, "min_speedup"))
+    min_reuse = (args.min_reuse if args.min_reuse is not None
+                 else read_threshold(args.baseline, "min_reuse"))
+
+    process = make_process()
+    config = FlowConfig(scale=args.scale, seed=1, io_budget_ps=60.0)
+    neighbor = replace(config, io_budget_ps=90.0, dual_vth=True)
+    run = time_paths(process, config, neighbor, args.repeats)
+    walls = run["walls"]
+    speedup = walls["restart"] / walls["derive"]
+
+    stats_inc = run["rep_inc"].session_stats
+    stats_full = run["rep_full"].session_stats
+    inc_rr = stats_inc.get("nets_rerouted", 0)
+    full_rr = stats_full.get("nets_rerouted", 0)
+    reuse = 1.0 - inc_rr / full_rr if full_rr else 1.0
+    parity = (
+        json.dumps(block_to_dict(run["derived"]), sort_keys=True) ==
+        json.dumps(block_to_dict(run["full"]), sort_keys=True))
+
+    snap = metrics().snapshot()
+    counters = {k: v for k, v in sorted(snap.get("counters", {}).items())
+                if k.startswith(("eco.", "route.", "sta."))}
+    # the registry constants CI asserts on must be present in the report
+    for gate in (CTR_ECO_DERIVED_DESIGNS, CTR_ECO_MOVES_APPLIED,
+                 CTR_ROUTE_NETS_REROUTED):
+        counters.setdefault(gate, 0.0)
+    report = {"block": "l2t", "scale": args.scale, "seed": 1,
+              "scenario": "io_budget 60->90 ps, +dual_vth",
+              "wall_s": {k: round(v, 6) for k, v in walls.items()},
+              "speedup": round(speedup, 2),
+              "min_speedup": min_speedup,
+              "route_reuse": round(reuse, 4),
+              "min_reuse": min_reuse,
+              "parity": parity,
+              "session_stats": {"incremental": stats_inc,
+                                "full_recompute": stats_full},
+              "counters": counters}
+    print(f"derive {walls['derive'] * 1e3:.1f}ms vs restart "
+          f"{walls['restart'] * 1e3:.1f}ms -> {speedup:.2f}x "
+          f"(floor {min_speedup:.1f}x)")
+    print(f"route reuse {reuse:.1%} ({inc_rr} vs {full_rr} nets "
+          f"rerouted, floor {min_reuse:.0%}), "
+          f"{stats_inc.get('sta_full_rebuilds', 0)} full STA rebuilds")
+    for k, v in counters.items():
+        print(f"  {k} = {v:.0f}")
+    if args.out:
+        with open(args.out, "w") as f:
+            json.dump(report, f, indent=2, sort_keys=True)
+            f.write("\n")
+        print(f"wrote {args.out}")
+    if not parity:
+        print("FAIL: incremental derivation and full recompute differ",
+              file=sys.stderr)
+        return 1
+    if stats_inc.get("sta_full_rebuilds", 0) != 0:
+        print("FAIL: incremental derivation rebuilt STA from scratch",
+              file=sys.stderr)
+        return 1
+    if reuse < min_reuse:
+        print(f"FAIL: route reuse {reuse:.1%} below floor "
+              f"{min_reuse:.0%}", file=sys.stderr)
+        return 1
+    if speedup < min_speedup:
+        print(f"FAIL: speedup {speedup:.2f}x below floor "
+              f"{min_speedup:.1f}x", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -7,14 +7,20 @@ incremental loop is at least ``--min-speedup`` times faster, and writes
 a timing JSON (wall clocks, speedup, reuse counters) for the CI
 artifact trail.
 
+The speedup floor defaults to the ``min_speedup`` recorded in the
+committed baseline ``benchmarks/results/BENCH_opt_baseline.json`` --
+regenerating the baseline (``--out`` to that path) refreshes the gate
+without editing this script or the CI workflow.
+
 Usage::
 
     PYTHONPATH=src python benchmarks/opt_smoke.py \
-        --out opt_smoke_timing.json --min-speedup 2.0
+        --out opt_smoke_timing.json
 """
 
 import argparse
 import json
+import os
 import sys
 import time
 
@@ -28,6 +34,15 @@ from repro.place import PlacementConfig, place_block_2d
 from repro.route import route_block
 from repro.tech import make_process
 from repro.timing import TimingConfig
+
+BASELINE = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                        "results", "BENCH_opt_baseline.json")
+
+
+def read_threshold(path: str, key: str) -> float:
+    """The committed gate threshold (hard error when unreadable)."""
+    with open(path) as f:
+        return float(json.load(f)[key])
 
 
 def time_mode(process, full_recompute: bool, repeats: int) -> dict:
@@ -57,9 +72,15 @@ def main(argv=None) -> int:
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("--out", default=None, metavar="FILE",
                     help="write timing JSON here")
-    ap.add_argument("--min-speedup", type=float, default=2.0)
+    ap.add_argument("--baseline", default=BASELINE, metavar="FILE",
+                    help="committed baseline holding the gate "
+                         "threshold")
+    ap.add_argument("--min-speedup", type=float, default=None,
+                    help="override the baseline's min_speedup")
     ap.add_argument("--repeats", type=int, default=3)
     args = ap.parse_args(argv)
+    if args.min_speedup is None:
+        args.min_speedup = read_threshold(args.baseline, "min_speedup")
 
     process = make_process()
     inc = time_mode(process, full_recompute=False, repeats=args.repeats)

@@ -414,6 +414,50 @@ def _cmd_block(args) -> int:
     return 0
 
 
+def _cmd_eco(args) -> int:
+    from .analysis.report import design_metric_rows, format_table
+    from .core import FlowConfig, FoldSpec, run_block_flow
+    from .eco import EcoConfig
+    from .eco.driver import derive_design
+    from .tech import make_process
+    fold = FoldSpec(mode=args.fold_mode) if args.fold else None
+    eco = EcoConfig(target_wns_ps=args.target_wns,
+                    max_rounds=args.max_rounds,
+                    full_recompute=args.full_recompute)
+    process = make_process()
+    base_cfg = FlowConfig(scale=args.scale, seed=args.seed, fold=fold,
+                          bonding=args.bonding,
+                          io_budget_ps=args.io_budget)
+    base = run_block_flow(args.name, base_cfg, process)
+    if args.derive_io_budget is None and not args.derive_dual_vth:
+        # close timing on the base scenario itself
+        from dataclasses import replace
+        cfg = replace(base_cfg, eco=eco)
+        design = run_block_flow(args.name, cfg, process)
+        report = design.eco_report
+    else:
+        from dataclasses import replace
+        neighbor = replace(
+            base_cfg,
+            io_budget_ps=(args.derive_io_budget
+                          if args.derive_io_budget is not None
+                          else args.io_budget),
+            dual_vth=args.derive_dual_vth, eco=eco)
+        design, report = derive_design(base, neighbor, process)
+    print(format_table(f"eco {args.name}", ["base", "after ECO"],
+                       design_metric_rows([base, design])))
+    print(f"\nclosure: {report.status} after {len(report.rounds)} "
+          f"round(s), {report.moves_applied} move(s) applied")
+    print(f"worst slack: {report.wns_ps:+.1f} ps "
+          f"(target {report.target_wns_ps:+.1f} ps)")
+    stats = report.session_stats
+    if stats:
+        print(f"reuse: {stats.get('nets_rerouted', 0)} nets rerouted, "
+              f"{stats.get('sta_full_rebuilds', 0)} full STA rebuilds, "
+              f"{stats.get('full_reroutes', 0)} full reroutes")
+    return 0 if report.status == "met" or args.best_effort else 1
+
+
 def _cmd_report(args) -> int:
     from .analysis.report_card import chip_report_card
     from .core.fullchip import ChipConfig, build_chip
@@ -734,6 +778,33 @@ def main(argv=None) -> int:
     p_chip.add_argument("--dual-vth", action="store_true")
     p_chip.add_argument("--scale", type=float, default=1.0)
     p_chip.set_defaults(func=_cmd_chip)
+
+    p_eco = sub.add_parser(
+        "eco", help="close timing / derive a neighboring scenario "
+        "with the incremental ECO engine")
+    p_eco.add_argument("name", help="T2 block type (e.g. l2t)")
+    p_eco.add_argument("--fold", action="store_true")
+    p_eco.add_argument("--fold-mode", default="mincut")
+    p_eco.add_argument("--bonding", default="F2B",
+                       choices=["F2B", "F2F"])
+    p_eco.add_argument("--scale", type=float, default=1.0)
+    p_eco.add_argument("--seed", type=int, default=1)
+    p_eco.add_argument("--io-budget", type=float, default=0.0,
+                       help="base scenario I/O budget (ps)")
+    p_eco.add_argument("--derive-io-budget", type=float, default=None,
+                       help="derive a neighboring scenario with this "
+                       "I/O budget instead of closing the base")
+    p_eco.add_argument("--derive-dual-vth", action="store_true",
+                       help="derive with the dual-Vth power stage")
+    p_eco.add_argument("--target-wns", type=float, default=0.0,
+                       help="slack target in ps (default 0)")
+    p_eco.add_argument("--max-rounds", type=int, default=4)
+    p_eco.add_argument("--full-recompute", action="store_true",
+                       help="disable every incremental path (parity "
+                       "baseline)")
+    p_eco.add_argument("--best-effort", action="store_true",
+                       help="exit 0 even when the target is not met")
+    p_eco.set_defaults(func=_cmd_eco)
 
     p_so = sub.add_parser(
         "signoff", help="run the chip-level timing sign-off loop")

@@ -24,6 +24,8 @@ from typing import Dict, Optional, Tuple
 from ..cts.tree import CTSResult
 from ..designgen.generate import GeneratedBlock, generate_block
 from ..designgen.t2 import BlockType, block_type_by_name
+from ..eco.driver import EcoClosureReport, EcoConfig, close_timing
+from ..eco.session import EcoSession
 from ..faults.inject import fault_point
 from ..netlist.core import Netlist
 from ..obs import trace
@@ -33,7 +35,7 @@ from ..place.grid import Rect
 from ..place.placer2d import PlacementConfig, place_block_2d
 from ..place.placer3d import Fold3DResult, fold_place_3d
 from ..power.analysis import PowerReport, analyze_power
-from ..route.estimate import RoutingResult, route_block
+from ..route.estimate import RouteContext, RoutingResult
 from ..route.route3d import place_f2f_vias
 from ..tech.process import ProcessNode
 from ..timing.sta import STAResult, TimingConfig
@@ -81,6 +83,10 @@ class FlowConfig:
     #: movable cells analytically with the coupled-planes z solve
     #: before placement (see docs/placement.md)
     place_mode: str = "fold"
+    #: run the incremental timing-closure ECO loop after optimization
+    #: (estimator routing only -- incompatible with ``detailed_route``;
+    #: see docs/eco.md)
+    eco: Optional[EcoConfig] = None
 
 
 @dataclass
@@ -112,6 +118,13 @@ class BlockDesign:
     #: (``flow.place`` -> ``"place"``), excluded from JSON exports
     #: (non-deterministic)
     stage_times_ms: Dict[str, float] = field(default_factory=dict)
+    #: the per-net route context the flow signed off with; lets an ECO
+    #: session re-route touched nets bit-identically long after the
+    #: flow returned (``None`` when the detailed router produced the
+    #: final routing, which the estimator context cannot reproduce)
+    route_ctx: Optional[RouteContext] = None
+    #: closure report when the flow ran the ECO stage
+    eco_report: Optional[EcoClosureReport] = None
 
     @property
     def is_folded(self) -> bool:
@@ -173,6 +186,10 @@ def run_flow_on(gb: GeneratedBlock, config: FlowConfig,
     block_type = gb.block_type
     max_metal = _routing_layers(block_type, config)
     pc = PlacementConfig(utilization=config.utilization, seed=config.seed)
+    if config.eco is not None and config.detailed_route:
+        raise ValueError(
+            "FlowConfig.eco needs the estimator's routing; it cannot "
+            "run together with detailed_route=True")
 
     if config.assert_clean:
         # gate the incoming netlist before spending placement effort
@@ -235,21 +252,41 @@ def run_flow_on(gb: GeneratedBlock, config: FlowConfig,
             utilization=config.utilization),
             stage=f"{block_type.name}/place")
 
-    def route_fn(nl: Netlist) -> RoutingResult:
-        return route_block(nl, process.metal_stack, max_metal=max_metal,
-                           via=via, via_sites=via_sites,
-                           long_wire_um=process.long_wire_um)
+    route_ctx = RouteContext(stack=process.metal_stack,
+                             max_metal=max_metal, via=via,
+                             via_sites=via_sites,
+                             long_wire_um=process.long_wire_um)
 
     timing = TimingConfig(clock_domain=block_type.logic.clock_domain,
                           default_io_delay_ps=config.io_budget_ps)
     with trace.span("flow.optimize", block=block_type.name) as sp_opt:
         fault_point("optimize")
-        opt = optimize_block(netlist, process, timing, route_fn,
+        opt = optimize_block(netlist, process, timing,
+                             route_ctx.route_block,
                              OptimizeConfig(
                                  rounds=config.opt_rounds,
                                  dual_vth=config.dual_vth,
-                                 full_recompute=config.opt_full_recompute))
+                                 full_recompute=config.opt_full_recompute),
+                             route_net_fn=route_ctx.route_net)
     stage_times_ms["optimize"] = sp_opt.duration_ms
+
+    eco_report: Optional[EcoClosureReport] = None
+    if config.eco is not None:
+        with trace.span("flow.eco", block=block_type.name,
+                        target_wns_ps=config.eco.target_wns_ps) as sp_eco:
+            fault_point("eco")
+            session = EcoSession(
+                netlist, opt.routing, process, timing, route_ctx,
+                outline=outline, sta_snapshot=opt.sta,
+                full_recompute=config.eco.full_recompute,
+                legalize_buffers=config.eco.legalize_buffers)
+            eco_report = close_timing(session, config.eco)
+            opt.routing = session.routing
+            opt.sta = session.sta()
+            opt.cts = session.cts_result()
+            sp_eco.set(status=eco_report.status,
+                       rounds=len(eco_report.rounds))
+        stage_times_ms["eco"] = sp_eco.duration_ms
 
     congestion = None
     if config.detailed_route:
@@ -312,6 +349,8 @@ def run_flow_on(gb: GeneratedBlock, config: FlowConfig,
         generated=gb,
         congestion=congestion,
         stage_times_ms=stage_times_ms,
+        route_ctx=None if config.detailed_route else route_ctx,
+        eco_report=eco_report,
     )
     if config.assert_clean:
         from ..lint import assert_clean as _gate, lint_block

@@ -1,5 +1,7 @@
 """Clock tree synthesis."""
 
+from .incremental import IncrementalCTS
 from .tree import CTSResult, clock_sinks, synthesize_clock_tree
 
-__all__ = ["CTSResult", "clock_sinks", "synthesize_clock_tree"]
+__all__ = ["CTSResult", "IncrementalCTS", "clock_sinks",
+           "synthesize_clock_tree"]

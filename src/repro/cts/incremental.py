@@ -1,0 +1,75 @@
+"""Incremental clock tree synthesis via subtree memoization.
+
+:func:`repro.cts.tree.synthesize_clock_tree` is a pure function of the
+clock sink positions, built by recursive geometric bisection.  When an
+ECO moves (or adds) a handful of sinks, only the bisection branches
+whose point sets changed need rebuilding -- every untouched subtree is
+keyed by its exact ``(axis, points)`` tuple and can be replayed from a
+memo.  A memo hit returns the *identical* tuple computed before, so the
+incremental result is bit-exact with a from-scratch synthesis by
+construction (the surrounding arithmetic never changes).
+
+:class:`IncrementalCTS` owns that memo across rebuilds and garbage
+collects it with a two-generation policy: after each synthesis, entries
+not touched by that pass are dropped, so the memo tracks the current
+tree's subtrees (plus nothing stale) instead of growing monotonically
+across a long ECO session.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..netlist.core import Netlist
+from ..obs.metrics import metrics
+from ..tech.process import ProcessNode
+from .tree import CTSResult, SubtreeMemo, synthesize_clock_tree
+
+
+class IncrementalCTS:
+    """A clock-tree view that rebuilds only the changed subtrees.
+
+    Usage: call :meth:`invalidate` after any netlist edit that can move
+    a clock sink (displacement, flop sizing does *not* move sinks but
+    invalidation is always safe), then :meth:`result` to get the fresh
+    tree.  ``subtrees_built`` / ``subtrees_reused`` tally work across
+    the session -- the reuse ratio is the speedup story.
+    """
+
+    def __init__(self, netlist: Netlist, process: ProcessNode,
+                 leaf_size: int = 12) -> None:
+        self.netlist = netlist
+        self.process = process
+        self.leaf_size = leaf_size
+        self._memo: SubtreeMemo = {}
+        self._cached: Optional[CTSResult] = None
+        #: cumulative across the session (deterministic, unlike the
+        #: process-global metrics registry which tracing can disable)
+        self.subtrees_built = 0
+        self.subtrees_reused = 0
+        self.rebuilds = 0
+
+    def invalidate(self) -> None:
+        """Drop the cached tree; the memo survives for subtree reuse."""
+        self._cached = None
+
+    def result(self) -> CTSResult:
+        """The current clock tree (rebuilt lazily after invalidation)."""
+        if self._cached is None:
+            stats: Dict[str, object] = {}
+            self._cached = synthesize_clock_tree(
+                self.netlist, self.process, self.leaf_size,
+                _memo=self._memo, _stats=stats)
+            built = int(stats.get("built", 0))  # type: ignore[arg-type]
+            reused = int(stats.get("reused", 0))  # type: ignore[arg-type]
+            live = stats.get("keys", set())
+            # two-generation GC: keep only the subtrees of *this* tree
+            self._memo = {k: v for k, v in self._memo.items()
+                          if k in live}  # type: ignore[operator]
+            self.subtrees_built += built
+            self.subtrees_reused += reused
+            self.rebuilds += 1
+            m = metrics()
+            m.counter("cts.subtrees_built").inc(built)
+            m.counter("cts.subtrees_reused").inc(reused)
+        return self._cached

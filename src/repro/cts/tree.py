@@ -64,37 +64,70 @@ class CTSResult:
         )
 
 
+#: a memo maps ``(axis, points-tuple)`` to a finished subtree result;
+#: values are never mutated after construction, so sharing is safe
+SubtreeMemo = Dict[Tuple[int, Tuple[Tuple[float, float], ...]],
+                   Tuple[int, float, int, List[Tuple[float, int]]]]
+
+
 def _build_tree(points: List[Tuple[float, float]], leaf_size: int,
-                axis: int = 0
+                axis: int = 0,
+                _memo: Optional[SubtreeMemo] = None,
+                _stats: Optional[Dict[str, int]] = None
                 ) -> Tuple[int, float, int, List[Tuple[float, int]]]:
     """Recursive bisection.
 
     Returns (buffers, wirelength, levels, per-sink (root-to-sink wire
     length, buffer levels) pairs) -- the last drives the skew estimate.
+
+    With ``_memo``, finished subtrees are cached keyed on their exact
+    point multiset+order: an ECO that moves a handful of sinks only
+    rebuilds the bisection branches containing them, and a memo hit is
+    the *identical* object computed before -- bit-exact reuse by
+    construction.  ``_stats`` (reused/built tallies plus the keys
+    touched this pass) feeds the incremental CTS driver.
     """
     n = len(points)
     if n == 0:
         return 0, 0.0, 0, []
+    key = None
+    if _memo is not None:
+        key = (axis, tuple(points))
+        hit = _memo.get(key)
+        if hit is not None:
+            if _stats is not None:
+                _stats["reused"] = _stats.get("reused", 0) + 1
+                _stats.setdefault("keys", set()).add(key)  # type: ignore
+            return hit
     cx = sum(p[0] for p in points) / n
     cy = sum(p[1] for p in points) / n
     if n <= leaf_size:
         stubs = [abs(p[0] - cx) + abs(p[1] - cy) for p in points]
-        return 1, sum(stubs), 1, [(d, 1) for d in stubs]
-    pts = sorted(points, key=lambda p: p[axis])
-    mid = n // 2
-    left, right = pts[:mid], pts[mid:]
-    lb, lw, ll, lpaths = _build_tree(left, leaf_size, 1 - axis)
-    rb, rw, rl, rpaths = _build_tree(right, leaf_size, 1 - axis)
-    # wire from this node's buffer to each child's centroid
-    wl = lw + rw
-    paths: List[Tuple[float, int]] = []
-    for child, child_paths in ((left, lpaths), (right, rpaths)):
-        ccx = sum(p[0] for p in child) / len(child)
-        ccy = sum(p[1] for p in child) / len(child)
-        seg = abs(ccx - cx) + abs(ccy - cy)
-        wl += seg
-        paths.extend((d + seg, lv + 1) for d, lv in child_paths)
-    return lb + rb + 1, wl, max(ll, rl) + 1, paths
+        result = 1, sum(stubs), 1, [(d, 1) for d in stubs]
+    else:
+        pts = sorted(points, key=lambda p: p[axis])
+        mid = n // 2
+        left, right = pts[:mid], pts[mid:]
+        lb, lw, ll, lpaths = _build_tree(left, leaf_size, 1 - axis,
+                                         _memo, _stats)
+        rb, rw, rl, rpaths = _build_tree(right, leaf_size, 1 - axis,
+                                         _memo, _stats)
+        # wire from this node's buffer to each child's centroid
+        wl = lw + rw
+        paths: List[Tuple[float, int]] = []
+        for child, child_paths in ((left, lpaths), (right, rpaths)):
+            ccx = sum(p[0] for p in child) / len(child)
+            ccy = sum(p[1] for p in child) / len(child)
+            seg = abs(ccx - cx) + abs(ccy - cy)
+            wl += seg
+            paths.extend((d + seg, lv + 1) for d, lv in child_paths)
+        result = lb + rb + 1, wl, max(ll, rl) + 1, paths
+    if _memo is not None and key is not None:
+        _memo[key] = result
+        if _stats is not None:
+            _stats["built"] = _stats.get("built", 0) + 1
+            _stats.setdefault("keys", set()).add(key)  # type: ignore
+    return result
 
 
 def clock_sinks(netlist: Netlist) -> Dict[int, List[Tuple[float, float]]]:
@@ -110,11 +143,17 @@ def clock_sinks(netlist: Netlist) -> Dict[int, List[Tuple[float, float]]]:
 
 
 def synthesize_clock_tree(netlist: Netlist, process: ProcessNode,
-                          leaf_size: int = 12) -> CTSResult:
+                          leaf_size: int = 12,
+                          _memo: Optional[SubtreeMemo] = None,
+                          _stats: Optional[Dict[str, int]] = None
+                          ) -> CTSResult:
     """Build the block's clock tree (per tier when folded).
 
     Returns the merged summary; ``via_crossings`` counts the single root
-    crossing when sinks exist on both tiers.
+    crossing when sinks exist on both tiers.  ``_memo``/``_stats``
+    thread straight to :func:`_build_tree` for incremental subtree
+    reuse (see :class:`repro.cts.incremental.IncrementalCTS`); results
+    are identical with or without them.
     """
     buffer_master = process.library.buffer(drive=8)
     per_die = clock_sinks(netlist)
@@ -139,7 +178,8 @@ def synthesize_clock_tree(netlist: Netlist, process: ProcessNode,
     total: Optional[CTSResult] = None
     active_dies = [d for d, pts in per_die.items() if pts]
     for die in active_dies:
-        b, wl, lv, paths = _build_tree(per_die[die], leaf_size)
+        b, wl, lv, paths = _build_tree(per_die[die], leaf_size,
+                                       _memo=_memo, _stats=_stats)
         insertions = [
             levels * stage_delay + r_clk * dist * (c_clk * dist / 2.0)
             for dist, levels in paths

@@ -1,0 +1,17 @@
+"""Incremental ECO engine: typed moves on a finished design.
+
+See ``docs/eco.md`` for the architecture and the parity guarantees.
+"""
+
+from .driver import (EcoClosureReport, EcoConfig, EcoRound,
+                     close_timing, derive_design, plan_timing_moves)
+from .moves import (BufferInsert, BufferRemove, Displace, EcoError,
+                    EcoMove, Resize, VthSwap, move_key)
+from .session import EcoApplyReport, EcoSession
+
+__all__ = [
+    "BufferInsert", "BufferRemove", "Displace", "EcoApplyReport",
+    "EcoClosureReport", "EcoConfig", "EcoError", "EcoMove", "EcoRound",
+    "EcoSession", "Resize", "VthSwap", "close_timing", "derive_design",
+    "move_key", "plan_timing_moves",
+]

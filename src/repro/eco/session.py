@@ -1,0 +1,411 @@
+"""The ECO session: incremental edits on a finished design.
+
+A session owns a netlist + routing + timing + clock-tree view and
+applies :mod:`repro.eco.moves` batches to them.  It runs in one of two
+modes with *bit-identical* results:
+
+* **incremental** (default) -- only the nets incident to an edit are
+  re-routed (through the design's captured
+  :class:`repro.route.estimate.RouteContext`), the live
+  :class:`repro.timing.incremental.IncrementalSTA` graph is patched
+  instead of rebuilt, and the clock tree replays untouched bisection
+  subtrees from the :class:`repro.cts.incremental.IncrementalCTS` memo;
+* **full recompute** -- every edit triggers a whole-block re-route, a
+  fresh ``run_sta`` and a from-scratch CTS.
+
+The parity harness (``tests/test_eco_properties.py``) holds the two
+modes byte-equal over random move batches; ``benchmarks/eco_smoke.py``
+holds the incremental mode to its reuse targets.
+
+Batches are validated up front against the pre-batch state and nothing
+is mutated when validation rejects a move (:class:`EcoError`), so a
+failed ``apply`` leaves the session untouched.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..cts.incremental import IncrementalCTS
+from ..cts.tree import CTSResult
+from ..netlist.core import Net, Netlist, PinRef
+from ..obs.metrics import metrics
+from ..opt.buffering import (BufferingConfig, apply_buffer_plan,
+                             plan_net_buffering)
+from ..place.grid import Rect
+from ..place.legalize import legalize_new_cells
+from ..route.estimate import RoutedNet, RouteContext, RoutingResult
+from ..tech.cells import CellMaster
+from ..tech.process import ProcessNode
+from ..timing.incremental import IncrementalSTA
+from ..timing.sta import STAResult, TimingConfig, run_sta
+from .moves import (BufferInsert, BufferRemove, Displace, EcoError,
+                    EcoMove, Resize, VthSwap)
+
+
+@dataclass
+class EcoApplyReport:
+    """What one :meth:`EcoSession.apply` batch did."""
+
+    requested: int
+    applied: int
+    swaps: int = 0
+    buffers_added: int = 0
+    buffers_removed: int = 0
+    displaced: int = 0
+
+
+class EcoSession:
+    """Applies typed ECO moves to a design, incrementally or fully.
+
+    Args:
+        netlist: the design netlist (mutated in place -- clone first
+            for what-if work, see :meth:`from_design`).
+        routing: the routing view to keep current (mutated in place).
+        process: technology node.
+        timing: clock domain + I/O budgets the design was signed off
+            against.
+        route_ctx: the per-net route context captured by the flow.
+        outline: block outline; enables row legalization of inserted /
+            displaced cells.
+        obstructions: macro keep-outs for legalization.
+        sta_snapshot: the design's sign-off :class:`STAResult`; when
+            given (incremental mode) the timing graph is adopted from
+            it instead of re-running STA -- ``sta_full_rebuilds`` stays
+            at zero.
+        full_recompute: disable every incremental path (parity /
+            baseline mode).
+        legalize_buffers: snap freshly inserted buffers into legal row
+            slots (needs ``outline``).
+    """
+
+    def __init__(self, netlist: Netlist, routing: RoutingResult,
+                 process: ProcessNode, timing: TimingConfig,
+                 route_ctx: RouteContext, *,
+                 outline: Optional[Rect] = None,
+                 obstructions: Sequence[Rect] = (),
+                 sta_snapshot: Optional[STAResult] = None,
+                 full_recompute: bool = False,
+                 legalize_buffers: bool = True,
+                 cts_leaf_size: int = 12) -> None:
+        self.netlist = netlist
+        self.routing = routing
+        self.process = process
+        self.timing = timing
+        self.ctx = route_ctx
+        self.outline = outline
+        self.obstructions = tuple(obstructions)
+        self.full_recompute = full_recompute
+        self.legalize_buffers = legalize_buffers
+        #: deterministic session-local work tallies (the process-global
+        #: metrics registry is disabled when tracing is off, so reuse
+        #: assertions read these instead)
+        self.stats: Dict[str, int] = {
+            "moves_requested": 0, "moves_applied": 0, "swaps": 0,
+            "buffers_added": 0, "buffers_removed": 0, "displaced": 0,
+            "nets_rerouted": 0, "full_reroutes": 0,
+            "sta_full_rebuilds": 0,
+        }
+        self._sta_cache: Optional[STAResult] = None
+        self.view: Optional[IncrementalSTA] = None
+        if not full_recompute:
+            if sta_snapshot is not None:
+                self.view = IncrementalSTA.from_snapshot(
+                    netlist, routing, process, timing, sta_snapshot)
+            else:
+                self.view = IncrementalSTA(netlist, routing, process,
+                                           timing)
+                self.stats["sta_full_rebuilds"] += 1
+        self.cts = IncrementalCTS(netlist, process,
+                                  leaf_size=cts_leaf_size)
+        metrics().counter("eco.sessions").inc()
+
+    @classmethod
+    def from_design(cls, design, process: ProcessNode, *,
+                    timing: Optional[TimingConfig] = None,
+                    clone: bool = True,
+                    full_recompute: bool = False,
+                    legalize_buffers: bool = True) -> "EcoSession":
+        """Open a session on a finished :class:`BlockDesign`.
+
+        ``clone=True`` (default) deep-copies the netlist and routing so
+        the base design stays untouched -- the what-if / neighboring
+        scenario mode.  ``clone=False`` edits the design's own state.
+
+        The design must carry a route context (``design.route_ctx``),
+        which the flow attaches whenever the sign-off routing came from
+        the estimator (``detailed_route=False``).
+        """
+        ctx = getattr(design, "route_ctx", None)
+        if ctx is None:
+            raise EcoError(
+                f"design {design.name!r} has no route context -- ECO "
+                "sessions need the estimator's routing (re-run the "
+                "flow with detailed_route=False)")
+        if timing is None:
+            from ..designgen.t2 import block_type_by_name
+            try:
+                bt = block_type_by_name(design.name)
+            except KeyError as exc:
+                raise EcoError(
+                    f"unknown block type {design.name!r}; pass an "
+                    "explicit TimingConfig") from exc
+            timing = TimingConfig(
+                clock_domain=bt.logic.clock_domain,
+                default_io_delay_ps=design.config.io_budget_ps)
+        netlist = design.netlist.clone() if clone else design.netlist
+        routing = design.routing.copy() if clone else design.routing
+        return cls(netlist, routing, process, timing, ctx,
+                   outline=design.outline,
+                   sta_snapshot=design.sta,
+                   full_recompute=full_recompute,
+                   legalize_buffers=legalize_buffers)
+
+    # -- timing / clock-tree views ------------------------------------
+
+    def sta(self) -> STAResult:
+        """A frozen STA snapshot of the current state."""
+        if self.view is not None:
+            return self.view.to_result()
+        if self._sta_cache is None:
+            self._sta_cache = run_sta(self.netlist, self.routing,
+                                      self.process, self.timing)
+            self.stats["sta_full_rebuilds"] += 1
+        return self._sta_cache
+
+    def cts_result(self) -> CTSResult:
+        """The current clock tree (memoized subtree rebuilds)."""
+        return self.cts.result()
+
+    def retarget(self, timing: TimingConfig) -> None:
+        """Swap the I/O timing context (neighboring-scenario derive)."""
+        self.timing = timing
+        if self.view is not None:
+            self.view.retarget(timing)
+        self._sta_cache = None
+
+    # -- move application ---------------------------------------------
+
+    def apply(self, moves: Iterable[EcoMove]) -> EcoApplyReport:
+        """Validate then apply one move batch.
+
+        Validation runs against the pre-batch state; an invalid move
+        raises :class:`EcoError` before anything mutates.  Consecutive
+        master swaps (resize / Vth) are flushed as one re-time batch;
+        structural moves apply in order, each bringing routing, timing
+        and the clock tree current before the next decision point.
+        """
+        batch = list(moves)
+        self._validate(batch)
+        report = EcoApplyReport(requested=len(batch), applied=0)
+        swaps: List[EcoMove] = []
+        for move in batch:
+            if isinstance(move, (Resize, VthSwap)):
+                swaps.append(move)
+                continue
+            self._flush_swaps(swaps, report)
+            if isinstance(move, BufferInsert):
+                added = self._apply_buffer_insert(move)
+                report.buffers_added += added
+                report.applied += 1 if added else 0
+            elif isinstance(move, BufferRemove):
+                report.buffers_removed += self._apply_buffer_remove(move)
+                report.applied += 1
+            elif isinstance(move, Displace):
+                report.displaced += self._apply_displace(move)
+                report.applied += 1
+        self._flush_swaps(swaps, report)
+        self.stats["moves_requested"] += report.requested
+        self.stats["moves_applied"] += report.applied
+        self.stats["swaps"] += report.swaps
+        self.stats["buffers_added"] += report.buffers_added
+        self.stats["buffers_removed"] += report.buffers_removed
+        self.stats["displaced"] += report.displaced
+        if report.applied:
+            self.cts.invalidate()
+        metrics().counter("eco.moves_applied").inc(report.applied)
+        return report
+
+    # -- validation ---------------------------------------------------
+
+    def _validate(self, batch: Sequence[EcoMove]) -> None:
+        lib = self.process.library
+        pending: Dict[int, CellMaster] = {}
+        for move in batch:
+            if isinstance(move, (Resize, VthSwap)):
+                inst = self.netlist.instances.get(move.inst_id)
+                if inst is None:
+                    raise EcoError(f"{move}: no such instance")
+                if inst.is_macro:
+                    raise EcoError(f"{move}: cannot swap a macro")
+                base = pending.get(move.inst_id, inst.master)
+                try:
+                    if isinstance(move, Resize):
+                        pending[move.inst_id] = lib.variant(
+                            base, drive=move.drive)
+                    else:
+                        pending[move.inst_id] = lib.variant(
+                            base, vth=move.vth)
+                except KeyError as exc:
+                    raise EcoError(
+                        f"{move}: no library variant") from exc
+            elif isinstance(move, BufferInsert):
+                net = self.netlist.nets.get(move.net_id)
+                if net is None:
+                    raise EcoError(f"{move}: no such net")
+                if net.is_clock:
+                    raise EcoError(f"{move}: cannot buffer a clock net")
+                if move.net_id not in self.routing.nets:
+                    raise EcoError(f"{move}: net is not routed")
+                try:
+                    lib.buffer(move.drive)
+                except KeyError as exc:
+                    raise EcoError(
+                        f"{move}: no drive-{move.drive} buffer") from exc
+            elif isinstance(move, BufferRemove):
+                self._check_buffer_remove(move)
+            elif isinstance(move, Displace):
+                inst = self.netlist.instances.get(move.inst_id)
+                if inst is None:
+                    raise EcoError(f"{move}: no such instance")
+                if inst.is_macro or inst.fixed:
+                    raise EcoError(
+                        f"{move}: cannot displace a macro/fixed cell")
+                if move.legalize and self.outline is None:
+                    raise EcoError(
+                        f"{move}: session has no outline to legalize in")
+            else:
+                raise EcoError(f"unknown ECO move: {move!r}")
+
+    def _check_buffer_remove(self, move: BufferRemove) -> None:
+        inst = self.netlist.instances.get(move.inst_id)
+        if inst is None:
+            raise EcoError(f"{move}: no such instance")
+        if not inst.is_buffer:
+            raise EcoError(f"{move}: {inst.name} is not a buffer")
+        out = self.netlist.output_net_of(move.inst_id)
+        if out is None:
+            raise EcoError(f"{move}: buffer drives nothing")
+        if out.is_clock:
+            raise EcoError(f"{move}: clock buffers belong to CTS")
+        ins = [n for n in self.netlist.nets_of(move.inst_id)
+               if n.id != out.id]
+        if len(ins) != 1:
+            raise EcoError(f"{move}: expected exactly one input net")
+        innet = ins[0]
+        if innet.is_clock:
+            raise EcoError(f"{move}: input net is a clock")
+        if len(innet.sinks) != 1 or innet.sinks[0].is_port or \
+                innet.sinks[0].inst != move.inst_id:
+            raise EcoError(
+                f"{move}: input net {innet.name} feeds other loads")
+
+    # -- application helpers ------------------------------------------
+
+    def _reroute(self, net: Net) -> RoutedNet:
+        self.stats["nets_rerouted"] += 1
+        return self.ctx.route_net(self.netlist, net)
+
+    def _full_recompute_now(self) -> None:
+        self.routing = self.ctx.route_block(self.netlist)
+        self.stats["full_reroutes"] += 1
+        self.stats["nets_rerouted"] += len(self.routing.nets)
+        self._sta_cache = None
+
+    def _flush_swaps(self, swaps: List[EcoMove],
+                     report: EcoApplyReport) -> None:
+        if not swaps:
+            return
+        lib = self.process.library
+        pending: Dict[int, CellMaster] = {}
+        resolved: List[Tuple[int, CellMaster]] = []
+        for m in swaps:
+            inst = self.netlist.instances[m.inst_id]
+            base = pending.get(m.inst_id, inst.master)
+            if isinstance(m, Resize):
+                new = lib.variant(base, drive=m.drive)
+            else:
+                new = lib.variant(base, vth=m.vth)
+            pending[m.inst_id] = new
+            resolved.append((m.inst_id, new))
+        swaps.clear()
+        if self.view is not None:
+            n = self.view.swap_masters(resolved)
+        else:
+            n = 0
+            for iid, master in resolved:
+                if self.netlist.instances[iid].master is master:
+                    continue
+                self.netlist.replace_master(iid, master)
+                n += 1
+            if n:
+                self._full_recompute_now()
+        report.swaps += n
+        report.applied += n
+
+    def _legalize(self, cells: List, exclude: Iterable[int]) -> None:
+        if self.outline is None:
+            return
+        skip = set(exclude)
+        placed = [c for c in self.netlist.cells if c.id not in skip]
+        legalize_new_cells(cells, placed, self.outline,
+                           obstructions=self.obstructions)
+
+    def _apply_buffer_insert(self, move: BufferInsert) -> int:
+        routed = self.routing.nets.get(move.net_id)
+        if routed is None:
+            # net deleted by an earlier move in this batch
+            return 0
+        cfg = BufferingConfig(buffer_drive=move.drive)
+        plan = plan_net_buffering(self.netlist, routed,
+                                  self.process.library, cfg)
+        if plan is None:
+            return 0
+        res = apply_buffer_plan(self.netlist, [plan])
+        if self.legalize_buffers and res.new_inst_ids:
+            self._legalize(
+                [self.netlist.instances[i] for i in res.new_inst_ids],
+                exclude=res.new_inst_ids)
+        if self.view is not None:
+            changed = self.routing.update_instances(
+                self.netlist, res.new_inst_ids, reroute=self._reroute)
+            self.view.patch_topology((), changed)
+        else:
+            self._full_recompute_now()
+        return res.added
+
+    def _apply_buffer_remove(self, move: BufferRemove) -> int:
+        iid = move.inst_id
+        out = self.netlist.output_net_of(iid)
+        innet = [n for n in self.netlist.nets_of(iid)
+                 if n.id != out.id][0]
+        drv = innet.driver
+        self.netlist.rewire_driver(
+            out.id, PinRef(inst=drv.inst, port=drv.port, pin=drv.pin))
+        self.netlist.remove_net(innet.id)
+        self.netlist.remove_instance(iid)
+        if self.view is not None:
+            changed = self.routing.refresh_nets(
+                self.netlist, [innet.id, out.id], reroute=self._reroute)
+            upstream = [] if drv.is_port else [drv.inst]
+            self.view.patch_topology(upstream, changed,
+                                     removed_insts=[iid])
+        else:
+            self._full_recompute_now()
+        return 1
+
+    def _apply_displace(self, move: Displace) -> int:
+        inst = self.netlist.instances[move.inst_id]
+        inst.x, inst.y = move.x, move.y
+        if move.legalize:
+            self._legalize([inst], exclude=[inst.id])
+        touched = sorted(n.id for n in self.netlist.nets_of(inst.id)
+                         if not n.is_clock)
+        if self.view is not None:
+            changed = self.routing.refresh_nets(self.netlist, touched,
+                                                reroute=self._reroute)
+            self.view.apply_routing_update(changed)
+        else:
+            self._full_recompute_now()
+        return 1

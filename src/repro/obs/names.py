@@ -20,10 +20,13 @@ SPAN_CHIP_AGGREGATE = "chip.aggregate"
 SPAN_CHIP_ASSEMBLE = "chip.assemble"
 SPAN_CHIP_BLOCKS = "chip.blocks"
 SPAN_CHIP_BUDGET = "chip.budget"
+SPAN_ECO_CLOSE = "eco.close"
+SPAN_ECO_ROUND = "eco.round"
 SPAN_EXPERIMENT = "experiment"
 SPAN_FAULT_INJECTED = "fault.injected"
 SPAN_FLOW = "flow"
 SPAN_FLOW_DETAILED_ROUTE = "flow.detailed_route"
+SPAN_FLOW_ECO = "flow.eco"
 SPAN_FLOW_GENERATE = "flow.generate"
 SPAN_FLOW_OPTIMIZE = "flow.optimize"
 SPAN_FLOW_PLACE = "flow.place"
@@ -49,10 +52,13 @@ SPAN_NAMES = (
     SPAN_CHIP_ASSEMBLE,
     SPAN_CHIP_BLOCKS,
     SPAN_CHIP_BUDGET,
+    SPAN_ECO_CLOSE,
+    SPAN_ECO_ROUND,
     SPAN_EXPERIMENT,
     SPAN_FAULT_INJECTED,
     SPAN_FLOW,
     SPAN_FLOW_DETAILED_ROUTE,
+    SPAN_FLOW_ECO,
     SPAN_FLOW_GENERATE,
     SPAN_FLOW_OPTIMIZE,
     SPAN_FLOW_PLACE,
@@ -80,6 +86,12 @@ CTR_CACHE_MISSES = "cache.misses"
 CTR_CACHE_STORES = "cache.stores"
 CTR_CHIP_3D_CONNECTIONS = "chip.3d_connections"
 CTR_CHIP_BUILDS = "chip.builds"
+CTR_CTS_SUBTREES_BUILT = "cts.subtrees_built"
+CTR_CTS_SUBTREES_REUSED = "cts.subtrees_reused"
+CTR_ECO_DERIVED_DESIGNS = "eco.derived_designs"
+CTR_ECO_MOVES_APPLIED = "eco.moves_applied"
+CTR_ECO_ROUNDS = "eco.rounds"
+CTR_ECO_SESSIONS = "eco.sessions"
 CTR_FAULTS_INJECTED = "faults.injected"
 CTR_FLOW_VIAS_F2F = "flow.vias.f2f"
 CTR_FLOW_VIAS_TSV = "flow.vias.tsv"
@@ -108,6 +120,7 @@ CTR_SERVICE_SHARD_DEATHS = "service.shard_deaths"
 CTR_SERVICE_STEALS = "service.steals"
 CTR_STA_FULL_REBUILDS = "sta.full_rebuilds"
 CTR_STA_INCREMENTAL_NODES = "sta.incremental_nodes"
+CTR_STA_TOPOLOGY_PATCHES = "sta.topology_patches"
 CTR_TASKS_CRASHED = "tasks.crashed"
 CTR_TASKS_FAILED = "tasks.failed"
 CTR_TASKS_RETRIED = "tasks.retried"
@@ -122,6 +135,12 @@ CTR_NAMES = (
     CTR_CACHE_STORES,
     CTR_CHIP_3D_CONNECTIONS,
     CTR_CHIP_BUILDS,
+    CTR_CTS_SUBTREES_BUILT,
+    CTR_CTS_SUBTREES_REUSED,
+    CTR_ECO_DERIVED_DESIGNS,
+    CTR_ECO_MOVES_APPLIED,
+    CTR_ECO_ROUNDS,
+    CTR_ECO_SESSIONS,
     CTR_FAULTS_INJECTED,
     CTR_FLOW_VIAS_F2F,
     CTR_FLOW_VIAS_TSV,
@@ -150,6 +169,7 @@ CTR_NAMES = (
     CTR_SERVICE_STEALS,
     CTR_STA_FULL_REBUILDS,
     CTR_STA_INCREMENTAL_NODES,
+    CTR_STA_TOPOLOGY_PATCHES,
     CTR_TASKS_CRASHED,
     CTR_TASKS_FAILED,
     CTR_TASKS_RETRIED,

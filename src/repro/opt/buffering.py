@@ -58,35 +58,185 @@ def _chain_positions(p0: Tuple[float, float], p1: Tuple[float, float],
             for i in range(k)]
 
 
+@dataclass
+class ChainPlan:
+    """Planned repeater chain between a driver and its load centroid."""
+
+    net_id: int
+    buf: CellMaster
+    positions: List[Tuple[float, float]]
+    die: int
+    cluster: int
+
+    @property
+    def n_buffers(self) -> int:
+        return len(self.positions)
+
+
+@dataclass
+class FanoutPlan:
+    """Planned geographic sink split behind fanout buffers."""
+
+    net_id: int
+    buf: CellMaster
+    #: sink groups (captured refs) and each group's centroid
+    groups: List[List[PinRef]]
+    centroids: List[Tuple[float, float]]
+    die: int
+    cluster: int
+
+    @property
+    def n_buffers(self) -> int:
+        return len(self.groups)
+
+
+@dataclass
+class BufferApplyResult:
+    """What one applied buffer plan did to the netlist."""
+
+    added: int
+    #: ids of the freshly created buffer instances, in creation order
+    new_inst_ids: List[int]
+    #: original + freshly created net ids whose topology changed
+    touched_net_ids: List[int]
+
+
+def plan_net_buffering(netlist: Netlist, routed: RoutedNet,
+                       library: CellLibrary,
+                       config: Optional[BufferingConfig] = None):
+    """Plan the buffering transform for one routed net (or ``None``).
+
+    Pure decision logic -- reads the routed snapshot and the live net
+    but mutates nothing, so a planned move can be inspected, costed or
+    dropped before :func:`apply_buffer_plan` commits it.
+    """
+    config = config or BufferingConfig()
+    buf = library.buffer(config.buffer_drive)
+    net = netlist.nets.get(routed.net_id)
+    if net is None or net.is_clock:
+        return None
+    spacing = optimal_spacing_um(buf, routed.r_per_um, routed.c_per_um)
+    longest = max((s.path_len_um for s in routed.sinks), default=0.0)
+    if longest > config.length_trigger * spacing:
+        dx, dy, die = _driver_position(netlist, net)
+        cx, cy = _sink_centroid(netlist, net)
+        dist = abs(cx - dx) + abs(cy - dy)
+        k = min(8, int(dist / max(spacing, 1.0)))
+        if k < 1:
+            return None
+        return ChainPlan(net_id=net.id, buf=buf,
+                         positions=_chain_positions((dx, dy), (cx, cy), k),
+                         die=die, cluster=_driver_cluster(netlist, net))
+    if (routed.total_cap_ff > config.cap_limit_ff
+            and len(net.sinks) > config.group_size
+            and routed.via is None):
+        sinks = list(net.sinks)
+        sinks.sort(key=lambda r: netlist.endpoint_position(r)[:2])
+        groups = [sinks[i:i + config.group_size]
+                  for i in range(0, len(sinks), config.group_size)]
+        if len(groups) < 2:
+            return None
+        centroids = [
+            (sum(netlist.endpoint_position(r)[0] for r in g) / len(g),
+             sum(netlist.endpoint_position(r)[1] for r in g) / len(g))
+            for g in groups
+        ]
+        return FanoutPlan(net_id=net.id, buf=buf, groups=groups,
+                          centroids=centroids,
+                          die=_driver_position(netlist, net)[2],
+                          cluster=_driver_cluster(netlist, net))
+    return None
+
+
+def plan_buffers(netlist: Netlist, routing: RoutingResult,
+                 library: CellLibrary,
+                 config: Optional[BufferingConfig] = None) -> List:
+    """Plan one buffering pass over all routed nets.
+
+    The plan/apply counterpart of the sizing and dual-Vth passes:
+    decisions are taken against the frozen routing snapshot in net
+    order, capped at ``max_new_buffers_per_pass``, and committed
+    separately by :func:`apply_buffer_plan` -- the combined sequence
+    mutates the netlist identically to the old fused pass (same
+    instance and net ids, same order).
+    """
+    config = config or BufferingConfig()
+    plans: List = []
+    planned = 0
+    for routed in list(routing.nets.values()):
+        if planned >= config.max_new_buffers_per_pass:
+            break
+        move = plan_net_buffering(netlist, routed, library, config)
+        if move is not None:
+            plans.append(move)
+            planned += move.n_buffers
+    return plans
+
+
+def apply_buffer_plan(netlist: Netlist, plans: List) -> BufferApplyResult:
+    """Commit planned buffering transforms, in plan order.
+
+    Chain plans rewire the original net to be driven by the last buffer
+    of the chain (preserving the net id, so 3D via bindings stay
+    valid); fanout plans move the original net's sinks behind new leaf
+    nets.  Bring the routing view current afterwards -- incrementally
+    via ``RoutingResult.update_instances(new_inst_ids, reroute)`` or
+    with a full re-route.
+    """
+    added = 0
+    new_inst_ids: List[int] = []
+    touched: List[int] = []
+    for plan in plans:
+        net = netlist.nets[plan.net_id]
+        touched.append(net.id)
+        if isinstance(plan, ChainPlan):
+            prev_driver = net.driver
+            for i, (bx, by) in enumerate(plan.positions):
+                inst = netlist.add_instance(
+                    f"rep_{net.name}_{i}", plan.buf, x=bx, y=by,
+                    die=plan.die, cluster=plan.cluster)
+                new = netlist.add_net(f"{net.name}_rep{i}", prev_driver,
+                                      [PinRef(inst=inst.id, pin=0)],
+                                      clock_domain=net.clock_domain)
+                new_inst_ids.append(inst.id)
+                touched.append(new.id)
+                prev_driver = PinRef(inst=inst.id)
+            # the original net is now driven by the last buffer
+            netlist.rewire_driver(net.id, prev_driver)
+            added += plan.n_buffers
+        else:
+            new_sinks: List[PinRef] = []
+            for g, (group, (gx, gy)) in enumerate(
+                    zip(plan.groups, plan.centroids)):
+                inst = netlist.add_instance(
+                    f"fbuf_{net.name}_{g}", plan.buf, x=gx, y=gy,
+                    die=plan.die, cluster=plan.cluster)
+                new = netlist.add_net(f"{net.name}_fan{g}",
+                                      PinRef(inst=inst.id), group,
+                                      clock_domain=net.clock_domain)
+                new_inst_ids.append(inst.id)
+                touched.append(new.id)
+                new_sinks.append(PinRef(inst=inst.id, pin=0))
+            # rewire the original net to drive only the group buffers
+            for ref in list(net.sinks):
+                netlist.remove_sink(net.id, ref)
+            for ref in new_sinks:
+                netlist.add_sink(net.id, ref)
+            added += plan.n_buffers
+    return BufferApplyResult(added=added, new_inst_ids=new_inst_ids,
+                             touched_net_ids=touched)
+
+
 def insert_buffers(netlist: Netlist, routing: RoutingResult,
                    library: CellLibrary,
                    config: Optional[BufferingConfig] = None) -> int:
     """One buffering pass over all routed nets; returns buffers added.
 
-    The netlist is mutated: chain buffering rewires the original net to
-    be driven by the last buffer of the chain (preserving the net id, so
-    3D via bindings stay valid); fanout buffering creates new leaf nets.
-    Re-route the block after calling this.
+    Thin wrapper over :func:`plan_buffers` + :func:`apply_buffer_plan`
+    (the historical fused API).  Re-route the block after calling this.
     """
-    config = config or BufferingConfig()
-    buf = library.buffer(config.buffer_drive)
-    added = 0
-    # snapshot: routing refers to nets as they were routed
-    for routed in list(routing.nets.values()):
-        if added >= config.max_new_buffers_per_pass:
-            break
-        net = netlist.nets.get(routed.net_id)
-        if net is None or net.is_clock:
-            continue
-        spacing = optimal_spacing_um(buf, routed.r_per_um, routed.c_per_um)
-        longest = max((s.path_len_um for s in routed.sinks), default=0.0)
-        if longest > config.length_trigger * spacing:
-            added += _buffer_chain(netlist, net, routed, buf, spacing)
-        elif (routed.total_cap_ff > config.cap_limit_ff
-              and len(net.sinks) > config.group_size
-              and routed.via is None):
-            added += _buffer_fanout(netlist, net, buf, config)
-    return added
+    plans = plan_buffers(netlist, routing, library, config)
+    return apply_buffer_plan(netlist, plans).added
 
 
 def _driver_position(netlist: Netlist, net: Net) -> Tuple[float, float, int]:
@@ -104,59 +254,7 @@ def _sink_centroid(netlist: Netlist, net: Net) -> Tuple[float, float]:
     return sum(xs) / len(xs), sum(ys) / len(ys)
 
 
-def _buffer_chain(netlist: Netlist, net: Net, routed: RoutedNet,
-                  buf: CellMaster, spacing: float) -> int:
-    """Insert a repeater chain between the driver and the load centroid."""
-    dx, dy, die = _driver_position(netlist, net)
-    cx, cy = _sink_centroid(netlist, net)
-    dist = abs(cx - dx) + abs(cy - dy)
-    k = min(8, int(dist / max(spacing, 1.0)))
-    if k < 1:
-        return 0
-    positions = _chain_positions((dx, dy), (cx, cy), k)
-    prev_driver = net.driver
-    for i, (bx, by) in enumerate(positions):
-        inst = netlist.add_instance(
-            f"rep_{net.name}_{i}", buf, x=bx, y=by, die=die,
-            cluster=_driver_cluster(netlist, net))
-        netlist.add_net(f"{net.name}_rep{i}", prev_driver,
-                        [PinRef(inst=inst.id, pin=0)],
-                        clock_domain=net.clock_domain)
-        prev_driver = PinRef(inst=inst.id)
-    # the original net is now driven by the last buffer
-    netlist.rewire_driver(net.id, prev_driver)
-    return k
-
-
 def _driver_cluster(netlist: Netlist, net: Net) -> int:
     if net.driver.is_port:
         return 0
     return netlist.instances[net.driver.inst].cluster
-
-
-def _buffer_fanout(netlist: Netlist, net: Net, buf: CellMaster,
-                   config: BufferingConfig) -> int:
-    """Split a high-fanout net's sinks into buffered geographic groups."""
-    sinks = list(net.sinks)
-    sinks.sort(key=lambda r: netlist.endpoint_position(r)[:2])
-    groups = [sinks[i:i + config.group_size]
-              for i in range(0, len(sinks), config.group_size)]
-    if len(groups) < 2:
-        return 0
-    die = _driver_position(netlist, net)[2]
-    new_sinks: List[PinRef] = []
-    for g, group in enumerate(groups):
-        gx = sum(netlist.endpoint_position(r)[0] for r in group) / len(group)
-        gy = sum(netlist.endpoint_position(r)[1] for r in group) / len(group)
-        inst = netlist.add_instance(
-            f"fbuf_{net.name}_{g}", buf, x=gx, y=gy, die=die,
-            cluster=_driver_cluster(netlist, net))
-        netlist.add_net(f"{net.name}_fan{g}", PinRef(inst=inst.id),
-                        group, clock_domain=net.clock_domain)
-        new_sinks.append(PinRef(inst=inst.id, pin=0))
-    # rewire the original net to drive only the group buffers
-    for ref in list(net.sinks):
-        netlist.remove_sink(net.id, ref)
-    for ref in new_sinks:
-        netlist.add_sink(net.id, ref)
-    return len(groups)

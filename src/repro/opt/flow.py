@@ -33,20 +33,23 @@ from dataclasses import dataclass, field
 from typing import Callable, List, Optional
 
 from ..cts.tree import CTSResult, synthesize_clock_tree
-from ..netlist.core import Netlist
+from ..netlist.core import Net, Netlist
 from ..obs import trace
 from ..obs.metrics import metrics
-from ..route.estimate import RoutingResult
+from ..route.estimate import RoutedNet, RoutingResult
 from ..tech.cells import VTH_HVT, VTH_RVT
 from ..tech.process import ProcessNode
 from ..timing.incremental import IncrementalSTA
 from ..timing.sta import STAResult, TimingConfig, run_sta
-from .buffering import BufferingConfig, insert_buffers
+from .buffering import (BufferApplyResult, BufferingConfig,
+                        apply_buffer_plan, plan_buffers)
 from .dualvth import (DualVthConfig, plan_hvt_swaps, plan_rvt_restores)
 from .sizing import (Move, SizingConfig, apply_moves, plan_downsizes,
                      plan_upsizes)
 
 RouteFn = Callable[[Netlist], RoutingResult]
+#: per-net re-route (the block's stack/via context applied to one net)
+RouteNetFn = Callable[[Netlist, Net], RoutedNet]
 
 INF = float("inf")
 
@@ -95,11 +98,13 @@ class _TimingCore:
 
     def __init__(self, netlist: Netlist, process: ProcessNode,
                  timing: TimingConfig, route_fn: RouteFn,
-                 incremental: bool) -> None:
+                 incremental: bool,
+                 route_net_fn: Optional[RouteNetFn] = None) -> None:
         self.netlist = netlist
         self.process = process
         self.timing = timing
         self.route_fn = route_fn
+        self.route_net_fn = route_net_fn
         self.incremental = incremental
         self.full_reroutes = 0
         self.routing = self._full_route()
@@ -136,6 +141,26 @@ class _TimingCore:
         if self.incremental:
             self.view = IncrementalSTA(self.netlist, self.routing,
                                        self.process, self.timing)
+
+    def absorb_surgery(self, surgery: BufferApplyResult) -> None:
+        """Absorb a committed buffer plan without a full re-route.
+
+        With a per-net route context available, only the nets incident
+        to the new buffers are (re-)routed -- untouched geometry is a
+        pure function of unchanged positions, so the resulting routing
+        is bit-identical to a full re-route -- and the timing graph is
+        patched structurally instead of rebuilt from a fresh
+        ``run_sta``.  Without one (or in full-recompute mode) this
+        degrades to the historical :meth:`rebuild`.
+        """
+        if self.view is None or self.route_net_fn is None:
+            self.rebuild()
+            return
+        route_net_fn = self.route_net_fn
+        changed = self.routing.update_instances(
+            self.netlist, surgery.new_inst_ids,
+            reroute=lambda net: route_net_fn(self.netlist, net))
+        self.view.patch_topology((), changed)
 
     # -- exact per-move acceptance (true_slack mode) -------------------
 
@@ -176,7 +201,8 @@ class _TimingCore:
 def optimize_block(netlist: Netlist, process: ProcessNode,
                    timing: TimingConfig, route_fn: RouteFn,
                    config: Optional[OptimizeConfig] = None,
-                   full_recompute: Optional[bool] = None
+                   full_recompute: Optional[bool] = None,
+                   route_net_fn: Optional[RouteNetFn] = None
                    ) -> OptimizeResult:
     """Run the staged timing/power optimization on a placed block.
 
@@ -188,6 +214,10 @@ def optimize_block(netlist: Netlist, process: ProcessNode,
         config: loop configuration.
         full_recompute: override ``config.full_recompute`` (the
             escape hatch disabling the incremental core).
+        route_net_fn: optional per-net re-route with the same context
+            as ``route_fn``; when given, buffer insertion is absorbed
+            incrementally (touched nets only) instead of triggering a
+            full re-route -- bit-identical results, far less work.
 
     Returns:
         The converged routing, timing and clock tree plus move counters.
@@ -197,7 +227,8 @@ def optimize_block(netlist: Netlist, process: ProcessNode,
         full_recompute = config.full_recompute
     lib = process.library
     core = _TimingCore(netlist, process, timing, route_fn,
-                       incremental=not full_recompute)
+                       incremental=not full_recompute,
+                       route_net_fn=route_net_fn)
 
     buffers_added = 0
     upsized = 0
@@ -209,11 +240,13 @@ def optimize_block(netlist: Netlist, process: ProcessNode,
         nonlocal buffers_added, upsized
         for _ in range(max_iter):
             sta = core.sta()
-            added = insert_buffers(netlist, core.routing, lib,
-                                   config.buffering)
+            plans = plan_buffers(netlist, core.routing, lib,
+                                 config.buffering)
+            surgery = apply_buffer_plan(netlist, plans)
+            added = surgery.added
             if added:
                 buffers_added += added
-                core.rebuild()  # topology changed: incremental invalid
+                core.absorb_surgery(surgery)  # topology changed
                 sta = core.sta()
             ups = core.apply(plan_upsizes(netlist, sta, lib,
                                           config.sizing))

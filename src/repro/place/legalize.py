@@ -279,6 +279,58 @@ def _legalize_batched(cells: Sequence[Instance], outline: Rect,
                           max_displacement_um=max_disp)
 
 
+def legalize_new_cells(new_cells: Sequence[Instance],
+                       placed: Sequence[Instance], outline: Rect,
+                       obstructions: Sequence[Rect] = (),
+                       row_height: float = CELL_HEIGHT_UM,
+                       max_row_search: int = 4) -> LegalizeResult:
+    """Legalize only ``new_cells`` against an already-placed block.
+
+    The incremental counterpart of :func:`legalize_cells` for ECO
+    buffer insertion: instead of re-running the row scan over the whole
+    block, the outline is clipped to the *touched row band* (the new
+    cells' target rows plus the probe margin), every existing cell
+    whose row lands in the band becomes an obstruction, and the batched
+    kernel runs over just the new cells.  Rows keep their global y
+    coordinates (the band is clipped on row boundaries), so a cell
+    legalized incrementally sits on exactly the grid a full pass would
+    use.
+
+    Args:
+        new_cells: the freshly inserted cells (mutated in place).
+        placed: the block's existing cells (never moved).
+        outline: the full core area.
+        obstructions: macro rectangles.
+        row_height: standard-cell row pitch.
+        max_row_search: probe margin around each target row.
+
+    Returns:
+        Displacement statistics for the new cells only.
+    """
+    if not new_cells:
+        return LegalizeResult(0, 0, 0.0, 0.0)
+    n_rows = max(1, int(outline.height / row_height))
+
+    def row_of(y: float) -> int:
+        r = int((y - outline.y0) // row_height)
+        return min(max(r, 0), n_rows - 1)
+
+    targets = [row_of(c.y) for c in new_cells]
+    r_lo = max(0, min(targets) - max_row_search)
+    r_hi = min(n_rows - 1, max(targets) + max_row_search)
+    band = Rect(outline.x0, outline.y0 + r_lo * row_height,
+                outline.x1, outline.y0 + (r_hi + 1) * row_height)
+    blocks: List[Rect] = [o for o in obstructions
+                          if o.y0 < band.y1 and o.y1 > band.y0]
+    half = row_height / 2.0
+    for c in placed:
+        if c.y + half > band.y0 and c.y - half < band.y1:
+            blocks.append(Rect(c.x, c.y - half, c.x + c.width_um,
+                               c.y + half))
+    return legalize_cells(new_cells, band, blocks, row_height,
+                          max_row_search)
+
+
 def overlapping_pairs(cells: Sequence[Instance],
                       row_height: float = CELL_HEIGHT_UM,
                       x_is_center: bool = False

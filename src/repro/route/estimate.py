@@ -37,6 +37,13 @@ class SinkPath:
     through_via: bool
     pin_cap_ff: float
 
+    def copy(self) -> "SinkPath":
+        return SinkPath(ref=PinRef(self.ref.inst, self.ref.port,
+                                   self.ref.pin),
+                        path_len_um=self.path_len_um,
+                        through_via=self.through_via,
+                        pin_cap_ff=self.pin_cap_ff)
+
 
 @dataclass
 class RoutedNet:
@@ -50,6 +57,18 @@ class RoutedNet:
     via: Optional[Via3D]
     sinks: List[SinkPath]
     is_long: bool
+    #: endpoint identity of the driver at route time; ``None`` on
+    #: snapshots predating driver tracking (legacy constructors)
+    driver_key: Optional[Tuple] = None
+
+    def copy(self) -> "RoutedNet":
+        """An independent deep copy (for what-if ECO sessions)."""
+        return RoutedNet(net_id=self.net_id, length_um=self.length_um,
+                         r_per_um=self.r_per_um, c_per_um=self.c_per_um,
+                         wire_cap_ff=self.wire_cap_ff, via=self.via,
+                         sinks=[s.copy() for s in self.sinks],
+                         is_long=self.is_long,
+                         driver_key=self.driver_key)
 
     @property
     def total_cap_ff(self) -> float:
@@ -125,7 +144,8 @@ def route_net(netlist: Netlist, net: Net, stack: MetalStack,
         ]
         return RoutedNet(net_id=net.id, length_um=length, r_per_um=r,
                          c_per_um=c, wire_cap_ff=c * length, via=None,
-                         sinks=sinks, is_long=length > long_wire_um)
+                         sinks=sinks, is_long=length > long_wire_um,
+                         driver_key=net.driver.key())
 
     # tier-crossing net: per-tier trees joined at the via
     drv_die = driver_pos[2]
@@ -153,7 +173,8 @@ def route_net(netlist: Netlist, net: Net, stack: MetalStack,
                               through_via=through, pin_cap_ff=cap))
     return RoutedNet(net_id=net.id, length_um=length, r_per_um=r,
                      c_per_um=c, wire_cap_ff=c * length, via=via,
-                     sinks=sinks, is_long=length > long_wire_um)
+                     sinks=sinks, is_long=length > long_wire_um,
+                     driver_key=net.driver.key())
 
 
 @dataclass
@@ -172,6 +193,48 @@ class RoutingResult:
 
     def of(self, net_id: int) -> RoutedNet:
         return self.nets[net_id]
+
+    def copy(self) -> "RoutingResult":
+        """An independent deep copy, preserving net iteration order.
+
+        ECO sessions derived from a finished design mutate their own
+        copy so the base design's electrical model stays frozen.
+        """
+        out = RoutingResult()
+        for nid, routed in self.nets.items():
+            out.nets[nid] = routed.copy()
+        return out
+
+    def refresh_nets(self, netlist: Netlist, net_ids: Iterable[int],
+                     reroute: Callable[[Net], RoutedNet]) -> List[int]:
+        """Force a from-scratch re-route of the listed nets.
+
+        The geometry-dirty counterpart of :meth:`update_instances`:
+        after a cell *moved* (ECO displacement, incremental
+        legalization) or a net's driver was rewired, the old tree is
+        invalid even though the endpoint set may still match, so the
+        listed nets are unconditionally re-routed.  Ids of nets that no
+        longer exist (buffer removal) are dropped from the view; clock
+        nets are skipped (CTS owns them).
+
+        Returns the sorted ids of the nets actually re-routed.
+        """
+        from ..obs.metrics import metrics
+
+        updated: List[int] = []
+        for nid in sorted(set(net_ids)):
+            net = netlist.nets.get(nid)
+            if net is None:
+                self.nets.pop(nid, None)
+                continue
+            if net.is_clock:
+                continue
+            self.nets[nid] = reroute(net)
+            updated.append(nid)
+        m = metrics()
+        m.counter("route.nets_reextracted").inc(len(updated))
+        m.counter("route.nets_rerouted").inc(len(updated))
+        return updated
 
     def update_instances(self, netlist: Netlist,
                          changed_inst_ids: Iterable[int],
@@ -206,34 +269,42 @@ class RoutingResult:
         from ..obs.metrics import metrics
 
         seen: set = set()
-        updated: List[int] = []
-        rerouted = 0
+        dirty: List[Net] = []
         for iid in changed_inst_ids:
             for net in netlist.nets_of(iid):
                 if net.is_clock or net.id in seen:
                     continue
                 seen.add(net.id)
-                routed = self.nets.get(net.id)
-                if routed is not None and \
-                        [s.ref.key() for s in routed.sinks] == \
-                        [s.key() for s in net.sinks]:
-                    # frozen topology: geometry reused, pin caps only
-                    changed = False
-                    for sp in routed.sinks:
-                        cap = netlist.endpoint_cap_ff(sp.ref)
-                        if cap != sp.pin_cap_ff:
-                            sp.pin_cap_ff = cap
-                            changed = True
-                    if changed:
-                        updated.append(net.id)
-                    continue
-                if reroute is None:
-                    raise ValueError(
-                        f"net {net.name!r} changed topology; "
-                        f"update_instances needs a reroute fallback")
-                self.nets[net.id] = reroute(net)
-                rerouted += 1
-                updated.append(net.id)
+                dirty.append(net)
+        # ascending net id: fresh nets append to the dict exactly where
+        # a from-scratch route_block would put them (order parity)
+        dirty.sort(key=lambda n: n.id)
+        updated: List[int] = []
+        rerouted = 0
+        for net in dirty:
+            routed = self.nets.get(net.id)
+            if routed is not None and \
+                    (routed.driver_key is None or
+                     routed.driver_key == net.driver.key()) and \
+                    [s.ref.key() for s in routed.sinks] == \
+                    [s.key() for s in net.sinks]:
+                # frozen topology: geometry reused, pin caps only
+                changed = False
+                for sp in routed.sinks:
+                    cap = netlist.endpoint_cap_ff(sp.ref)
+                    if cap != sp.pin_cap_ff:
+                        sp.pin_cap_ff = cap
+                        changed = True
+                if changed:
+                    updated.append(net.id)
+                continue
+            if reroute is None:
+                raise ValueError(
+                    f"net {net.name!r} changed topology; "
+                    f"update_instances needs a reroute fallback")
+            self.nets[net.id] = reroute(net)
+            rerouted += 1
+            updated.append(net.id)
         m = metrics()
         m.counter("route.nets_reextracted").inc(len(updated))
         if rerouted:
@@ -263,3 +334,36 @@ def route_block(netlist: Netlist, stack: MetalStack, max_metal: int = 7,
             via=via if xy is not None else None, via_xy=xy,
             long_wire_um=long_wire_um, detour_factor=detour_factor)
     return result
+
+
+@dataclass
+class RouteContext:
+    """Everything needed to (re-)route a net of one block.
+
+    The flow routes through closures over :func:`route_block`; ECO
+    sessions need the same stack/via/threshold context *per net*, long
+    after the flow returned.  A context captures it once and offers
+    both granularities, guaranteeing an ECO re-route uses bit-identical
+    parameters to the original flow route.
+    """
+
+    stack: MetalStack
+    max_metal: int = 7
+    via: Optional[Via3D] = None
+    via_sites: Dict[int, Tuple[float, float]] = field(default_factory=dict)
+    long_wire_um: float = 120.0
+    detour_factor: float = 1.0
+
+    def route_net(self, netlist: Netlist, net: Net) -> RoutedNet:
+        xy = self.via_sites.get(net.id)
+        return route_net(netlist, net, self.stack,
+                         max_metal=self.max_metal,
+                         via=self.via if xy is not None else None,
+                         via_xy=xy, long_wire_um=self.long_wire_um,
+                         detour_factor=self.detour_factor)
+
+    def route_block(self, netlist: Netlist) -> RoutingResult:
+        return route_block(netlist, self.stack, max_metal=self.max_metal,
+                           via=self.via, via_sites=self.via_sites,
+                           long_wire_um=self.long_wire_um,
+                           detour_factor=self.detour_factor)

@@ -61,7 +61,41 @@ class IncrementalSTA:
         self.period = base.period_ps
         self.arrival: Dict[int, float] = dict(base.arrival)
         self.required: Dict[int, float] = dict(base.required)
+        self._index_graph()
 
+    @classmethod
+    def from_snapshot(cls, netlist: Netlist, routing: RoutingResult,
+                      process: ProcessNode, config: TimingConfig,
+                      snapshot: STAResult) -> "IncrementalSTA":
+        """Adopt a finished design's STA instead of re-running it.
+
+        ``snapshot`` must be the exact :func:`run_sta` result for
+        ``(netlist, routing, config)`` -- e.g. ``BlockDesign.sta``
+        straight out of the flow.  Only the (float-free) graph index is
+        rebuilt; ``sta.full_rebuilds`` stays untouched, which is what
+        lets a derived ECO scenario reuse the base design's timing work
+        wholesale.
+        """
+        view = cls.__new__(cls)
+        view.netlist = netlist
+        view.routing = routing
+        view.process = process
+        view.config = config
+        view.period = snapshot.period_ps
+        view.arrival = dict(snapshot.arrival)
+        view.required = dict(snapshot.required)
+        view._index_graph()
+        return view
+
+    def _index_graph(self) -> None:
+        """(Re)build the structural index: edges, loads, topo order.
+
+        Pure graph bookkeeping -- no timing values are touched, so this
+        is safe to re-run after netlist surgery to absorb new/removed
+        nets and instances.  Loads are re-accumulated from scratch in
+        ``run_sta``'s net order, keeping them bit-identical with a full
+        run.
+        """
         insts = self.netlist.instances
         # edges keep live references to the routed SinkPath objects, so
         # wire delays always reflect the *current* pin caps
@@ -195,10 +229,119 @@ class IncrementalSTA:
         """Absorb externally re-extracted nets into the live graph.
 
         Call after mutating the routing view directly (for example a
-        caller-driven :meth:`RoutingResult.update_instances`): affected
-        drivers' loads and both cones are re-timed incrementally.
+        caller-driven :meth:`RoutingResult.update_instances` or
+        :meth:`RoutingResult.refresh_nets`): affected drivers' loads
+        and both cones are re-timed incrementally.  The edge index is
+        rebuilt first -- a re-route replaces the ``RoutedNet`` (and
+        ``SinkPath``) objects the edges hold live references to, and
+        retiming over the stale geometry would quietly freeze wire
+        delays at their pre-update values.
         """
+        self._index_graph()
         self._retime((), list(net_ids))
+
+    def patch_topology(self, changed_insts: Iterable[int],
+                       changed_nets: Iterable[int],
+                       removed_insts: Iterable[int] = ()) -> None:
+        """Absorb netlist surgery into the live graph.
+
+        Called after instances/nets were added, removed or rewired
+        (buffer insertion/removal, ECO displacement) *and* the routing
+        view was brought current for every affected net.  The edge
+        index is rebuilt structurally, new instances get provisional
+        timing values, the touched cones are re-propagated, and finally
+        the arrival dict is rebuilt in ``run_sta``'s canonical
+        insertion order so :meth:`to_result` stays bit-identical to a
+        from-scratch run -- including the order-sensitive TNS
+        accumulation.
+
+        Args:
+            changed_insts: live instances whose timing context changed
+                (e.g. a rewired driver).
+            changed_nets: net ids re-routed/re-extracted, including ids
+                of nets that were *removed* (skipped harmlessly).
+            removed_insts: ids of instances deleted by the surgery.
+        """
+        metrics().counter("sta.topology_patches").inc()
+        for iid in removed_insts:
+            self.arrival.pop(iid, None)
+            self.required.pop(iid, None)
+        self._index_graph()
+        insts = self.netlist.instances
+        new_ids = [iid for iid in insts if iid not in self.arrival]
+        # provisional values for the new nodes, in topo order so chains
+        # (buffer trees) see their in-batch predecessors
+        for iid in sorted(new_ids,
+                          key=lambda i: self.topo.get(i, len(insts))):
+            self.arrival[iid] = self._recompute_arrival(iid)
+            self.required.setdefault(iid, INF)
+        seeds = (set(changed_insts) | set(new_ids)) & set(insts)
+        self._retime(seeds, changed_nets)
+        order = self._canonical_arrival_order()
+        self.arrival = {iid: self.arrival[iid] for iid in order}
+        self.required = {iid: self.required.get(iid, INF)
+                         for iid in order}
+
+    def retarget(self, config: TimingConfig) -> None:
+        """Swap the I/O timing context (neighboring-scenario ECO).
+
+        Port budgets enter timing in exactly two places: launch
+        arrivals of port-driven sinks (``port_in``) and capture
+        requirements at port-capturing drivers (``term_req``).
+        Re-indexing under the new config refreshes both edge sets;
+        re-timing then seeds from every port-coupled instance, leaving
+        the interior of the block untouched unless a cone actually
+        moved.
+        """
+        self.config = config
+        self.period = self.process.clock_period_ps(config.clock_domain)
+        self._index_graph()
+        seeds = set(self.port_in) | set(self.term_req)
+        self._retime(seeds, ())
+
+    def _canonical_arrival_order(self) -> List[int]:
+        """``run_sta``'s arrival-dict insertion order, structurally.
+
+        Replays the full run's ordering without touching any floats:
+        launches and zero-pred combinational nodes in instance order,
+        then Kahn completion order over the combinational edges, then
+        the cycle-safety leftovers in instance order.  Rebuilding the
+        arrival dict in this order after surgery keeps the (float-
+        order-sensitive) TNS sum in :meth:`to_result` bit-identical to
+        a from-scratch run.
+        """
+        insts = self.netlist.instances
+        pred_count = {iid: 0 for iid in insts}
+        for edges in self.succ.values():
+            for sink, _routed, _sp in edges:
+                if sink in pred_count:
+                    pred_count[sink] += 1
+        order: List[int] = []
+        ready: deque = deque()
+        for inst in insts.values():
+            if inst.is_macro or inst.is_sequential:
+                order.append(inst.id)
+                ready.append(inst.id)
+            elif pred_count[inst.id] == 0:
+                order.append(inst.id)
+                ready.append(inst.id)
+        remaining = dict(pred_count)
+        processed: Set[int] = set()
+        while ready:
+            iid = ready.popleft()
+            if iid in processed:
+                continue
+            processed.add(iid)
+            for sink, _routed, _sp in self.succ.get(iid, ()):
+                remaining[sink] -= 1
+                if remaining[sink] == 0:
+                    order.append(sink)
+                    ready.append(sink)
+        seen = set(order)
+        for inst in insts.values():
+            if inst.id not in seen:
+                order.append(inst.id)
+        return order
 
     def try_swap(self, inst_id: int, master: CellMaster,
                  min_slack_ps: float) -> bool:

@@ -53,7 +53,8 @@ def test_design_metric_rows(process):
 class TestRegistry:
     def test_all_paper_artifacts_registered(self):
         expected = {"table1", "table2", "table3", "table4", "table5",
-                    "fig2", "fig3", "fig6", "fig7", "fig8", "dvt"}
+                    "fig2", "fig3", "fig6", "fig7", "fig8", "dvt",
+                    "eco"}
         assert expected == set(EXPERIMENTS)
 
     def test_unknown_experiment_raises(self):

@@ -1,0 +1,119 @@
+"""ECO-engine regressions: reroute scope, counters, the flow stage.
+
+The headline regression (ISSUE 9): buffer insertion used to trigger a
+full block reroute and a from-scratch STA.  These tests pin the new
+behavior through the *generated* observability name registry --
+``opt.full_reroutes`` stays flat while ``route.nets_reextracted``
+advances -- at every level: the ECO session, the optimizer's surgery
+path, and the flow's ``eco`` stage.
+"""
+
+import json
+from dataclasses import replace
+
+import pytest
+
+from repro.analysis.export_json import block_to_dict
+from repro.core.flow import FlowConfig, run_block_flow
+from repro.designgen import block_type_by_name, generate_block
+from repro.eco import BufferInsert, Displace, EcoConfig, EcoSession
+from repro.obs.metrics import metrics
+from repro.obs.names import (CTR_OPT_FULL_REROUTES,
+                             CTR_ROUTE_NETS_REEXTRACTED)
+from repro.opt.buffering import BufferingConfig, plan_net_buffering
+from repro.opt.flow import OptimizeConfig, optimize_block
+from repro.place import PlacementConfig, place_block_2d
+from repro.route.estimate import RouteContext
+from repro.timing import TimingConfig
+
+
+@pytest.fixture(scope="module")
+def base(process):
+    return run_block_flow(
+        "l2t", FlowConfig(scale=0.12, seed=7, io_budget_ps=60.0),
+        process)
+
+
+def _bufferable_nets(session, process, drive=4):
+    cfg = BufferingConfig(buffer_drive=drive)
+    return [nid for nid, routed in session.routing.nets.items()
+            if not session.netlist.nets[nid].is_clock and
+            plan_net_buffering(session.netlist, routed,
+                               process.library, cfg) is not None]
+
+
+class TestBufferInsertionStaysIncremental:
+    """Satellite regression: a buffer insert re-extracts only the
+    touched nets on l2t -- the full-reroute counter must not move."""
+
+    def test_session_buffer_insert_never_full_reroutes(self, base,
+                                                       process):
+        session = EcoSession.from_design(base, process)
+        # the optimizer already buffered every long net, so stretch one
+        # net far past the long-wire threshold to create fresh demand
+        inst = next(c for c in session.netlist.cells
+                    if not c.is_macro and not c.fixed)
+        session.apply([Displace(inst_id=inst.id, x=inst.x + 400.0,
+                                y=inst.y)])
+        nets = _bufferable_nets(session, process)
+        assert nets, "stretch produced no bufferable net"
+
+        m = metrics()
+        full_before = m.counter(CTR_OPT_FULL_REROUTES).value
+        extracted_before = m.counter(CTR_ROUTE_NETS_REEXTRACTED).value
+        report = session.apply([BufferInsert(net_id=nets[0])])
+
+        assert report.buffers_added > 0
+        assert m.counter(CTR_OPT_FULL_REROUTES).value == full_before
+        assert m.counter(CTR_ROUTE_NETS_REEXTRACTED).value > \
+            extracted_before
+        assert session.stats["full_reroutes"] == 0
+        assert session.stats["sta_full_rebuilds"] == 0
+
+    def test_optimizer_buffering_pays_one_initial_route_only(
+            self, process):
+        gb = generate_block(block_type_by_name("l2t"), process.library,
+                            seed=1)
+        place_block_2d(gb.netlist, PlacementConfig(seed=1))
+        ctx = RouteContext(stack=process.metal_stack)
+        m = metrics()
+        full_before = m.counter(CTR_OPT_FULL_REROUTES).value
+        extracted_before = m.counter(CTR_ROUTE_NETS_REEXTRACTED).value
+        result = optimize_block(
+            gb.netlist, process, TimingConfig("cpu_clk"),
+            ctx.route_block, OptimizeConfig(dual_vth=True),
+            route_net_fn=ctx.route_net)
+        assert result.buffers_added > 0
+        # exactly the initial route: buffer surgery patches per net now
+        assert result.full_reroutes == 1
+        assert m.counter(CTR_OPT_FULL_REROUTES).value - full_before == 1
+        assert m.counter(CTR_ROUTE_NETS_REEXTRACTED).value > \
+            extracted_before
+
+
+class TestFlowEcoStage:
+    def test_flow_eco_stage_is_bit_exact_vs_full_recompute(
+            self, process):
+        cfg = FlowConfig(scale=0.12, seed=7, io_budget_ps=30.0,
+                         eco=EcoConfig(target_wns_ps=305.0))
+        inc = run_block_flow("l2t", cfg, process)
+        full = run_block_flow(
+            "l2t",
+            replace(cfg, eco=EcoConfig(target_wns_ps=305.0,
+                                       full_recompute=True)),
+            process)
+        assert inc.eco_report is not None
+        assert inc.eco_report.status == "met"
+        assert inc.eco_report.moves_applied > 0
+        assert inc.eco_report.status == full.eco_report.status
+        assert json.dumps(block_to_dict(inc), sort_keys=True) == \
+            json.dumps(block_to_dict(full), sort_keys=True)
+        stats = inc.eco_report.session_stats
+        assert stats["full_reroutes"] == 0
+        assert stats["sta_full_rebuilds"] == 0
+
+    def test_flow_rejects_eco_with_detailed_route(self, process):
+        cfg = FlowConfig(scale=0.12, seed=7, detailed_route=True,
+                         eco=EcoConfig())
+        with pytest.raises(ValueError, match="detailed_route"):
+            run_block_flow("l2t", cfg, process)

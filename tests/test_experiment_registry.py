@@ -12,7 +12,7 @@ from repro.obs import trace
 from repro.obs.trace import Tracer
 
 ALL_IDS = {"table1", "table2", "table3", "table4", "table5",
-           "fig2", "fig3", "fig6", "fig7", "fig8", "dvt"}
+           "fig2", "fig3", "fig6", "fig7", "fig8", "dvt", "eco"}
 
 
 class TestRegistry:
