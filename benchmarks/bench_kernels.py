@@ -55,10 +55,37 @@ def test_kernel_route_detailed(benchmark, process, placed_l2t):
 
 
 def test_kernel_sta(benchmark, process, placed_l2t):
-    """Forward/backward STA over the routed block."""
+    """Forward/backward STA over the routed block (levelized array
+    engine; the first call builds and caches the TimingGraph)."""
     gb, _, routing = placed_l2t
     benchmark(run_sta, gb.netlist, routing, process,
               TimingConfig("cpu_clk"))
+
+
+def test_kernel_sta_scalar(benchmark, process, placed_l2t, monkeypatch):
+    """Same STA via the scalar reference walk (the baseline the
+    sta-smoke CI step asserts >=4x against, see sta_smoke.py)."""
+    from repro.timing.scalar import SCALAR_ENV
+    monkeypatch.setenv(SCALAR_ENV, "1")
+    gb, _, routing = placed_l2t
+    benchmark(run_sta, gb.netlist, routing, process,
+              TimingConfig("cpu_clk"))
+
+
+def test_kernel_route_extract(benchmark, process, placed_l2t):
+    """Batched parasitic extraction (one flat net gather + vectorized
+    trunk/Elmore math) over ~1.1k nets."""
+    gb, _, _ = placed_l2t
+    benchmark(route_block, gb.netlist, process.metal_stack)
+
+
+def test_kernel_route_extract_scalar(benchmark, process, placed_l2t,
+                                     monkeypatch):
+    """Same extraction via the legacy per-net loop."""
+    from repro.timing.scalar import SCALAR_ENV
+    monkeypatch.setenv(SCALAR_ENV, "1")
+    gb, _, _ = placed_l2t
+    benchmark(route_block, gb.netlist, process.metal_stack)
 
 
 def test_kernel_power(benchmark, process, placed_l2t):

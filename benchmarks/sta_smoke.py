@@ -1,0 +1,190 @@
+"""STA + parasitic-extraction speedup smoke check (CI gate).
+
+Times the levelized array timing engine against its scalar reference
+(:mod:`repro.timing.scalar`) on the l2t block -- ~1k cells / ~1.1k
+nets -- and asserts the flow-weighted composite is at least
+``--min-speedup`` times faster.
+
+Two kernels are timed:
+
+* ``extract`` -- one full :func:`repro.route.route_block` pass (batched
+  net gather, trunk-tree stats and Elmore math vs the per-net loop);
+* ``sta`` -- one full analysis sweep over a fixed routing:
+  :func:`run_sta` + :func:`run_hold_analysis` + :func:`io_path_delays`.
+
+The ``sta`` kernel is timed *warm*: the optimizer calls the analysis
+sweep many times per routing snapshot, so the one-shot ``NetArrays`` /
+``TimingGraph`` build (paid on the untimed warm-up call, and cached on
+the :class:`RoutingResult`) is amortized in production exactly as it is
+here.  The composite weighs ``sta`` 3x against ``extract`` 1x to match
+that call ratio in ``optimize_block``.
+
+The speedup floor defaults to the ``min_speedup`` recorded in the
+committed baseline ``benchmarks/results/BENCH_sta_baseline.json`` --
+regenerating the baseline (``--out`` to that path) refreshes the gate
+without editing this script or the CI workflow.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/sta_smoke.py \
+        --out sta_smoke_timing.json
+"""
+
+import argparse
+import json
+import os
+import sys
+import time
+
+from repro.designgen import block_type_by_name, generate_block
+from repro.obs.metrics import metrics
+from repro.obs.names import (CTR_ROUTE_NETS_EXTRACTED_BATCH,
+                             CTR_STA_LEVELS, CTR_STA_SCALAR_FALLBACKS,
+                             CTR_STA_VECTOR_PASSES)
+from repro.place import PlacementConfig, place_block_2d
+from repro.route import route_block
+from repro.tech import make_process
+from repro.timing import TimingConfig, run_sta
+from repro.timing import scalar
+from repro.timing.hold import run_hold_analysis
+from repro.timing.paths import io_path_delays
+
+BASELINE = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                        "results", "BENCH_sta_baseline.json")
+
+#: analysis sweeps per extraction in the optimizer loop (the weights)
+WEIGHTS = {"sta": 3, "extract": 1}
+
+
+def read_threshold(path: str, key: str) -> float:
+    """The committed gate threshold (hard error when unreadable)."""
+    with open(path) as f:
+        return float(json.load(f)[key])
+
+
+def build_workload(block: str = "l2t", seed: int = 1):
+    """One placed-and-routed block providing realistic kernel inputs."""
+    process = make_process()
+    gb = generate_block(block_type_by_name(block), process.library,
+                        seed=seed)
+    place_block_2d(gb.netlist, PlacementConfig(seed=seed))
+    routing = route_block(gb.netlist, process.metal_stack)
+    return {"netlist": gb.netlist, "process": process,
+            "routing": routing, "config": TimingConfig("cpu_clk"),
+            "block": block, "seed": seed}
+
+
+def kernel_runners(wl):
+    """name -> {path: zero-arg kernel callable}."""
+    nl, proc = wl["netlist"], wl["process"]
+    routing, cfg = wl["routing"], wl["config"]
+
+    def sweep_vec():
+        run_sta(nl, routing, proc, cfg)
+        run_hold_analysis(nl, routing, proc, cfg)
+        io_path_delays(nl, routing, proc, cfg)
+
+    def sweep_scalar():
+        scalar.run_sta(nl, routing, proc, cfg)
+        scalar.run_hold_analysis(nl, routing, proc, cfg)
+        scalar.io_path_delays(nl, routing, proc, cfg)
+
+    return {
+        "sta": {"vec": sweep_vec, "scalar": sweep_scalar},
+        "extract": {
+            "vec": lambda: route_block(nl, proc.metal_stack),
+            "scalar": lambda: scalar.route_block(nl, proc.metal_stack),
+        },
+    }
+
+
+def time_kernels(wl, repeats: int) -> dict:
+    """Best-of-N wall clock per kernel and path, in milliseconds."""
+    out = {}
+    for name, paths in kernel_runners(wl).items():
+        out[name] = {}
+        for path in ("vec", "scalar"):
+            fn = paths[path]
+            fn()  # warm-up (first vec sweep builds NetArrays + graph)
+            best = float("inf")
+            for _ in range(repeats):
+                t0 = time.perf_counter()
+                fn()
+                best = min(best, time.perf_counter() - t0)
+            out[name][path] = best * 1e3
+    return out
+
+
+def composite(times: dict, path: str) -> float:
+    """Flow-weighted total for one path (ms per optimizer round)."""
+    return sum(WEIGHTS[k] * times[k][path] for k in WEIGHTS)
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--out", default=None, metavar="FILE",
+                    help="write timing JSON here")
+    ap.add_argument("--baseline", default=BASELINE, metavar="FILE",
+                    help="committed baseline holding the gate "
+                         "threshold")
+    ap.add_argument("--min-speedup", type=float, default=None,
+                    help="override the baseline's min_speedup")
+    ap.add_argument("--repeats", type=int, default=7)
+    args = ap.parse_args(argv)
+    if args.min_speedup is None:
+        args.min_speedup = read_threshold(args.baseline, "min_speedup")
+
+    # the dispatchers must take their default (vectorized) branch
+    os.environ.pop(scalar.SCALAR_ENV, None)
+
+    wl = build_workload()
+    times = time_kernels(wl, args.repeats)
+    vec_ms = composite(times, "vec")
+    scalar_ms = composite(times, "scalar")
+    speedup = scalar_ms / vec_ms
+
+    snap = metrics().snapshot()
+    counters = {k: v for k, v in sorted(snap.get("counters", {}).items())
+                if k.startswith(("sta.", "route."))}
+    # the registry constants CI asserts on must be present in the report
+    for gate in (CTR_STA_LEVELS, CTR_STA_VECTOR_PASSES,
+                 CTR_ROUTE_NETS_EXTRACTED_BATCH,
+                 CTR_STA_SCALAR_FALLBACKS):
+        counters.setdefault(gate, 0.0)
+
+    report = {"block": wl["block"], "seed": wl["seed"],
+              "weights": WEIGHTS,
+              "kernels_ms": {k: {p: round(v, 4)
+                                 for p, v in paths.items()}
+                             for k, paths in times.items()},
+              "composite_ms": {"vec": round(vec_ms, 3),
+                               "scalar": round(scalar_ms, 3)},
+              "speedup": round(speedup, 2),
+              "min_speedup": args.min_speedup,
+              "counters": counters}
+    for k in WEIGHTS:
+        s, v = times[k]["scalar"], times[k]["vec"]
+        print(f"  {k:8s} x{WEIGHTS[k]}: scalar {s:8.2f}ms  "
+              f"vec {v:8.2f}ms  ({s / v:5.1f}x)")
+    print(f"composite: scalar {scalar_ms:.1f}ms vs vec {vec_ms:.1f}ms "
+          f"-> {speedup:.2f}x (floor {args.min_speedup:.1f}x)")
+    for k, v in counters.items():
+        print(f"  {k} = {v:.0f}")
+    if args.out:
+        with open(args.out, "w") as f:
+            json.dump(report, f, indent=2, sort_keys=True)
+            f.write("\n")
+        print(f"wrote {args.out}")
+    if counters.get(CTR_STA_SCALAR_FALLBACKS, 0.0):
+        print("FAIL: vectorized engine fell back to the scalar walk",
+              file=sys.stderr)
+        return 1
+    if speedup < args.min_speedup:
+        print(f"FAIL: speedup {speedup:.2f}x below floor "
+              f"{args.min_speedup:.1f}x", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -34,16 +34,19 @@ def _corner_view(design: BlockDesign, process: ProcessNode):
     """Temporarily swap the design's cell masters to a corner library."""
     netlist = design.netlist
     saved = {}
-    for inst in netlist.instances.values():
+    for inst in list(netlist.instances.values()):
         if inst.is_macro:
             continue
         saved[inst.id] = inst.master
-        inst.master = process.library.master(inst.master.name)
+        # replace_master (not direct assignment) so the master-revision
+        # counter invalidates any cached timing-graph delay tables
+        netlist.replace_master(inst.id, process.library.master(
+            inst.master.name))
     try:
         yield
     finally:
         for iid, master in saved.items():
-            netlist.instances[iid].master = master
+            netlist.replace_master(iid, master)
 
 
 def analyze_corners(design: BlockDesign, base_process: ProcessNode,

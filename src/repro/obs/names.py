@@ -105,6 +105,7 @@ CTR_OPT_ROUNDS = "opt.rounds"
 CTR_PLACE_CELLS_LEGALIZED = "place.cells_legalized"
 CTR_PLACE_QP_SOLVES = "place.qp_solves"
 CTR_PLACE_SPREAD_CALLS = "place.spread_calls"
+CTR_ROUTE_NETS_EXTRACTED_BATCH = "route.nets_extracted_batch"
 CTR_ROUTE_NETS_REEXTRACTED = "route.nets_reextracted"
 CTR_ROUTE_NETS_REROUTED = "route.nets_rerouted"
 CTR_SERVICE_CANCELLED = "service.cancelled"
@@ -120,7 +121,10 @@ CTR_SERVICE_SHARD_DEATHS = "service.shard_deaths"
 CTR_SERVICE_STEALS = "service.steals"
 CTR_STA_FULL_REBUILDS = "sta.full_rebuilds"
 CTR_STA_INCREMENTAL_NODES = "sta.incremental_nodes"
+CTR_STA_LEVELS = "sta.levels"
+CTR_STA_SCALAR_FALLBACKS = "sta.scalar_fallbacks"
 CTR_STA_TOPOLOGY_PATCHES = "sta.topology_patches"
+CTR_STA_VECTOR_PASSES = "sta.vector_passes"
 CTR_TASKS_CRASHED = "tasks.crashed"
 CTR_TASKS_FAILED = "tasks.failed"
 CTR_TASKS_RETRIED = "tasks.retried"
@@ -154,6 +158,7 @@ CTR_NAMES = (
     CTR_PLACE_CELLS_LEGALIZED,
     CTR_PLACE_QP_SOLVES,
     CTR_PLACE_SPREAD_CALLS,
+    CTR_ROUTE_NETS_EXTRACTED_BATCH,
     CTR_ROUTE_NETS_REEXTRACTED,
     CTR_ROUTE_NETS_REROUTED,
     CTR_SERVICE_CANCELLED,
@@ -169,7 +174,10 @@ CTR_NAMES = (
     CTR_SERVICE_STEALS,
     CTR_STA_FULL_REBUILDS,
     CTR_STA_INCREMENTAL_NODES,
+    CTR_STA_LEVELS,
+    CTR_STA_SCALAR_FALLBACKS,
     CTR_STA_TOPOLOGY_PATCHES,
+    CTR_STA_VECTOR_PASSES,
     CTR_TASKS_CRASHED,
     CTR_TASKS_FAILED,
     CTR_TASKS_RETRIED,

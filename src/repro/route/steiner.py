@@ -72,6 +72,65 @@ def trunk_tree(pins: Sequence[Tuple[float, float]]) -> TrunkTree:
     return TrunkTree(ty, x_min, x_max, pts, length)
 
 
+def batch_trunk_stats(xs, ys, starts):
+    """Trunk-tree statistics for many pin sets at once.
+
+    The vector core of the batched net extractor
+    (:func:`repro.route.estimate.route_block`): given the flat pin
+    coordinates of ``N`` nets in net-major order and CSR offsets
+    ``starts`` (length ``N + 1``), returns per-net arrays
+    ``(trunk_y, x_min, x_max, length_um)`` that match
+    :func:`trunk_tree` bit-for-bit:
+
+    * the trunk y is the median of each net's sorted ys (odd count:
+      middle element; even count: ``0.5 * (lo + hi)`` exactly as
+      ``_median``);
+    * the length is ``(x_max - x_min) + sum(|y - trunk_y|)`` with the
+      stub sum accumulated sequentially in pin order (``np.bincount``
+      adds per-segment weights in flat element order, matching the
+      scalar ``sum`` loop term for term).
+
+    Single-pin nets come out with ``length == 0`` and the degenerate
+    trunk at the pin, identical to ``trunk_tree``'s special case.
+    """
+    import numpy as np
+
+    xs = np.asarray(xs, dtype=np.float64)
+    ys = np.asarray(ys, dtype=np.float64)
+    starts = np.asarray(starts, dtype=np.int64)
+    n = len(starts) - 1
+    counts = starts[1:] - starts[:-1]
+    if xs.size == 0 or n == 0:
+        z = np.zeros(n, dtype=np.float64)
+        return z, z.copy(), z.copy(), z.copy()
+
+    seg = np.repeat(np.arange(n, dtype=np.int64), counts)
+    # per-net sorted ys via one lexsort; medians picked by offset
+    order = np.lexsort((ys, seg))
+    ys_sorted = ys[order]
+    mid = counts // 2
+    hi = ys_sorted[starts[:-1] + mid]
+    odd = (counts % 2).astype(bool)
+    lo = ys_sorted[starts[:-1] + np.maximum(mid - 1, 0)]
+    trunk_y = np.where(odd, hi, 0.5 * (lo + hi))
+
+    x_min = np.minimum.reduceat(xs, starts[:-1])
+    x_max = np.maximum.reduceat(xs, starts[:-1])
+    stub = np.abs(ys - trunk_y[seg])
+    stub_sum = np.bincount(seg, weights=stub, minlength=n)
+    length = (x_max - x_min) + stub_sum
+    length[counts <= 1] = 0.0
+    return trunk_y, x_min, x_max, length
+
+
+def batch_path_length(ax, ay, bx, by, trunk_y):
+    """Vectorized :meth:`TrunkTree.path_length` (same operand order)."""
+    import numpy as np
+
+    return (np.abs(ay - trunk_y) + np.abs(by - trunk_y) +
+            np.abs(ax - bx))
+
+
 def steiner_length(pins: Sequence[Tuple[float, float]]) -> float:
     """Trunk-tree wirelength of a pin set (um)."""
     return trunk_tree(pins).length_um

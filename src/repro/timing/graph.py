@@ -1,0 +1,589 @@
+"""Levelized structure-of-arrays timing engines (the default path).
+
+The scalar engines in :mod:`repro.timing.scalar` walk the
+combinational DAG one node at a time through dicts and deques.  This
+module replaces that walk with a **TimingGraph**: a flat array view of
+the routed netlist (instances, per-sink Elmore wire delays, driver
+loads, combinational edges) plus a one-shot Kahn levelization.  Each
+analysis then runs as a handful of vectorized gathers and segment
+reductions per level instead of per-node Python.
+
+Bit-exactness contract (verified by ``tests/test_sta_parity.py``; the
+full argument lives in ``docs/timing.md``):
+
+* order-free reductions (arrival max, required/hold min, WNS/WHS) are
+  computed with vector ``max``/``min`` -- comparison-based and
+  therefore bit-exact regardless of evaluation order;
+* ordered float accumulations (driver loads, TNS) keep the scalar
+  path's sequential order -- loads via ``np.bincount`` (which adds
+  per-segment weights in flat element order) over nets in netlist
+  order, TNS via a small Python loop over the canonical arrival order;
+* every elementwise float expression (cell delay, Elmore terms,
+  backward-edge requireds) replicates the scalar operand order
+  operation for operation;
+* dict *iteration order* of ``STAResult.arrival`` reproduces the
+  scalar engine's FIFO completion order.  That order is purely
+  structural: seeds enqueue in instance order, and a node enqueues the
+  moment its last predecessor edge relaxes, i.e. at the lexicographic
+  max over its in-edges of ``(predecessor completion position, edge
+  construction index)`` -- so the canonical order is recovered level by
+  level without running the scalar walk.  ``required`` iterates in the
+  scalar backward order ``sorted by (-arrival, instance id)``.
+
+The graph assumes every cell delay is positive (true for the whole
+generated library), which makes arrivals strictly increasing along
+edges; the scalar backward pass's arrival-sorted order is then a
+reverse topological order and level-descending processing matches it.
+
+Fallbacks: combinational cycles, routed sinks out of positional sync
+with the netlist (mid-surgery snapshots), or non-monotone instance ids
+route the call to the scalar reference engine (counted by
+``sta.scalar_fallbacks``).
+
+Caching: the flat net view lives on the :class:`RoutingResult`
+(:meth:`~repro.route.estimate.RoutingResult.net_arrays`, keyed by the
+netlist's connectivity revision); the levelized graph with its delay
+tables is cached on that view keyed by the netlist's master revision,
+so a setup + hold + I/O-path sweep over one snapshot builds the graph
+once.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..netlist.core import Netlist
+from ..route.estimate import NetArrays, RoutingResult
+from ..tech.process import ProcessNode
+from .sta import (MACRO_SETUP_PS, SETUP_PS, STAResult, TimingConfig)
+
+_NEG_INF = float("-inf")
+_INF = float("inf")
+
+
+def _ranges(starts: np.ndarray, ends: np.ndarray) -> np.ndarray:
+    """Concatenate ``[starts[i], ends[i])`` ranges into one index array."""
+    cnts = ends - starts
+    total = int(cnts.sum())
+    if total == 0:
+        return np.empty(0, dtype=np.int64)
+    offs = np.repeat(np.cumsum(cnts) - cnts, cnts)
+    return np.repeat(starts, cnts) + np.arange(total, dtype=np.int64) - offs
+
+
+class TimingGraph:
+    """Levelized array form of one routed netlist snapshot."""
+
+    def __init__(self, netlist: Netlist, arrays: NetArrays) -> None:
+        self.mrev = netlist.mrev
+        self.ok = True          # False -> callers must use the scalar path
+        self.cyclic = False
+
+        insts = netlist.instances
+        iids: List[int] = []
+        mac: List[bool] = []
+        seq: List[bool] = []
+        intr: List[float] = []
+        res: List[float] = []
+        memo: Dict[int, Tuple[bool, bool, float, float]] = {}
+        for inst in insts.values():
+            m = inst.master
+            t = memo.get(id(m))
+            if t is None:
+                im = inst.is_macro
+                t = (im, (not im) and m.is_sequential,
+                     m.intrinsic_delay_ps, m.drive_res_kohm)
+                memo[id(m)] = t
+            iids.append(inst.id)
+            mac.append(t[0])
+            seq.append(t[1])
+            intr.append(t[2])
+            res.append(t[3])
+
+        self.iids = np.asarray(iids, dtype=np.int64)
+        V = self.V = len(iids)
+        self.is_macro = np.asarray(mac, dtype=bool)
+        self.is_seq = np.asarray(seq, dtype=bool)
+        intrinsic = np.asarray(intr, dtype=np.float64)
+        drive_res = np.asarray(res, dtype=np.float64)
+
+        if V and not bool(np.all(np.diff(self.iids) > 0)):
+            self.ok = False     # scalar seed order needs monotone ids
+            return
+
+        # -- dense endpoint indices ------------------------------------
+        s_raw = arrays.sink_inst
+        net_row = arrays.sink_net
+        sp = arrays.sink_is_port
+        d_raw = arrays.drv_inst
+        drvp = arrays.drv_is_port
+        if V:
+            sd = np.searchsorted(self.iids, np.clip(s_raw, 0, None))
+            sd = np.clip(sd, 0, V - 1)
+            dd = np.searchsorted(self.iids, np.clip(d_raw, 0, None))
+            dd = np.clip(dd, 0, V - 1)
+            bad_sink = (~sp) & (self.iids[sd] != s_raw)
+            bad_drv = (~drvp) & (self.iids[dd] != d_raw)
+            if bool(bad_sink.any()) or bool(bad_drv.any()):
+                self.ok = False  # dangling endpoint: scalar raises KeyError
+                return
+        else:
+            sd = np.zeros(len(s_raw), dtype=np.int64)
+            dd = np.zeros(len(d_raw), dtype=np.int64)
+            if bool((~sp).any()) or bool((~drvp).any()):
+                self.ok = False   # instance endpoints but no instances
+                return
+
+        mac_sd = self.is_macro[sd] if V else np.zeros(len(sd), dtype=bool)
+        seq_sd = self.is_seq[sd] if V else np.zeros(len(sd), dtype=bool)
+        mac_dd = self.is_macro[dd] if V else np.zeros(len(dd), dtype=bool)
+        self.all_matched = bool(arrays.matched.all())
+
+        # -- driver loads and cell delays (ordered accumulation) -------
+        # predicate = net_loads_driver: non-clock (already filtered),
+        # instance driver, pin 0 or macro; the bincount adds
+        # total_cap_ff per driver sequentially in netlist net order,
+        # matching the scalar loops bit for bit
+        mask_load = (~drvp) & ((arrays.drv_pin == 0) | mac_dd)
+        if V:
+            self.loads = np.bincount(dd[mask_load],
+                                     weights=arrays.total_cap[mask_load],
+                                     minlength=V)
+        else:
+            self.loads = np.zeros(0, dtype=np.float64)
+        # CellMaster.delay_ps: intrinsic + drive_res * load; macros
+        # launch with their intrinsic access time
+        self.delay = np.where(self.is_macro, intrinsic,
+                              intrinsic + drive_res * self.loads)
+
+        # -- edge groups over the flat sink rows -----------------------
+        drvp_row = drvp[net_row]
+        nonport = ~sp
+        tmac = nonport & mac_sd
+        tseq = nonport & seq_sd
+        term = tmac | tseq
+
+        m_comb = (~drvp_row) & nonport & ~term
+        self.e_src = dd[net_row[m_comb]]
+        self.e_dst = sd[m_comb]
+        self.e_wd = arrays.sink_wd[m_comb]
+        e_idx = np.flatnonzero(m_comb)   # scalar succ-list append order
+
+        m_ti = (~drvp_row) & term
+        self.t_i_drv = dd[net_row[m_ti]]
+        self.t_i_wd = arrays.sink_wd[m_ti]
+        self.t_i_macro = tmac[m_ti]
+        self.t_i_sink_raw = s_raw[m_ti]  # hold capture instance ids
+        # the I/O-path capture setup margin per entry (constant)
+        self.io_cap_setup = np.where(self.t_i_macro, MACRO_SETUP_PS,
+                                     SETUP_PS)
+
+        m_tp = (~drvp_row) & sp
+        self.t_p_drv = dd[net_row[m_tp]]
+        self.t_p_wd = arrays.sink_wd[m_tp]
+        tp_rows = np.flatnonzero(m_tp)
+        tp_names = [arrays.sink_ports[i] for i in tp_rows.tolist()]
+        self.tp_names, self.t_p_name_idx = _intern(tp_names)
+
+        m_pf = drvp_row & nonport & ~term
+        self.pf_dst = sd[m_pf]
+        self.pf_wd = arrays.sink_wd[m_pf]
+        pf_rows = net_row[m_pf]
+        pf_names = [arrays.drv_ports[i] for i in pf_rows.tolist()]
+        self.pf_names, self.pf_name_idx = _intern(pf_names)
+
+        # I/O-path port seeds: max(0, wire delays) per port-driven node
+        mb = np.full(V, _NEG_INF)
+        np.maximum.at(mb, self.pf_dst, self.pf_wd)
+        self.port_base = np.where(mb > _NEG_INF, np.maximum(mb, 0.0),
+                                  _NEG_INF)
+
+        # hold capture emission order: drivers by first appearance,
+        # entries per driver in append order (scalar dict iteration)
+        C = len(self.t_i_drv)
+        first: Dict[int, int] = {}
+        rank = np.empty(C, dtype=np.int64)
+        drv_list = self.t_i_drv.tolist()
+        for i, d in enumerate(drv_list):
+            r = first.get(d)
+            if r is None:
+                r = first[d] = len(first)
+            rank[i] = r
+        self.cap_perm = np.lexsort((np.arange(C, dtype=np.int64), rank))
+
+        # -- levelization (pure structure, value-independent) ----------
+        E = len(self.e_src)
+        pred = np.bincount(self.e_dst, minlength=V) if V else \
+            np.zeros(0, dtype=np.int64)
+        self.pred_count = pred
+        s_ord = np.argsort(self.e_src, kind="stable")
+        s_src = self.e_src[s_ord]
+        s_indptr = np.searchsorted(s_src, np.arange(V + 1))
+        d_ord = np.argsort(self.e_dst, kind="stable")
+        d_dst = self.e_dst[d_ord]
+        d_indptr = np.searchsorted(d_dst, np.arange(V + 1))
+        d_src = self.e_src[d_ord]
+        d_wd = self.e_wd[d_ord]
+        d_eidx = e_idx[d_ord]
+        s_dst = self.e_dst[s_ord]
+        s_wd = self.e_wd[s_ord]
+
+        seed = self.is_macro | self.is_seq | (pred == 0)
+        self.seed_mask = seed
+        proc_pos = np.full(V, -1, dtype=np.int64)
+        w0 = np.flatnonzero(seed)
+        proc_pos[w0] = np.arange(len(w0), dtype=np.int64)
+        next_pos = len(w0)
+        waves = [w0]
+        # per-wave cached gathers: forward in-edges (grouped per node in
+        # wave order) and backward out-edges (nodes that have any)
+        self.fin: List[Tuple[np.ndarray, np.ndarray, np.ndarray]] = [
+            (np.empty(0, np.int64), np.empty(0, np.float64),
+             np.empty(0, np.int64))]
+        remaining = pred.copy()
+        done = seed.copy()
+        frontier = w0
+        while True:
+            rows = _ranges(s_indptr[frontier], s_indptr[frontier + 1])
+            if rows.size == 0:
+                break
+            cnt = np.bincount(s_dst[rows], minlength=V)
+            remaining -= cnt
+            new = np.flatnonzero((remaining == 0) & (cnt > 0) & ~done)
+            if new.size == 0:
+                break
+            # completion keys: lex-max over in-edges of
+            # (pred completion position, edge construction index)
+            r2 = _ranges(d_indptr[new], d_indptr[new + 1])
+            cnt2 = d_indptr[new + 1] - d_indptr[new]
+            owner = np.repeat(np.arange(len(new), dtype=np.int64), cnt2)
+            p = proc_pos[d_src[r2]]
+            e = d_eidx[r2]
+            perm = np.lexsort((e, p, owner))
+            last = np.cumsum(cnt2) - 1
+            kp = p[perm][last]
+            ke = e[perm][last]
+            worder = np.lexsort((ke, kp))
+            wave_nodes = new[worder]
+            proc_pos[wave_nodes] = next_pos + \
+                np.arange(len(wave_nodes), dtype=np.int64)
+            next_pos += len(wave_nodes)
+            done[new] = True
+            waves.append(wave_nodes)
+            # in-edge gather for the forward value pass, in wave order
+            r3 = _ranges(d_indptr[wave_nodes], d_indptr[wave_nodes + 1])
+            cnt3 = d_indptr[wave_nodes + 1] - d_indptr[wave_nodes]
+            starts3 = np.cumsum(cnt3) - cnt3
+            self.fin.append((d_src[r3], d_wd[r3], starts3))
+            frontier = wave_nodes
+
+        if V and not bool(done.all()):
+            self.cyclic = True   # combinational cycle: scalar handles it
+            self.ok = False
+            return
+
+        self.waves = waves
+        self.canon = np.concatenate(waves) if waves else \
+            np.empty(0, dtype=np.int64)
+        self.canon_iids = self.iids[self.canon].tolist()
+        self.seed_comb = w0[~(self.is_macro[w0] | self.is_seq[w0])]
+        self.n_levels = len(waves)
+
+        # backward out-edge gathers per wave (only nodes with edges)
+        self.bout: List[Tuple[np.ndarray, np.ndarray, np.ndarray,
+                              np.ndarray]] = []
+        for nodes in waves:
+            has = s_indptr[nodes + 1] > s_indptr[nodes]
+            bn = nodes[has]
+            r4 = _ranges(s_indptr[bn], s_indptr[bn + 1])
+            cnt4 = s_indptr[bn + 1] - s_indptr[bn]
+            starts4 = np.cumsum(cnt4) - cnt4
+            self.bout.append((bn, s_dst[r4], s_wd[r4], starts4))
+
+    # -- forward max/min value propagation -----------------------------
+
+    def forward_max(self, comb_in: np.ndarray,
+                    seed_arr: np.ndarray) -> np.ndarray:
+        """Levelized longest-arrival pass.
+
+        ``comb_in`` carries the external seeds (port arrivals) and is
+        updated in place; ``seed_arr`` holds level-0 arrivals.
+        """
+        arr = seed_arr
+        for ell in range(1, len(self.waves)):
+            nodes = self.waves[ell]
+            src, wd, starts = self.fin[ell]
+            t = arr[src] + wd
+            m = np.maximum.reduceat(t, starts) if len(t) else \
+                np.empty(0, np.float64)
+            ci = np.maximum(m, comb_in[nodes])
+            comb_in[nodes] = ci
+            arr[nodes] = ci + self.delay[nodes]
+        return arr
+
+    def forward_min(self, seed_arr: np.ndarray) -> np.ndarray:
+        """Levelized shortest-arrival pass (hold)."""
+        arr = seed_arr
+        for ell in range(1, len(self.waves)):
+            nodes = self.waves[ell]
+            src, wd, starts = self.fin[ell]
+            t = arr[src] + wd
+            m = np.minimum.reduceat(t, starts) if len(t) else \
+                np.empty(0, np.float64)
+            arr[nodes] = m + self.delay[nodes]
+        return arr
+
+    def backward_min(self, req: np.ndarray) -> np.ndarray:
+        """Levelized required-time pass, level-descending.
+
+        ``req`` arrives seeded with the terminal requirements and is
+        tightened in place: each node takes the min over its out-edges
+        of ``(req[sink] - delay[sink]) - wire_delay`` (the scalar
+        ``r_sink < INF`` guard is a no-op because ``inf`` minus a
+        finite delay stays ``inf``).
+        """
+        for ell in range(len(self.waves) - 1, -1, -1):
+            bn, dst, wd, starts = self.bout[ell]
+            if len(bn) == 0:
+                continue
+            t = (req[dst] - self.delay[dst]) - wd
+            m = np.minimum.reduceat(t, starts)
+            req[bn] = np.minimum(req[bn], m)
+        return req
+
+
+def _intern(names: List[Optional[str]]
+            ) -> Tuple[List[Optional[str]], np.ndarray]:
+    """(unique names, per-entry index) for cheap per-call io lookups."""
+    uniq: List[Optional[str]] = []
+    where: Dict[Optional[str], int] = {}
+    idx = np.empty(len(names), dtype=np.int64)
+    for i, nm in enumerate(names):
+        j = where.get(nm)
+        if j is None:
+            j = where[nm] = len(uniq)
+            uniq.append(nm)
+        idx[i] = j
+    return uniq, idx
+
+
+def graph_for(netlist: Netlist, routing: RoutingResult
+              ) -> Optional[TimingGraph]:
+    """The cached levelized graph for a snapshot (None -> use scalar)."""
+    from ..obs.metrics import metrics
+
+    arrays = routing.net_arrays(netlist)
+    g = getattr(arrays, "_graph", None)
+    if g is None or g.mrev != netlist.mrev:
+        g = TimingGraph(netlist, arrays)
+        arrays._graph = g
+        if g.ok:
+            metrics().counter("sta.levels").inc(g.n_levels)
+    if not g.ok:
+        metrics().counter("sta.scalar_fallbacks").inc()
+        return None
+    return g
+
+
+# ---------------------------------------------------------------------------
+# setup STA
+# ---------------------------------------------------------------------------
+
+def run_sta_array(netlist: Netlist, routing: RoutingResult,
+                  process: ProcessNode,
+                  config: TimingConfig) -> STAResult:
+    """Array-path :func:`repro.timing.sta.run_sta` (same result, faster)."""
+    from ..obs.metrics import metrics
+    from . import scalar
+
+    g = graph_for(netlist, routing)
+    if g is None or not g.all_matched:
+        if g is not None:
+            metrics().counter("sta.scalar_fallbacks").inc()
+        return scalar.run_sta(netlist, routing, process, config)
+    metrics().counter("sta.vector_passes").inc()
+
+    period = process.clock_period_ps(config.clock_domain)
+    V = g.V
+
+    # input-port arrivals onto their combinational fanout
+    comb_in = np.full(V, _NEG_INF)
+    if len(g.pf_dst):
+        a0 = np.asarray([config.io_delay(nm) for nm in g.pf_names])
+        np.maximum.at(comb_in, g.pf_dst, a0[g.pf_name_idx] + g.pf_wd)
+
+    # level-0 arrivals: flop/macro launches plus zero-pred comb cells
+    arr = np.full(V, _NEG_INF)
+    w0 = g.waves[0] if g.waves else np.empty(0, np.int64)
+    arr[w0] = g.delay[w0]
+    zp = g.seed_comb
+    base = comb_in[zp].copy()
+    base[base == _NEG_INF] = 0.0
+    arr[zp] = base + g.delay[zp]
+
+    arr = g.forward_max(comb_in, arr)
+
+    # terminal requirements -> req seed (order-free min)
+    req = np.full(V, _INF)
+    if len(g.t_i_drv):
+        r_i = np.where(g.t_i_macro, period - MACRO_SETUP_PS,
+                       period - SETUP_PS)
+        np.minimum.at(req, g.t_i_drv, r_i - g.t_i_wd)
+    if len(g.t_p_drv):
+        ports = netlist.ports
+        keep = np.asarray([not ports[nm].false_path
+                           for nm in g.tp_names])[g.t_p_name_idx]
+        if bool(keep.any()):
+            r_p = np.asarray([period - config.io_delay(nm)
+                              for nm in g.tp_names])[g.t_p_name_idx]
+            np.minimum.at(req, g.t_p_drv[keep],
+                          (r_p - g.t_p_wd)[keep])
+    req = g.backward_min(req)
+
+    # -- emission in the scalar engine's dict orders -------------------
+    arrival: Dict[int, float] = {}
+    a_list = arr[g.canon].tolist()
+    for iid, a in zip(g.canon_iids, a_list):
+        arrival[iid] = a
+
+    required: Dict[int, float] = {}
+    ordb = np.lexsort((np.arange(V, dtype=np.int64), -arr))
+    iids_b = g.iids[ordb].tolist()
+    req_b = req[ordb].tolist()
+    for iid, r in zip(iids_b, req_b):
+        required[iid] = r
+
+    slack: Dict[int, float] = {}
+    wns = _INF
+    tns = 0.0
+    r_canon = req[g.canon].tolist()
+    for iid, a, r in zip(g.canon_iids, a_list, r_canon):
+        if r >= _INF:
+            continue
+        s = r - a
+        slack[iid] = s
+        if s < wns:
+            wns = s
+        if s < 0:
+            tns += s
+    if wns == _INF:
+        wns = 0.0
+    return STAResult(period_ps=period, arrival=arrival, required=required,
+                     slack=slack, wns_ps=wns, tns_ps=tns)
+
+
+# ---------------------------------------------------------------------------
+# hold analysis
+# ---------------------------------------------------------------------------
+
+def run_hold_array(netlist: Netlist, routing: RoutingResult,
+                   process: ProcessNode, config: TimingConfig,
+                   cts=None, hold_ps: float = None):
+    """Array-path :func:`repro.timing.hold.run_hold_analysis`."""
+    from ..obs.metrics import metrics
+    from . import scalar
+    from .hold import HoldResult
+    from .sta import HOLD_PS
+
+    if hold_ps is None:
+        hold_ps = HOLD_PS
+    g = graph_for(netlist, routing)
+    if g is None:
+        return scalar.run_hold_analysis(netlist, routing, process, config,
+                                        cts=cts, hold_ps=hold_ps)
+    metrics().counter("sta.vector_passes").inc()
+
+    skew = cts.skew_ps if cts is not None else 0.0
+    requirement = hold_ps + skew
+
+    V = g.V
+    arr = np.full(V, _INF)
+    w0 = g.waves[0] if g.waves else np.empty(0, np.int64)
+    # macro -> intrinsic, flop / port-only comb -> delay(load): exactly
+    # the per-node delay table
+    arr[w0] = g.delay[w0]
+    arr = g.forward_min(arr)
+
+    hs = (arr[g.t_i_drv] + g.t_i_wd) - requirement
+    slack: Dict[int, float] = {}
+    whs = _INF
+    perm = g.cap_perm
+    caps = g.t_i_sink_raw[perm].tolist()
+    hs_l = hs[perm].tolist()
+    for cap_inst, h in zip(caps, hs_l):
+        prev = slack.get(cap_inst, _INF)
+        if h < prev:
+            slack[cap_inst] = h
+        if h < whs:
+            whs = h
+    violations = sum(1 for v in slack.values() if v < 0)
+    if whs == _INF:
+        whs = 0.0
+    return HoldResult(slack=slack, whs_ps=whs, violations=violations)
+
+
+# ---------------------------------------------------------------------------
+# I/O path halves
+# ---------------------------------------------------------------------------
+
+def io_path_array(netlist: Netlist, routing: RoutingResult,
+                  process: ProcessNode, config: TimingConfig,
+                  sta: Optional[STAResult] = None) -> Tuple[float, float]:
+    """Array-path :func:`repro.timing.paths.io_path_delays`."""
+    from ..obs.metrics import metrics
+    from . import scalar
+    from .sta import run_sta as run_sta_dispatch
+
+    g = graph_for(netlist, routing)
+    if g is None:
+        return scalar.io_path_delays(netlist, routing, process, config,
+                                     sta=sta)
+    metrics().counter("sta.vector_passes").inc()
+
+    if sta is None:
+        sta = run_sta_dispatch(netlist, routing, process, config)
+
+    # t_out: worst launch-to-output-port arrival (few port nets; the
+    # scalar scan is kept -- it is not a hot path)
+    t_out = 0.0
+    for name, port in netlist.ports.items():
+        if port.direction != "out" or port.false_path:
+            continue
+        for net in netlist.nets_of_port(name):
+            routed = routing.nets.get(net.id)
+            if routed is None or net.driver.is_port:
+                continue
+            for s in routed.sinks:
+                if s.ref.is_port and s.ref.port == name:
+                    a = sta.arrival.get(net.driver.inst, 0.0)
+                    t_out = max(t_out,
+                                a + routed.sink_wire_delay_ps(s))
+
+    # t_in: longest port-to-capture path; port-seeded forward pass
+    V = g.V
+    comb_in = g.port_base.copy()
+    arr = np.where(comb_in > _NEG_INF, comb_in + g.delay,
+                   _NEG_INF)
+    mask = np.zeros(V, dtype=bool)
+    w0 = g.waves[0] if g.waves else np.empty(0, np.int64)
+    mask[w0] = True
+    arr = np.where(mask, arr, _NEG_INF)  # only level-0 values so far
+    for ell in range(1, len(g.waves)):
+        nodes = g.waves[ell]
+        src, wd, starts = g.fin[ell]
+        t = arr[src] + wd
+        m = np.maximum.reduceat(t, starts) if len(t) else \
+            np.empty(0, np.float64)
+        ci = np.maximum(m, comb_in[nodes])
+        arr[nodes] = np.where(ci > _NEG_INF, ci + g.delay[nodes],
+                              _NEG_INF)
+
+    t_in = 0.0
+    if len(g.t_i_drv):
+        c = (arr[g.t_i_drv] + g.t_i_wd) + g.io_cap_setup
+        c = c[arr[g.t_i_drv] > _NEG_INF]
+        if len(c):
+            t_in = max(t_in, float(c.max()))
+    return t_in, t_out

@@ -16,9 +16,8 @@ launch/capture pairs see the inter-tier clock skew.
 
 from __future__ import annotations
 
-from collections import defaultdict, deque
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Optional
 
 from ..cts.tree import CTSResult
 from ..netlist.core import Netlist
@@ -45,93 +44,20 @@ def run_hold_analysis(netlist: Netlist, routing: RoutingResult,
                       process: ProcessNode, config: TimingConfig,
                       cts: Optional[CTSResult] = None,
                       hold_ps: float = HOLD_PS) -> HoldResult:
-    """Check every capture against ``hold + skew`` with min-delay paths."""
-    skew = cts.skew_ps if cts is not None else 0.0
-    requirement = hold_ps + skew
+    """Check every capture against ``hold + skew`` with min-delay paths.
 
-    insts = netlist.instances
-    loads: Dict[int, float] = defaultdict(float)
-    for net in netlist.nets.values():
-        if net.is_clock or net.driver.is_port:
-            continue
-        if net.driver.pin != 0 and not insts[net.driver.inst].is_macro:
-            continue
-        routed = routing.nets.get(net.id)
-        if routed is not None:
-            loads[net.driver.inst] += routed.total_cap_ff
-
-    succ: Dict[int, List[Tuple[int, float]]] = defaultdict(list)
-    pred_count: Dict[int, int] = defaultdict(int)
-    captures: Dict[int, List[Tuple[int, float]]] = defaultdict(list)
-    for net in netlist.nets.values():
-        if net.is_clock:
-            continue
-        routed = routing.nets.get(net.id)
-        if routed is None or net.driver.is_port:
-            continue
-        for s in routed.sinks:
-            if s.ref.is_port:
-                continue
-            sink = insts[s.ref.inst]
-            wd = routed.sink_wire_delay_ps(s)
-            if sink.is_macro or sink.is_sequential:
-                captures[net.driver.inst].append((s.ref.inst, wd))
-            else:
-                succ[net.driver.inst].append((s.ref.inst, wd))
-                pred_count[s.ref.inst] += 1
-
-    INF = float("inf")
-    min_arrival: Dict[int, float] = {}
-    comb_in: Dict[int, float] = defaultdict(lambda: INF)
-    ready = deque()
-    for inst in insts.values():
-        if inst.is_macro:
-            min_arrival[inst.id] = inst.master.intrinsic_delay_ps
-            ready.append(inst.id)
-        elif inst.is_sequential:
-            min_arrival[inst.id] = inst.master.delay_ps(loads[inst.id])
-            ready.append(inst.id)
-        elif pred_count[inst.id] == 0:
-            # driven only by ports: ports launch at the clock edge too,
-            # conservatively with zero external min delay
-            min_arrival[inst.id] = inst.master.delay_ps(loads[inst.id])
-            ready.append(inst.id)
-
-    remaining = dict(pred_count)
-    done = set()
-    while ready:
-        iid = ready.popleft()
-        if iid in done:
-            continue
-        done.add(iid)
-        a = min_arrival[iid]
-        for sink, wd in succ[iid]:
-            comb_in[sink] = min(comb_in[sink], a + wd)
-            remaining[sink] -= 1
-            if remaining[sink] == 0:
-                inst = insts[sink]
-                min_arrival[sink] = comb_in[sink] + \
-                    inst.master.delay_ps(loads[sink])
-                ready.append(sink)
-
-    slack: Dict[int, float] = {}
-    whs = INF
-    violations = 0
-    for drv, sinks in captures.items():
-        a = min_arrival.get(drv)
-        if a is None:
-            continue
-        for cap_inst, wd in sinks:
-            hs = (a + wd) - requirement
-            prev = slack.get(cap_inst, INF)
-            if hs < prev:
-                slack[cap_inst] = hs
-            if hs < whs:
-                whs = hs
-    violations = sum(1 for v in slack.values() if v < 0)
-    if whs == INF:
-        whs = 0.0
-    return HoldResult(slack=slack, whs_ps=whs, violations=violations)
+    Dispatches to the levelized array engine
+    (:func:`repro.timing.graph.run_hold_array`); the scalar reference
+    walk lives in :mod:`repro.timing.scalar` behind
+    ``REPRO_STA_SCALAR=1``.
+    """
+    from . import scalar
+    if scalar.use_scalar():
+        return scalar.run_hold_analysis(netlist, routing, process, config,
+                                        cts=cts, hold_ps=hold_ps)
+    from .graph import run_hold_array
+    return run_hold_array(netlist, routing, process, config,
+                          cts=cts, hold_ps=hold_ps)
 
 
 def fix_hold(netlist: Netlist, routing: RoutingResult,

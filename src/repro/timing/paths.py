@@ -16,7 +16,7 @@ from typing import Dict, List, Optional, Tuple
 from ..netlist.core import Netlist
 from ..route.estimate import RoutingResult
 from ..tech.process import ProcessNode
-from .sta import MACRO_SETUP_PS, SETUP_PS, STAResult, TimingConfig, run_sta
+from .sta import STAResult, TimingConfig, run_sta
 
 
 @dataclass
@@ -157,84 +157,15 @@ def io_path_delays(netlist: Netlist, routing: RoutingResult,
     ``t_out`` is the longest launch-to-output-port delay.  The chip-level
     sign-off (``repro.core.chip_sta``) adds the inter-block wire between
     them.
+
+    Dispatches to the levelized array engine
+    (:func:`repro.timing.graph.io_path_array`); the scalar relaxation
+    walk lives in :mod:`repro.timing.scalar` behind
+    ``REPRO_STA_SCALAR=1``.
     """
-    if sta is None:
-        sta = run_sta(netlist, routing, process, config)
-    insts = netlist.instances
-
-    # ---- t_out: arrival at output ports ---------------------------------
-    t_out = 0.0
-    for name, port in netlist.ports.items():
-        if port.direction != "out":
-            continue
-        if port.false_path:
-            continue  # observation-only pins carry no requirement
-        for net in netlist.nets_of_port(name):
-            routed = routing.nets.get(net.id)
-            if routed is None or net.driver.is_port:
-                continue
-            for s in routed.sinks:
-                if s.ref.is_port and s.ref.port == name:
-                    arr = sta.arrival.get(net.driver.inst, 0.0)
-                    t_out = max(t_out,
-                                arr + routed.sink_wire_delay_ps(s))
-
-    # ---- t_in: forward propagation with port-only sources ---------------
-    from collections import deque
-    succ: Dict[int, List[Tuple[int, float]]] = defaultdict(list)
-    pred_count: Dict[int, int] = defaultdict(int)
-    loads: Dict[int, float] = defaultdict(float)
-    port_arr: Dict[int, float] = {}
-    capture_delay: Dict[int, List[Tuple[float, float]]] = defaultdict(list)
-    for net in netlist.nets.values():
-        if net.is_clock:
-            continue
-        routed = routing.nets.get(net.id)
-        if routed is None:
-            continue
-        if not net.driver.is_port and (net.driver.pin == 0 or
-                                       insts[net.driver.inst].is_macro):
-            loads[net.driver.inst] += routed.total_cap_ff
-        for s in routed.sinks:
-            if s.ref.is_port:
-                continue
-            sink = insts[s.ref.inst]
-            wd = routed.sink_wire_delay_ps(s)
-            if sink.is_macro or sink.is_sequential:
-                if not net.driver.is_port:
-                    setup = MACRO_SETUP_PS if sink.is_macro else SETUP_PS
-                    capture_delay[net.driver.inst].append((wd, setup))
-                continue
-            if net.driver.is_port:
-                a = wd  # port external delay excluded: pure block path
-                port_arr[s.ref.inst] = max(port_arr.get(s.ref.inst,
-                                                        0.0), a)
-            else:
-                succ[net.driver.inst].append((s.ref.inst, wd))
-                pred_count[s.ref.inst] += 1
-
-    arrival: Dict[int, float] = {}
-    INF_NEG = float("-inf")
-    ready = deque()
-    for iid, a in port_arr.items():
-        inst = insts[iid]
-        arrival[iid] = a + inst.master.delay_ps(loads[iid])
-        ready.append(iid)
-    t_in = 0.0
-    visited = set()
-    while ready:
-        iid = ready.popleft()
-        if iid in visited:
-            continue
-        visited.add(iid)
-        a = arrival[iid]
-        for wd, setup in capture_delay.get(iid, ()):
-            t_in = max(t_in, a + wd + setup)
-        for sink, wd in succ[iid]:
-            cand = a + wd + insts[sink].master.delay_ps(loads[sink])
-            if cand > arrival.get(sink, INF_NEG):
-                arrival[sink] = cand
-                if sink in visited:
-                    visited.discard(sink)
-                ready.append(sink)
-    return t_in, t_out
+    from . import scalar
+    if scalar.use_scalar():
+        return scalar.io_path_delays(netlist, routing, process, config,
+                                     sta=sta)
+    from .graph import io_path_array
+    return io_path_array(netlist, routing, process, config, sta=sta)

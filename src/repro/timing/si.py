@@ -16,14 +16,14 @@ module derates wire delays from the block router's usage maps:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Optional, Tuple
 
 import numpy as np
 
 from ..netlist.core import Netlist
-from ..route.block_router import BlockRouter, _class_for
-from ..route.estimate import RoutedNet, RoutingResult, SinkPath
+from ..route.block_router import BlockRouter
+from ..route.estimate import RoutingResult
 
 
 @dataclass
@@ -72,42 +72,95 @@ def derate_routing(netlist: Netlist, routing: RoutingResult,
         (derated routing, summary).  Wire capacitance and per-sink path
         lengths are scaled by the corridor's coupling factor, so both
         delay and net power see the crosstalk penalty.
+
+    Dispatches to a batched implementation (endpoint gcells, corridor
+    bounding boxes and layer classes computed as flat arrays over every
+    net at once); the scalar per-net loop lives in
+    :mod:`repro.timing.scalar` behind ``REPRO_STA_SCALAR=1``.
     """
+    from . import scalar
+    if scalar.use_scalar():
+        return scalar.derate_routing(netlist, routing, router, config)
+    return _derate_routing_batch(netlist, routing, router, config)
+
+
+def _derate_routing_batch(netlist: Netlist, routing: RoutingResult,
+                          router: BlockRouter,
+                          config: Optional[SiConfig] = None
+                          ) -> Tuple[RoutingResult, SiReport]:
+    """Array-path :func:`derate_routing` (same result, faster prep).
+
+    The per-net corridor ``usage.mean()`` keeps numpy's own pairwise
+    reduction (identical in both paths); everything feeding it --
+    endpoint gcell indices, per-net bounding boxes, layer classes -- is
+    vectorized over the flat endpoint list.
+    """
+    from ..route.estimate import INTERMEDIATE_LIMIT_UM, LOCAL_LIMIT_UM
+
     config = config or SiConfig()
     out = RoutingResult()
-    factors = []
+
+    # flat endpoint gather over nets present in both views, net-major
+    keep = []
+    xs: list = []
+    ys: list = []
+    starts = [0]
     for routed in routing.nets.values():
         net = netlist.nets.get(routed.net_id)
         if net is None:
             continue
-        cls = _class_for(max(routed.length_um, 1e-6), router.max_metal)
-        cap = max(router.capacity[cls], 1e-6)
-        # average utilization over the net's bounding corridor
-        cells = []
         for ref in net.endpoints():
             x, y, _ = netlist.endpoint_position(ref)
-            cells.append(router.gcell(x, y))
-        i0 = min(c[0] for c in cells)
-        i1 = max(c[0] for c in cells)
-        j0 = min(c[1] for c in cells)
-        j1 = max(c[1] for c in cells)
-        usage = router.usage[cls][i0:i1 + 1, j0:j1 + 1]
+            xs.append(x)
+            ys.append(y)
+        keep.append(routed)
+        starts.append(len(xs))
+    n = len(keep)
+    if n == 0:
+        return out, SiReport(nets_derated=0, worst_factor=1.0,
+                             mean_factor=1.0)
+
+    xs_a = np.asarray(xs, dtype=np.float64)
+    ys_a = np.asarray(ys, dtype=np.float64)
+    st = np.asarray(starts, dtype=np.int64)
+    # BlockRouter.gcell, vectorized: int(clip((p - origin) / g, 0, n-1))
+    ix = np.clip((xs_a - router.outline.x0) / router.g, 0,
+                 router.nx - 1).astype(np.int64)
+    iy = np.clip((ys_a - router.outline.y0) / router.g, 0,
+                 router.ny - 1).astype(np.int64)
+    i0 = np.minimum.reduceat(ix, st[:-1])
+    i1 = np.maximum.reduceat(ix, st[:-1])
+    j0 = np.minimum.reduceat(iy, st[:-1])
+    j1 = np.maximum.reduceat(iy, st[:-1])
+    # _class_for(max(length, 1e-6), max_metal) over all nets at once
+    lengths = np.maximum(
+        np.asarray([r.length_um for r in keep], dtype=np.float64), 1e-6)
+    if router.max_metal < 7:
+        cls = np.where(lengths < LOCAL_LIMIT_UM, 0, 1)
+    else:
+        cls = np.where(lengths < LOCAL_LIMIT_UM, 0,
+                       np.where(lengths < INTERMEDIATE_LIMIT_UM, 1, 2))
+
+    factors = []
+    cls_l = cls.tolist()
+    i0_l = i0.tolist()
+    i1_l = i1.tolist()
+    j0_l = j0.tolist()
+    j1_l = j1.tolist()
+    for idx, routed in enumerate(keep):
+        c = cls_l[idx]
+        cap = max(router.capacity[c], 1e-6)
+        usage = router.usage[c][i0_l[idx]:i1_l[idx] + 1,
+                                j0_l[idx]:j1_l[idx] + 1]
         util = float(usage.mean()) / cap if usage.size else 0.0
         k = coupling_factor(util, config)
         factors.append(k)
-        out.nets[routed.net_id] = RoutedNet(
-            net_id=routed.net_id,
-            length_um=routed.length_um,
-            r_per_um=routed.r_per_um,
+        out.nets[routed.net_id] = replace(
+            routed,
             c_per_um=routed.c_per_um * k,
             wire_cap_ff=routed.wire_cap_ff * k,
-            via=routed.via,
-            sinks=[SinkPath(ref=s.ref,
-                            path_len_um=s.path_len_um * k ** 0.5,
-                            through_via=s.through_via,
-                            pin_cap_ff=s.pin_cap_ff)
-                   for s in routed.sinks],
-            is_long=routed.is_long)
+            sinks=[replace(s, path_len_um=s.path_len_um * k ** 0.5)
+                   for s in routed.sinks])
     report = SiReport(
         nets_derated=len(factors),
         worst_factor=max(factors, default=1.0),

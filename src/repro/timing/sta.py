@@ -17,14 +17,12 @@ slack the power optimizer then converts into smaller and higher-Vth cells.
 
 from __future__ import annotations
 
-from collections import defaultdict, deque
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict
 
 from ..netlist.core import Netlist, PinRef
 from ..route.estimate import RoutingResult
 from ..tech.process import ProcessNode
-from .load import net_loads_driver
 
 #: setup time assumed at flop D pins (ps)
 SETUP_PS = 30.0
@@ -81,162 +79,15 @@ def run_sta(netlist: Netlist, routing: RoutingResult, process: ProcessNode,
 
     Returns per-instance-output slacks.  Instances not on any constrained
     path keep infinite slack.
+
+    Dispatches to the levelized array engine
+    (:func:`repro.timing.graph.run_sta_array`), which produces the same
+    ``STAResult`` -- values and dict orders -- as the scalar reference
+    walk in :mod:`repro.timing.scalar`.  Set ``REPRO_STA_SCALAR=1`` to
+    force the scalar path (parity harnesses and debugging).
     """
-    period = process.clock_period_ps(config.clock_domain)
-
-    # adjacency: driver instance -> [(sink inst, wire_delay)] for comb sinks
-    succ: Dict[int, List[Tuple[int, float]]] = defaultdict(list)
-    pred_count: Dict[int, int] = defaultdict(int)
-    # terminal fanout: driver inst -> [(required_time_at_sink, wire_delay)]
-    term_req: Dict[int, List[float]] = defaultdict(list)
-    # source arrivals per instance (flop/macro launch); comb start at -inf
-    port_fanout: Dict[str, List[Tuple[Optional[int], float, float]]] = \
-        defaultdict(list)
-
-    insts = netlist.instances
-
-    # precompute every instance's driven load once (hot path); the
-    # which-nets-load-a-driver rule is shared with the incremental STA
-    # and the sizing engines via repro.timing.load
-    _loads: Dict[int, float] = defaultdict(float)
-    for net in netlist.nets.values():
-        if not net_loads_driver(netlist, net):
-            continue
-        routed = routing.nets.get(net.id)
-        if routed is not None:
-            _loads[net.driver.inst] += routed.total_cap_ff
-
-    def load_of(inst_id: int) -> float:
-        return _loads[inst_id]
-
-    for net in netlist.nets.values():
-        if net.is_clock:
-            continue
-        routed = routing.nets.get(net.id)
-        if routed is None:
-            continue
-        wire_delay = {s.ref.key(): routed.sink_wire_delay_ps(s)
-                      for s in routed.sinks}
-        drv = net.driver
-        for sink in net.sinks:
-            wd = wire_delay.get(sink.key(), 0.0)
-            if _is_terminal_sink(netlist, sink):
-                if sink.is_port:
-                    if netlist.ports[sink.port].false_path:
-                        continue
-                    req = period - config.io_delay(sink.port)
-                elif insts[sink.inst].is_macro:
-                    req = period - MACRO_SETUP_PS
-                else:
-                    req = period - SETUP_PS
-                if drv.is_port:
-                    port_fanout[drv.port].append((None, wd, req))
-                else:
-                    term_req[drv.inst].append(req - wd)
-            else:
-                if drv.is_port:
-                    port_fanout[drv.port].append((sink.inst, wd, 0.0))
-                else:
-                    succ[drv.inst].append((sink.inst, wd))
-                    pred_count[sink.inst] += 1
-
-    arrival: Dict[int, float] = {}
-    ready = deque()
-    launch_arrival: Dict[int, float] = {}
-
-    for inst in insts.values():
-        if inst.is_macro:
-            launch_arrival[inst.id] = inst.master.intrinsic_delay_ps
-        elif inst.is_sequential:
-            launch_arrival[inst.id] = inst.master.delay_ps(load_of(inst.id))
-
-    # input-port arrivals feed their comb sinks as extra preds handled now
-    port_arrival_in: Dict[Tuple[int, float], float] = {}
-    extra_arrival: Dict[int, float] = defaultdict(lambda: float("-inf"))
-    for pname, fans in port_fanout.items():
-        a0 = config.io_delay(pname)
-        for sink_inst, wd, _req in fans:
-            if sink_inst is not None:
-                extra_arrival[sink_inst] = max(extra_arrival[sink_inst],
-                                               a0 + wd)
-
-    # Kahn topological propagation over combinational nodes
-    comb_in: Dict[int, float] = defaultdict(lambda: float("-inf"))
-    for iid, a in extra_arrival.items():
-        comb_in[iid] = a
-    for inst in insts.values():
-        if inst.is_macro or inst.is_sequential:
-            arrival[inst.id] = launch_arrival[inst.id]
-            ready.append(inst.id)
-        elif pred_count[inst.id] == 0:
-            base = comb_in[inst.id]
-            if base == float("-inf"):
-                base = 0.0  # undriven comb cell (dangling input rescue)
-            arrival[inst.id] = base + inst.master.delay_ps(load_of(inst.id))
-            ready.append(inst.id)
-
-    remaining = dict(pred_count)
-    processed = set()
-    while ready:
-        iid = ready.popleft()
-        if iid in processed:
-            continue
-        processed.add(iid)
-        a = arrival[iid]
-        for sink, wd in succ[iid]:
-            comb_in[sink] = max(comb_in[sink], a + wd)
-            remaining[sink] -= 1
-            if remaining[sink] == 0:
-                inst = insts[sink]
-                arrival[sink] = comb_in[sink] + \
-                    inst.master.delay_ps(load_of(sink))
-                ready.append(sink)
-
-    # any leftover (cycle safety): assign using current comb_in
-    for inst in insts.values():
-        if inst.id not in arrival:
-            base = comb_in[inst.id]
-            if base == float("-inf"):
-                base = 0.0
-            arrival[inst.id] = base + (
-                inst.master.intrinsic_delay_ps if inst.is_macro
-                else inst.master.delay_ps(load_of(inst.id)))
-
-    # ---- backward pass ---------------------------------------------------
-    required: Dict[int, float] = {}
-    order = sorted(processed | set(arrival),
-                   key=lambda i: arrival[i], reverse=True)
-    INF = float("inf")
-    req_map: Dict[int, float] = defaultdict(lambda: INF)
-    for iid, reqs in term_req.items():
-        req_map[iid] = min([req_map[iid]] + reqs)
-    # propagate requirements backward in reverse topological (by arrival)
-    for iid in order:
-        r = req_map[iid]
-        inst = insts[iid]
-        for sink, wd in succ[iid]:
-            sink_inst = insts[sink]
-            r_sink = req_map[sink]
-            if r_sink < INF:
-                r = min(r, r_sink - sink_inst.master.delay_ps(
-                    load_of(sink)) - wd)
-        req_map[iid] = r
-        required[iid] = r
-
-    slack: Dict[int, float] = {}
-    wns = INF
-    tns = 0.0
-    for iid, a in arrival.items():
-        r = required.get(iid, INF)
-        if r >= INF:
-            continue
-        s = r - a
-        slack[iid] = s
-        if s < wns:
-            wns = s
-        if s < 0:
-            tns += s
-    if wns == INF:
-        wns = 0.0
-    return STAResult(period_ps=period, arrival=arrival, required=required,
-                     slack=slack, wns_ps=wns, tns_ps=tns)
+    from . import scalar
+    if scalar.use_scalar():
+        return scalar.run_sta(netlist, routing, process, config)
+    from .graph import run_sta_array
+    return run_sta_array(netlist, routing, process, config)
